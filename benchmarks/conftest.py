@@ -1,0 +1,29 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark file regenerates one table or figure of the paper's
+Section 5 (shape-level: the counted-access series) and additionally
+benchmarks the wall-clock of the underlying operations.  Scales default to
+laptop-friendly sizes; the standalone drivers
+(``python -m repro.experiments``) run the larger defaults.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.datasets import gauss3, weather4, weather6
+
+
+@pytest.fixture(scope="session")
+def bench_weather4():
+    return weather4(scale=0.18, seed=21)
+
+
+@pytest.fixture(scope="session")
+def bench_weather6():
+    return weather6(scale=0.35, seed=22)
+
+
+@pytest.fixture(scope="session")
+def bench_gauss3():
+    return gauss3(scale=0.18, seed=23)

@@ -1,0 +1,79 @@
+"""Figures 10 and 11: query cost of eCube vs DDC vs PS.
+
+Wall-clock benchmarks of single range queries on the three structures
+(weather4), plus the counted-access convergence series recorded as extra
+info -- the regenerated figure data.  Expected ordering at steady state:
+PS < converged eCube < DDC < fresh eCube.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import build_ecube, comparator_array
+from repro.metrics import rolling_average
+from repro.workloads.queries import skew_queries, uni_queries
+
+NUM_QUERIES = 1500
+
+
+@pytest.fixture(scope="module")
+def structures(bench_weather4):
+    ecube = build_ecube(bench_weather4)
+    ddc = comparator_array(bench_weather4, "DDC")
+    ps = comparator_array(bench_weather4, "PS")
+    queries = uni_queries(bench_weather4.shape, NUM_QUERIES, seed=41)
+    # converge the eCube on the first half of the workload
+    for box in queries[: NUM_QUERIES // 2]:
+        ecube.query(box)
+    return ecube, ddc, ps, queries
+
+
+def _cycle(queries):
+    iterator = itertools.cycle(queries)
+    return lambda: next(iterator)
+
+
+def test_query_ecube_converged(benchmark, structures):
+    ecube, _ddc, _ps, queries = structures
+    nxt = _cycle(queries[NUM_QUERIES // 2 :])
+    benchmark(lambda: ecube.query(nxt()))
+
+
+def test_query_ddc(benchmark, structures):
+    _ecube, ddc, _ps, queries = structures
+    nxt = _cycle(queries)
+    benchmark(lambda: ddc.range_sum(nxt()))
+
+
+def test_query_ps(benchmark, structures):
+    _ecube, _ddc, ps, queries = structures
+    nxt = _cycle(queries)
+    benchmark(lambda: ps.range_sum(nxt()))
+
+
+@pytest.mark.parametrize("workload", ["uni", "skew"])
+def test_regenerate_convergence_series(benchmark, bench_weather4, workload):
+    """One-shot regeneration of the Figure 10/11 series (counted accesses)."""
+    generator = uni_queries if workload == "uni" else skew_queries
+    queries = generator(bench_weather4.shape, 800, seed=42)
+
+    def series():
+        ecube = build_ecube(bench_weather4)
+        counter = ecube.counter
+        costs = []
+        for box in queries:
+            before = counter.snapshot()
+            ecube.query(box)
+            costs.append((counter.snapshot() - before).cell_reads)
+        return costs
+
+    costs = benchmark.pedantic(series, rounds=1, iterations=1)
+    groups = rolling_average(costs, 50)
+    benchmark.extra_info["first_group_mean"] = round(groups[0], 1)
+    benchmark.extra_info["last_group_mean"] = round(groups[-1], 1)
+    # the figure's shape: decreasing query cost
+    assert np.mean(costs[-200:]) < np.mean(costs[:200])

@@ -1,0 +1,87 @@
+"""Figures 12 and 13: per-update cost with and without copy cost.
+
+Benchmarks single appends into the Evolving Data Cube (weather6 and
+gauss3) and regenerates the sorted-cost curves as counted accesses,
+asserting the figures' shape: the copy overhead concentrates in the cheap
+updates, so the two curves nearly coincide at the expensive end.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.ecube.ecube import EvolvingDataCube
+from repro.metrics import CostCounter
+
+
+def _update_benchmark(benchmark, dataset):
+    counter = CostCounter()
+    cube = EvolvingDataCube(
+        dataset.slice_shape,
+        num_times=dataset.shape[0],
+        counter=counter,
+        min_density=dataset.density(),
+    )
+    updates = itertools.cycle(dataset.updates())
+
+    latest = {"t": 0}
+
+    def one_update():
+        point, delta = next(updates)
+        # keep the stream append-only across cycles
+        t = max(point[0], latest["t"])
+        latest["t"] = t
+        cube.update((t,) + point[1:], delta)
+
+    benchmark(one_update)
+
+
+def test_update_weather6(benchmark, bench_weather6):
+    _update_benchmark(benchmark, bench_weather6)
+
+
+def test_update_gauss3(benchmark, bench_gauss3):
+    _update_benchmark(benchmark, bench_gauss3)
+
+
+@pytest.mark.parametrize("which", ["weather6", "gauss3"])
+def test_regenerate_sorted_cost_curves(
+    benchmark, which, bench_weather6, bench_gauss3
+):
+    dataset = bench_weather6 if which == "weather6" else bench_gauss3
+
+    def stream():
+        counter = CostCounter()
+        cube = EvolvingDataCube(
+            dataset.slice_shape,
+            num_times=dataset.shape[0],
+            counter=counter,
+            min_density=dataset.density(),
+        )
+        with_copy, without_copy = [], []
+        last_cells = last_copy = 0
+        for point, delta in dataset.updates():
+            cube.update(point, delta)
+            snap = counter.snapshot()
+            with_copy.append(snap.cell_accesses - last_cells)
+            without_copy.append(
+                (snap.cell_accesses - snap.copy_cost)
+                - (last_cells - last_copy)
+            )
+            last_cells, last_copy = snap.cell_accesses, snap.copy_cost
+        return np.sort(with_copy), np.sort(without_copy)
+
+    real, ideal = benchmark.pedantic(stream, rounds=1, iterations=1)
+    benchmark.extra_info["mean_with_copy"] = round(float(real.mean()), 1)
+    benchmark.extra_info["mean_without_copy"] = round(float(ideal.mean()), 1)
+    # shape: total copy cost is positive ...
+    assert real.sum() > ideal.sum()
+    # ... and concentrated below the top decile: the expensive tails differ
+    # by less (relatively) than the overall means
+    top = slice(int(0.9 * len(real)), None)
+    tail_ratio = real[top].mean() / ideal[top].mean()
+    overall_ratio = real.mean() / ideal.mean()
+    assert tail_ratio <= overall_ratio + 0.05

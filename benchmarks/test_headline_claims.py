@@ -1,0 +1,118 @@
+"""Benchmarks of the paper's headline analytical claims.
+
+Not tied to one figure; these measure the properties the abstract and
+Sections 2-4 promise:
+
+* query cost independent of the extent of the TT-dimension;
+* O(1) snapshots in the multiversion substrates;
+* progressive bounds cheaper than exact answers (pCube-style substrate).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.types import Box
+from repro.ecube.ecube import EvolvingDataCube
+from repro.metrics import CostCounter
+from repro.trees.mratree import MRATree
+from repro.trees.mvbtree import MultiversionBTree
+from repro.trees.zorder import ZOrderSliceStructure
+
+
+def _build_cube(num_times: int) -> tuple[EvolvingDataCube, CostCounter]:
+    counter = CostCounter()
+    cube = EvolvingDataCube((16, 16), counter=counter)
+    rng = np.random.default_rng(99)
+    for t in range(num_times):
+        for _ in range(4):
+            cube.update(
+                (t, int(rng.integers(0, 16)), int(rng.integers(0, 16))), 1
+            )
+    return cube, counter
+
+
+@pytest.mark.parametrize("history", [64, 1024])
+def test_query_cost_vs_history_length(benchmark, history):
+    """The headline: history 16x longer, same per-query cost."""
+    cube, counter = _build_cube(history)
+    boxes = [
+        Box((history // 4, 2, 2), (history // 2, 13, 13)),
+        Box((0, 0, 0), (history - 1, 15, 15)),
+        Box((history // 3, 5, 5), (history // 3 + 5, 9, 9)),
+    ]
+    for box in boxes:  # converge first
+        cube.query(box)
+    nxt = itertools.cycle(boxes)
+    benchmark(lambda: cube.query(next(nxt)))
+    counter.reset()
+    for box in boxes:
+        cube.query(box)
+    benchmark.extra_info["cell_reads_per_query"] = counter.cell_reads / len(boxes)
+
+
+def test_mvbt_update(benchmark):
+    tree = MultiversionBTree(capacity=32)
+    rng = np.random.default_rng(100)
+    state = {"version": 0}
+
+    def one():
+        state["version"] += 1
+        tree.update(int(rng.integers(0, 100_000)), 1, version=state["version"])
+
+    benchmark(one)
+
+
+def test_mvbt_historic_query(benchmark):
+    tree = MultiversionBTree(capacity=32)
+    for version in range(5000):
+        tree.update(version * 7 % 50_000, 1, version=version)
+    rng = np.random.default_rng(101)
+    probes = itertools.cycle(
+        [
+            (int(a), int(a) + 500, int(v))
+            for a, v in zip(
+                rng.integers(0, 49_000, 256), rng.integers(0, 5000, 256)
+            )
+        ]
+    )
+    benchmark(lambda: tree.range_sum(*probes.__next__()[:2], version=next(probes)[2]))
+
+
+def test_zorder_box_query(benchmark):
+    structure = ZOrderSliceStructure((64, 64))
+    rng = np.random.default_rng(102)
+    for _ in range(2000):
+        structure.update(
+            (int(rng.integers(0, 64)), int(rng.integers(0, 64))),
+            int(rng.integers(1, 5)),
+        )
+    boxes = itertools.cycle(
+        [
+            ((int(a), int(b)), (int(a) + 20, int(b) + 20))
+            for a, b in zip(rng.integers(0, 40, 128), rng.integers(0, 40, 128))
+        ]
+    )
+    benchmark(lambda: structure.range_sum(*next(boxes)))
+
+
+def test_mratree_progressive_vs_exact(benchmark):
+    tree = MRATree((128, 128))
+    rng = np.random.default_rng(103)
+    for _ in range(5000):
+        tree.update(
+            (int(rng.integers(0, 128)), int(rng.integers(0, 128))),
+            int(rng.integers(1, 8)),
+        )
+
+    benchmark(lambda: tree.query_with_tolerance((5, 5), (120, 121), 0.1))
+    tree.node_accesses = 0
+    tree.query_with_tolerance((5, 5), (120, 121), 0.1)
+    approx = tree.node_accesses
+    tree.node_accesses = 0
+    tree.range_sum((5, 5), (120, 121))
+    benchmark.extra_info["approx_nodes"] = approx
+    benchmark.extra_info["exact_nodes"] = tree.node_accesses

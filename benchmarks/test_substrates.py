@@ -1,0 +1,105 @@
+"""Micro-benchmarks of the substrate structures.
+
+Not tied to a specific figure; these quantify the building blocks the
+paper's analysis composes (directory lookups, tree updates/queries,
+snapshotting) so regressions in any layer surface here.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.directory import TimeDirectory
+from repro.core.types import Box
+from repro.trees.bptree import BPlusTree
+from repro.trees.persistent import PersistentAggregateTree
+from repro.trees.rtree import RTree
+
+
+@pytest.fixture(scope="module")
+def keys():
+    rng = np.random.default_rng(61)
+    return [int(k) for k in rng.integers(0, 100_000, size=20_000)]
+
+
+def test_bptree_update(benchmark, keys):
+    tree = BPlusTree(fanout=64)
+    nxt = itertools.cycle(keys)
+    benchmark(lambda: tree.update(next(nxt), 1))
+
+
+def test_bptree_range_sum(benchmark, keys):
+    tree = BPlusTree(fanout=64)
+    for key in keys:
+        tree.update(key, 1)
+    rng = np.random.default_rng(62)
+    bounds = itertools.cycle(
+        [tuple(sorted(map(int, rng.integers(0, 100_000, 2)))) for _ in range(256)]
+    )
+    benchmark(lambda: tree.range_sum(*next(bounds)))
+
+
+def test_persistent_tree_update(benchmark, keys):
+    tree = PersistentAggregateTree()
+    nxt = itertools.cycle(keys)
+    benchmark(lambda: tree.update(next(nxt), 1))
+
+
+def test_persistent_tree_snapshot_query(benchmark, keys):
+    tree = PersistentAggregateTree()
+    snapshots = []
+    for index, key in enumerate(keys[:5000]):
+        tree.update(key, 1)
+        if index % 50 == 0:
+            snapshots.append(tree.snapshot())
+    nxt = itertools.cycle(snapshots)
+    benchmark(lambda: next(nxt).range_sum(10_000, 90_000))
+
+
+def test_rtree_insert(benchmark):
+    rng = np.random.default_rng(63)
+    points = [tuple(map(int, rng.integers(0, 1000, 3))) for _ in range(4096)]
+    tree = RTree(3, leaf_capacity=32, fanout=16)
+    nxt = itertools.cycle(points)
+    benchmark(lambda: tree.insert(next(nxt), 1))
+
+
+def test_rtree_bulk_load(benchmark):
+    rng = np.random.default_rng(64)
+    points = [tuple(map(int, rng.integers(0, 1000, 3))) for _ in range(20_000)]
+    values = [1] * len(points)
+    benchmark.pedantic(
+        RTree.bulk_load, args=(points, values), kwargs={"leaf_capacity": 64},
+        rounds=3, iterations=1,
+    )
+
+
+def test_rtree_range_query(benchmark):
+    rng = np.random.default_rng(65)
+    points = [tuple(map(int, rng.integers(0, 1000, 3))) for _ in range(20_000)]
+    tree = RTree.bulk_load(points, [1] * len(points), leaf_capacity=64)
+    boxes = itertools.cycle(
+        [
+            Box(
+                tuple(map(int, low)),
+                tuple(int(l + s) for l, s in zip(low, size)),
+            )
+            for low, size in zip(
+                rng.integers(0, 800, size=(256, 3)),
+                rng.integers(10, 200, size=(256, 3)),
+            )
+        ]
+    )
+    benchmark(lambda: tree.range_sum(next(boxes)))
+
+
+def test_directory_floor_lookup(benchmark):
+    directory: TimeDirectory[int] = TimeDirectory()
+    for time in range(100_000):
+        directory.append(time * 3, time)
+    rng = np.random.default_rng(66)
+    probes = itertools.cycle([int(p) for p in rng.integers(0, 300_000, 512)])
+    benchmark(lambda: directory.floor(next(probes)))

@@ -1,0 +1,36 @@
+"""Table 3: data-set generation and statistics.
+
+Benchmarks the synthetic generators and records the Table 3 statistics
+(cells, non-empty, density) as benchmark extra info.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.datasets import gauss3, weather4, weather6
+
+
+def test_generate_weather4(benchmark):
+    data = benchmark(weather4, 0.18, 31)
+    assert data.ndim == 4
+    benchmark.extra_info["cells"] = data.num_cells
+    benchmark.extra_info["non_empty"] = data.non_empty()
+    benchmark.extra_info["density"] = round(data.density(), 4)
+    assert abs(data.density() - 0.0073) / 0.0073 < 0.3
+
+
+def test_generate_weather6(benchmark):
+    data = benchmark(weather6, 0.35, 32)
+    assert data.ndim == 6
+    benchmark.extra_info["cells"] = data.num_cells
+    benchmark.extra_info["non_empty"] = data.non_empty()
+    benchmark.extra_info["density"] = round(data.density(), 4)
+    assert abs(data.density() - 0.0039) / 0.0039 < 0.3
+
+
+def test_generate_gauss3(benchmark):
+    data = benchmark(gauss3, 0.18, 33)
+    assert data.ndim == 3
+    benchmark.extra_info["cells"] = data.num_cells
+    benchmark.extra_info["non_empty"] = data.non_empty()
+    benchmark.extra_info["density"] = round(data.density(), 4)
+    assert abs(data.density() - 0.048) / 0.048 < 0.3

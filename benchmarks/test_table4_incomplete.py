@@ -1,0 +1,62 @@
+"""Table 4: incomplete historic instances, in-memory and disk.
+
+Regenerates the min/max/most-frequent statistics per data set and variant
+and benchmarks the disk cube's update path (page-wise copying).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.ecube.disk import DiskEvolvingDataCube
+from repro.ecube.ecube import EvolvingDataCube
+from repro.metrics import most_frequent
+
+
+@pytest.mark.parametrize("variant", ["in-memory", "disk"])
+def test_regenerate_gauss3_row(benchmark, bench_gauss3, variant):
+    dataset = bench_gauss3
+
+    def stream():
+        if variant == "disk":
+            cube = DiskEvolvingDataCube(
+                dataset.slice_shape, num_times=dataset.shape[0]
+            )
+        else:
+            cube = EvolvingDataCube(
+                dataset.slice_shape,
+                num_times=dataset.shape[0],
+                min_density=dataset.density(),
+            )
+        observations = []
+        for point, delta in dataset.updates():
+            cube.update(point, delta)
+            observations.append(cube.incomplete_historic_instances())
+        return observations
+
+    observations = benchmark.pedantic(stream, rounds=1, iterations=1)
+    benchmark.extra_info["min"] = min(observations)
+    benchmark.extra_info["max"] = max(observations)
+    benchmark.extra_info["mode"] = most_frequent(observations)
+    if variant == "disk":
+        assert max(observations) <= 1  # a page write copies 2048 cells
+    else:
+        assert max(observations) <= 6  # small constant (paper: up to 5)
+
+
+def test_disk_update_throughput(benchmark, bench_weather4):
+    dataset = bench_weather4
+    cube = DiskEvolvingDataCube(dataset.slice_shape, num_times=dataset.shape[0])
+    updates = itertools.cycle(dataset.updates())
+    latest = {"t": 0}
+
+    def one_update():
+        point, delta = next(updates)
+        t = max(point[0], latest["t"])
+        latest["t"] = t
+        cube.update((t,) + point[1:], delta)
+
+    benchmark(one_update)
+    assert cube.incomplete_historic_instances() <= 1

@@ -1,0 +1,107 @@
+"""OLAP on an append-only warehouse: roll-up, drill-down, data cube, aging.
+
+The paper motivates the framework with exactly this analysis loop
+(Section 1): revenue by month and region, comparisons across granularity
+levels, the data cube operator's group-bys -- all "collections of related
+range queries" -- plus data aging (Section 7) when old detail is retired.
+
+This example wires the full stack together: a multi-measure eCube
+(revenue + units + implicit count), dimension hierarchies, the roll-up /
+drill-down / data-cube API, AVG as SUM/COUNT, and retirement of the
+oldest detail while all-of-history aggregates stay answerable.
+
+Run with:  python examples/olap_rollup.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    AgedOutError,
+    Box,
+    CubeView,
+    Dimension,
+    EvolvingDataCube,
+    Hierarchy,
+    MeasureCube,
+    uniform_hierarchy,
+)
+
+DAYS, STORES, PRODUCTS = 56, 8, 12  # 8 weeks of history
+
+
+def main() -> None:
+    warehouse = MeasureCube(
+        lambda: EvolvingDataCube((STORES, PRODUCTS), num_times=DAYS),
+        measures=("revenue", "units"),
+    )
+    rng = np.random.default_rng(2002)
+    for day in range(DAYS):
+        for _ in range(int(rng.integers(10, 25))):
+            store = int(rng.integers(0, STORES))
+            product = int(rng.integers(0, PRODUCTS))
+            units = int(rng.integers(1, 6))
+            price = int(rng.integers(5, 40))
+            warehouse.update(
+                (day, store, product), revenue=units * price, units=units
+            )
+
+    day = Dimension("day", DAYS).with_level(uniform_hierarchy("week", DAYS, 7))
+    store = Dimension("store", STORES).with_level(
+        Hierarchy("region", ((0, 3), (4, 7)), ("east", "west"))
+    )
+    product = Dimension("product", PRODUCTS).with_level(
+        uniform_hierarchy("category", PRODUCTS, 4)
+    )
+    revenue_view = CubeView(warehouse.backend("revenue"), [day, store, product])
+
+    print("revenue by week x region:")
+    weekly = revenue_view.rollup({"day": "week", "store": "region"})
+    for row in weekly.to_rows():
+        week, region, _product, value = row
+        print(f"  {week:12s} {region:6s} {value:8,}")
+
+    print("\ndrill into week 3, store 5, day by day:")
+    drill = revenue_view.drill_down(
+        {"day": "week"}, into="day", finer_level="detail", store=5
+    )
+    for d in range(21, 28):
+        print(f"  day {d:2d}: {drill.cell(d, 0, 0):6,}")
+
+    print("\naverage basket revenue per region (AVG as SUM/COUNT):")
+    for name, stores in (("east", (0, 3)), ("west", (4, 7))):
+        box = Box((0, stores[0], 0), (DAYS - 1, stores[1], PRODUCTS - 1))
+        print(f"  {name}: {warehouse.average(box, 'revenue'):8.2f}")
+
+    print("\nthe data cube operator (2^2 group-bys over region x category):")
+
+    class _TwoDimBackend:
+        """Project the 3-d cube onto (store, product) for the demo."""
+
+        def query(self, box: Box) -> int:
+            return warehouse.query(
+                Box((0,) + box.lower, (DAYS - 1,) + box.upper), "revenue"
+            )
+
+    region_category_view = CubeView(_TwoDimBackend(), [store, product])
+    for grouped, result in region_category_view.data_cube(
+        levels={"store": "region", "product": "category"}
+    ).items():
+        label = " x ".join(grouped) if grouped else "(grand total)"
+        print(f"  group-by {label}: {result.values.reshape(-1).tolist()}")
+
+    # Data aging: retire the first four weeks of detail.
+    backend = warehouse.backend("revenue")
+    retired = backend.retire_before(28)
+    print(f"\nretired {retired} detail slices (first four weeks)")
+    all_history = Box((0, 0, 0), (DAYS - 1, STORES - 1, PRODUCTS - 1))
+    print(f"all-history revenue still answerable: {backend.query(all_history):,}")
+    try:
+        backend.query(Box((10, 0, 0), (40, STORES - 1, PRODUCTS - 1)))
+    except AgedOutError as error:
+        print(f"detail query into the retired region correctly refused:\n  {error}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Quickstart: append-only aggregation with the Evolving Data Cube.
+
+Builds a small 3-dimensional cube (time x store x product), streams
+append-only sales into it, and runs range aggregates whose cost is
+independent of how long the recorded history is -- the paper's headline
+property.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Box, CostCounter, EvolvingDataCube
+
+
+def main() -> None:
+    num_stores, num_products = 16, 32
+    counter = CostCounter()
+    cube = EvolvingDataCube(
+        slice_shape=(num_stores, num_products), counter=counter
+    )
+
+    # Stream three months of sales, day by day (the TT-dimension is days).
+    rng = np.random.default_rng(2002)
+    for day in range(90):
+        for _ in range(rng.integers(5, 15)):
+            store = int(rng.integers(0, num_stores))
+            product = int(rng.integers(0, num_products))
+            amount = int(rng.integers(1, 200))
+            cube.update((day, store, product), amount)
+
+    print(f"cube: {cube}")
+    print(f"occurring days: {cube.num_slices}")
+
+    # "What is the overall revenue of stores 0-3 over the last month?"
+    last_month = Box((60, 0, 0), (89, 3, num_products - 1))
+    counter.reset()
+    revenue = cube.query(last_month)
+    print(f"revenue of stores 0-3, days 60-89: {revenue}")
+    print(f"  cell accesses: {counter.cell_reads}")
+
+    # Re-running the query is cheaper: the eCube converted the touched
+    # historic cells from DDC to PS form on the way.
+    counter.reset()
+    assert cube.query(last_month) == revenue
+    print(f"  cell accesses on repeat: {counter.cell_reads} (eCube converged)")
+
+    # Queries over ancient history cost the same as recent ones -- the
+    # framework reduces any time range to two cumulative instances.
+    ancient = Box((0, 0, 0), (29, 3, num_products - 1))
+    counter.reset()
+    cube.query(ancient)
+    first = counter.cell_reads
+    counter.reset()
+    cube.query(ancient)
+    print(f"days 0-29 query: {first} accesses, repeat {counter.cell_reads}")
+
+
+if __name__ == "__main__":
+    main()

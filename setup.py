@@ -1,0 +1,7 @@
+"""Legacy setup shim: the offline environment lacks the `wheel` package, so
+`pip install -e .` must take setuptools' develop path.  All metadata lives
+in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

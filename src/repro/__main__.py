@@ -1,0 +1,86 @@
+"""CLI entry point: ``python -m repro``.
+
+Offers a quick orientation (``info``), a 30-second self-demonstration
+(``demo``) and a pointer to the experiment harness.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import repro
+
+
+def _info() -> int:
+    print(f"repro {repro.__version__}")
+    print(
+        "Reproduction of Riedewald, Agrawal & El Abbadi: 'Efficient "
+        "Integration and Aggregation of Historical Information' (SIGMOD 2002)"
+    )
+    print()
+    print("Key entry points:")
+    print("  repro.EvolvingDataCube          the eCube (Section 3)")
+    print("  repro.DiskEvolvingDataCube      external-memory variant (3.5)")
+    print("  repro.BufferedEvolvingDataCube  with out-of-order G_d (2.5)")
+    print("  repro.AppendOnlyAggregator      the general framework (2.3)")
+    print("  repro.IntervalAggregator        objects with extent (2.4)")
+    print("  repro.CubeView / Dimension      OLAP roll-up / data cube")
+    print()
+    print("Experiments: python -m repro.experiments [--list]")
+    print("Examples:    python examples/quickstart.py")
+    return 0
+
+
+def _demo() -> int:
+    import numpy as np
+
+    from repro import Box, CostCounter, EvolvingDataCube
+
+    print("Building a 3-d append-only cube (48 days x 16 x 16) ...")
+    counter = CostCounter()
+    cube = EvolvingDataCube((16, 16), num_times=48, counter=counter)
+    rng = np.random.default_rng(0)
+    for day in range(48):
+        for _ in range(20):
+            cube.update(
+                (day, int(rng.integers(0, 16)), int(rng.integers(0, 16))),
+                int(rng.integers(1, 9)),
+            )
+    integration = counter.snapshot()
+    print(
+        f"  960 updates integrated: {integration.cell_accesses} cell "
+        f"accesses ({integration.copy_cost} copy writes), "
+        f"{cube.incomplete_historic_instances()} incomplete instances"
+    )
+    box = Box((10, 2, 2), (40, 13, 13))
+    counter.reset()
+    first = cube.query(box)
+    cost_first = counter.cell_reads
+    counter.reset()
+    assert cube.query(box) == first
+    print(
+        f"  range aggregate over 31 days: {first} "
+        f"({cost_first} reads cold, {counter.cell_reads} after eCube "
+        "conversion)"
+    )
+    print("Done.  See EXPERIMENTS.md for the full regenerated evaluation.")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro")
+    parser.add_argument(
+        "command",
+        nargs="?",
+        default="info",
+        choices=["info", "demo"],
+        help="info (default): orientation; demo: 30-second walk-through",
+    )
+    args = parser.parse_args(argv)
+    if args.command == "demo":
+        return _demo()
+    return _info()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,63 @@
+"""Core of the reproduction: the general append-only framework (Section 2).
+
+Public surface:
+
+* :class:`repro.core.framework.AppendOnlyAggregator` -- the generic
+  construction reducing d-dimensional range aggregates to two
+  (d-1)-dimensional prefix-time queries;
+* :class:`repro.core.directory.TimeDirectory` -- occurring-time directory;
+* :mod:`repro.core.operators` -- invertible aggregate operators;
+* :mod:`repro.core.out_of_order` -- the ``G_d`` buffer of Section 2.5;
+* :mod:`repro.core.extent` -- interval data via the B/C reduction (2.4).
+"""
+
+from repro.core.errors import (
+    AgedOutError,
+    AppendOrderError,
+    DomainError,
+    EmptyStructureError,
+    OperatorError,
+    ReproError,
+    StorageError,
+)
+from repro.core.operators import (
+    AVERAGE,
+    COUNT,
+    SUM,
+    Operator,
+    SumCount,
+    get_operator,
+    register_operator,
+)
+from repro.core.framework import (
+    AppendOnlyAggregator,
+    CopySnapshotStructure,
+    MVBTSliceStructure,
+    TreeSliceStructure,
+)
+from repro.core.types import Box, TimeInterval, as_point, full_box
+
+__all__ = [
+    "AgedOutError",
+    "AppendOnlyAggregator",
+    "CopySnapshotStructure",
+    "MVBTSliceStructure",
+    "TreeSliceStructure",
+    "AppendOrderError",
+    "DomainError",
+    "EmptyStructureError",
+    "OperatorError",
+    "ReproError",
+    "StorageError",
+    "AVERAGE",
+    "COUNT",
+    "SUM",
+    "Operator",
+    "SumCount",
+    "get_operator",
+    "register_operator",
+    "Box",
+    "TimeInterval",
+    "as_point",
+    "full_box",
+]

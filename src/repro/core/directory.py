@@ -1,0 +1,158 @@
+"""The directory mapping occurring time values to instances (Section 2.3).
+
+The framework only materializes instances of ``R_{d-1}`` for *occurring*
+time values.  A query must locate
+
+* ``t_l`` -- the greatest occurring time strictly below the query's lower
+  time bound, and
+* ``t_u`` -- the greatest occurring time less than or equal to the upper
+  bound (the cumulative instance at ``t_u`` contains everything up to any
+  non-occurring time between ``t_u`` and the next occurring value),
+
+while updates always address the latest instance through a maintained
+pointer, giving constant-time lookup for the append path.
+
+The paper suggests "standard one-dimensional data structures ... e.g., a
+B-tree for a sparse or an array for a dense TT-dimension"; both are
+implemented (:class:`TimeDirectory` over a sorted array with counted binary
+search, and a B+tree-backed variant in :mod:`repro.trees.bptree`).
+Lookup cost is at most logarithmic in the number of occurring time values.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import Generic, TypeVar
+
+from repro.core.errors import AppendOrderError, EmptyStructureError
+
+T = TypeVar("T")
+
+
+class TimeDirectory(Generic[T]):
+    """Sorted-array directory with a latest-instance pointer.
+
+    Appends of new occurring times must be monotone (append-only data).
+    Every binary-search comparison is tallied in :attr:`comparisons` so the
+    directory ablation can report lookup cost.
+    """
+
+    def __init__(self) -> None:
+        self._times: list[int] = []
+        self._payloads: list[T] = []
+        self.comparisons = 0
+        self.lookups = 0
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def __bool__(self) -> bool:
+        return bool(self._times)
+
+    def times(self) -> tuple[int, ...]:
+        return tuple(self._times)
+
+    def items(self) -> Iterator[tuple[int, T]]:
+        return iter(zip(self._times, self._payloads))
+
+    # -- appends -------------------------------------------------------------
+
+    def append(self, time: int, payload: T) -> None:
+        """Register a new occurring time value (must exceed all prior ones)."""
+        time = int(time)
+        if self._times and time <= self._times[-1]:
+            raise AppendOrderError(
+                f"occurring time {time} is not greater than the latest "
+                f"{self._times[-1]}"
+            )
+        self._times.append(time)
+        self._payloads.append(payload)
+
+    def insert_historic(self, time: int, payload: T) -> int:
+        """Insert an occurring time *before* the latest one.
+
+        Only the out-of-order drain (Section 2.5) needs this: a buffered
+        update at a historic, previously non-occurring time value turns
+        that value into an occurring one.  Returns the insertion index.
+        """
+        time = int(time)
+        if not self._times:
+            raise EmptyStructureError("cannot insert into an empty directory")
+        if time >= self._times[-1]:
+            raise AppendOrderError(
+                f"insert_historic({time}) is not before the latest "
+                f"occurring time {self._times[-1]}; use append"
+            )
+        index = self.floor_index(time) + 1
+        if index > 0 and self._times[index - 1] == time:
+            raise AppendOrderError(f"time {time} is already occurring")
+        self._times.insert(index, time)
+        self._payloads.insert(index, payload)
+        return index
+
+    # -- constant-time access to the newest instance ---------------------------
+
+    @property
+    def latest_time(self) -> int:
+        if not self._times:
+            raise EmptyStructureError("directory is empty")
+        return self._times[-1]
+
+    @property
+    def latest(self) -> T:
+        """The instance receiving updates; maintained as a direct pointer."""
+        if not self._payloads:
+            raise EmptyStructureError("directory is empty")
+        return self._payloads[-1]
+
+    def replace_latest(self, payload: T) -> None:
+        if not self._payloads:
+            raise EmptyStructureError("directory is empty")
+        self._payloads[-1] = payload
+
+    # -- logarithmic lookups ---------------------------------------------------
+
+    def floor_index(self, time: int) -> int:
+        """Index of the greatest occurring time <= ``time``; -1 if none.
+
+        Hand-rolled binary search so each comparison is counted.
+        """
+        self.lookups += 1
+        lo, hi = 0, len(self._times)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            self.comparisons += 1
+            if self._times[mid] <= time:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo - 1
+
+    def floor(self, time: int) -> tuple[int, T] | None:
+        """The greatest occurring (time, payload) at or before ``time``."""
+        index = self.floor_index(int(time))
+        if index < 0:
+            return None
+        return self._times[index], self._payloads[index]
+
+    def strictly_before(self, time: int) -> tuple[int, T] | None:
+        """The greatest occurring (time, payload) strictly before ``time``.
+
+        This selects the paper's ``t_l`` instance, whose cumulative content
+        must be subtracted from the upper instance's.
+        """
+        return self.floor(int(time) - 1)
+
+    def at_index(self, index: int) -> tuple[int, T]:
+        return self._times[index], self._payloads[index]
+
+    def payload_at_time(self, time: int) -> T:
+        """Exact-match lookup (raises KeyError for non-occurring times)."""
+        found = self.floor(time)
+        if found is None or found[0] != time:
+            raise KeyError(f"{time} is not an occurring time value")
+        return found[1]
+
+    def __repr__(self) -> str:
+        span = f"{self._times[0]}..{self._times[-1]}" if self._times else "empty"
+        return f"TimeDirectory({len(self._times)} occurring times, {span})"

@@ -1,0 +1,125 @@
+"""Invertible aggregate operators.
+
+The framework (Section 1) targets the class of *invertible* operators --
+operators forming an abelian group, such as SUM and COUNT, plus operators
+maintained as combinations of those (AVG as SUM/COUNT).  Inversion is what
+lets a d-dimensional range aggregate be computed as the difference of two
+cumulative prefix-time queries (Section 2.2).
+
+Non-invertible operators (MIN/MAX) are intentionally rejected: there is no
+way to "subtract" the contribution of the excluded prefix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generic, TypeVar
+
+from repro.core.errors import OperatorError
+
+V = TypeVar("V")
+
+
+@dataclass(frozen=True)
+class Operator(Generic[V]):
+    """An abelian-group aggregate operator.
+
+    ``combine`` must be associative and commutative, ``identity`` its neutral
+    element and ``invert`` the group inverse, so that for all values
+    ``combine(x, invert(x)) == identity``.
+    """
+
+    name: str
+    combine: Callable[[V, V], V]
+    identity: V
+    invert: Callable[[V], V]
+
+    def subtract(self, total: V, part: V) -> V:
+        """``total - part`` in the group; the framework's query combiner."""
+        return self.combine(total, self.invert(part))
+
+    def fold(self, values) -> V:
+        result = self.identity
+        for value in values:
+            result = self.combine(result, value)
+        return result
+
+
+SUM: Operator[int] = Operator(
+    name="SUM",
+    combine=lambda a, b: a + b,
+    identity=0,
+    invert=lambda a: -a,
+)
+
+COUNT: Operator[int] = Operator(
+    name="COUNT",
+    combine=lambda a, b: a + b,
+    identity=0,
+    invert=lambda a: -a,
+)
+
+
+@dataclass(frozen=True)
+class SumCount:
+    """Paired (sum, count) measure so AVG stays invertible.
+
+    The paper notes AVG is supported "when maintained as SUM and COUNT"
+    (Section 1); this value type is that maintenance.
+    """
+
+    total: float = 0.0
+    count: int = 0
+
+    def __add__(self, other: "SumCount") -> "SumCount":
+        return SumCount(self.total + other.total, self.count + other.count)
+
+    def __neg__(self) -> "SumCount":
+        return SumCount(-self.total, -self.count)
+
+    @property
+    def average(self) -> float:
+        if self.count == 0:
+            raise OperatorError("average of an empty selection is undefined")
+        return self.total / self.count
+
+
+AVERAGE: Operator[SumCount] = Operator(
+    name="AVERAGE",
+    combine=lambda a, b: a + b,
+    identity=SumCount(),
+    invert=lambda a: -a,
+)
+
+
+_REGISTRY: dict[str, Operator[Any]] = {
+    "SUM": SUM,
+    "COUNT": COUNT,
+    "AVERAGE": AVERAGE,
+    "AVG": AVERAGE,
+}
+
+_NON_INVERTIBLE = {"MIN", "MAX", "MEDIAN", "TOP-K"}
+
+
+def get_operator(name: str) -> Operator[Any]:
+    """Look up a built-in operator by name.
+
+    Raises :class:`OperatorError` for known non-invertible operators with an
+    explanation, and for unknown names.
+    """
+    key = name.upper()
+    if key in _NON_INVERTIBLE:
+        raise OperatorError(
+            f"{name} is not invertible; the framework requires operators with "
+            "a group inverse (SUM, COUNT, AVERAGE-as-SUM/COUNT)"
+        )
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        raise OperatorError(f"unknown operator {name!r}") from None
+
+
+def register_operator(operator: Operator[Any]) -> None:
+    """Register a custom invertible operator for lookup by name."""
+    _REGISTRY[operator.name.upper()] = operator

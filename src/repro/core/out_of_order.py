@@ -1,0 +1,81 @@
+"""The general d-dimensional side structure ``G_d`` (Section 2.5).
+
+Out-of-order updates -- late registrations or corrections of historic
+values -- would cascade through every cumulative instance with a greater
+time coordinate.  Instead they are buffered in a general d-dimensional
+structure ``G_d`` (here an R-tree, one of the paper's named examples);
+queries add a ``G_d`` range aggregate to the framework result, so cost
+degrades gracefully with the out-of-order fraction and converges to the
+general (non-append-only) cost.
+
+A background drain (:meth:`OutOfOrderBuffer.drain`) hands buffered updates
+back to the owner for re-application into the instances, newest first --
+"beginning with the latest instance to avoid that the process chases newly
+created time slices".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.types import Box
+from repro.trees.rtree import RTree
+
+
+class OutOfOrderBuffer:
+    """R-tree-backed buffer of (point, delta) out-of-order updates."""
+
+    def __init__(self, ndim: int, leaf_capacity: int = 32, fanout: int = 16) -> None:
+        self.ndim = ndim
+        self._leaf_capacity = leaf_capacity
+        self._fanout = fanout
+        self._tree = RTree(ndim, leaf_capacity, fanout)
+        self._log: list[tuple[tuple[int, ...], int]] = []
+
+    def __len__(self) -> int:
+        """Number of buffered updates (the paper's degradation parameter)."""
+        return len(self._log)
+
+    def add(self, point: Sequence[int], delta: int) -> None:
+        coords = tuple(int(c) for c in point)
+        self._tree.insert(coords, int(delta))
+        self._log.append((coords, int(delta)))
+
+    def range_sum(self, box: Box) -> int:
+        """The buffered contribution to a range query (post-processing)."""
+        if not self._log:
+            return 0
+        return self._tree.range_sum(box)
+
+    def drain(self, limit: int | None = None) -> list[tuple[tuple[int, ...], int]]:
+        """Remove up to ``limit`` buffered updates, newest time first.
+
+        The caller (the framework's background process) re-applies the
+        returned updates to the affected instances.  The R-tree is rebuilt
+        from the remainder.
+        """
+        if not self._log:
+            return []
+        self._log.sort(key=lambda item: item[0][0])  # ascending time
+        if limit is None or limit >= len(self._log):
+            drained = self._log[::-1]
+            self._log = []
+        else:
+            drained = self._log[-limit:][::-1]
+            self._log = self._log[:-limit]
+        self._rebuild()
+        return drained
+
+    def _rebuild(self) -> None:
+        if self._log:
+            points = [p for p, _ in self._log]
+            values = [v for _, v in self._log]
+            self._tree = RTree.bulk_load(
+                points, values, self._leaf_capacity, self._fanout
+            )
+        else:
+            self._tree = RTree(self.ndim, self._leaf_capacity, self._fanout)
+
+    @property
+    def node_accesses(self) -> int:
+        return self._tree.node_accesses

@@ -1,0 +1,128 @@
+"""Shared value types: points, boxes and time intervals.
+
+Terminology follows Section 2.1 of the paper: a data set has ``d`` dimension
+attributes and a measure attribute; dimension 0 (the paper's delta_1) is the
+transaction-time (TT) dimension.  A multidimensional range query specifies an
+inclusive range per dimension.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+
+from repro.core.errors import DomainError
+
+Coordinate = tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class Box:
+    """An axis-aligned inclusive box ``[lower_i, upper_i]`` per dimension.
+
+    This is the query shape of the paper's ``query_D(L^d, U^d)`` (Table 2):
+    both corners are included in the selection.
+    """
+
+    lower: Coordinate
+    upper: Coordinate
+
+    def __post_init__(self) -> None:
+        if len(self.lower) != len(self.upper):
+            raise DomainError(
+                f"corner arity mismatch: {len(self.lower)} vs {len(self.upper)}"
+            )
+        object.__setattr__(self, "lower", tuple(int(c) for c in self.lower))
+        object.__setattr__(self, "upper", tuple(int(c) for c in self.upper))
+        for low, up in zip(self.lower, self.upper):
+            if low > up:
+                raise DomainError(f"inverted range [{low}, {up}]")
+
+    @property
+    def ndim(self) -> int:
+        return len(self.lower)
+
+    def contains(self, point: Sequence[int]) -> bool:
+        return all(
+            low <= coord <= up
+            for low, coord, up in zip(self.lower, point, self.upper)
+        )
+
+    def intersects(self, other: "Box") -> bool:
+        return all(
+            self.lower[i] <= other.upper[i] and other.lower[i] <= self.upper[i]
+            for i in range(self.ndim)
+        )
+
+    def volume(self) -> int:
+        result = 1
+        for low, up in zip(self.lower, self.upper):
+            result *= up - low + 1
+        return result
+
+    def clip_to(self, shape: Sequence[int]) -> "Box":
+        """Clamp the box to array bounds ``[0, shape_i - 1]`` per dimension."""
+        if len(shape) != self.ndim:
+            raise DomainError(f"shape arity {len(shape)} != box arity {self.ndim}")
+        lower = tuple(max(0, low) for low in self.lower)
+        upper = tuple(min(int(n) - 1, up) for n, up in zip(shape, self.upper))
+        for low, up in zip(lower, upper):
+            if low > up:
+                raise DomainError(f"box {self} is empty after clipping to {shape}")
+        return Box(lower, upper)
+
+    def drop_first(self) -> "Box":
+        """Project out the TT-dimension, leaving the (d-1)-dimensional box."""
+        return Box(self.lower[1:], self.upper[1:])
+
+    @property
+    def time_range(self) -> tuple[int, int]:
+        """The selected range in the TT-dimension (dimension 0)."""
+        return self.lower[0], self.upper[0]
+
+    def iter_points(self) -> Iterator[Coordinate]:
+        """Yield every lattice point in the box (for tests and baselines)."""
+
+        def recurse(prefix: tuple[int, ...], dim: int) -> Iterator[Coordinate]:
+            if dim == self.ndim:
+                yield prefix
+                return
+            for coord in range(self.lower[dim], self.upper[dim] + 1):
+                yield from recurse(prefix + (coord,), dim + 1)
+
+        return recurse((), 0)
+
+
+@dataclass(frozen=True)
+class TimeInterval:
+    """A closed interval in the TT-dimension (Section 2.4, objects w/ extent).
+
+    ``start`` is when the object becomes valid, ``end`` when it stops being
+    valid; both inclusive.
+    """
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start > self.end:
+            raise DomainError(f"inverted interval [{self.start}, {self.end}]")
+
+    def contains_time(self, t: int) -> bool:
+        return self.start <= t <= self.end
+
+    def intersects(self, other: "TimeInterval") -> bool:
+        return self.start <= other.end and other.start <= self.end
+
+    def contained_in(self, other: "TimeInterval") -> bool:
+        return other.start <= self.start and self.end <= other.end
+
+
+def as_point(coords: Sequence[int]) -> Coordinate:
+    """Normalize a coordinate sequence to a tuple of ints."""
+    return tuple(int(c) for c in coords)
+
+
+def full_box(shape: Sequence[int]) -> Box:
+    """The box covering an entire array of the given shape."""
+    return Box(tuple(0 for _ in shape), tuple(int(n) - 1 for n in shape))

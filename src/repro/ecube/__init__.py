@@ -1,0 +1,27 @@
+"""The Evolving Data Cube (eCube) -- Section 3 of the paper.
+
+The MOLAP instantiation of the append-only framework:
+
+* :class:`repro.ecube.slices.ECubeSliceEngine` -- the lazy DDC-to-PS
+  conversion algebra for historic slices (Section 3.2);
+* :class:`repro.ecube.cache.SliceCache` -- the cache array with per-cell
+  timestamps, lazy copying and copy-ahead (Section 3.3);
+* :class:`EvolvingDataCube` -- the complete in-memory update/query
+  algorithms (Section 3.4, Figures 8 and 9);
+* :class:`DiskEvolvingDataCube` -- the external-memory variant with
+  page-wise copying (Section 3.5).
+"""
+
+from repro.ecube.buffered import BufferedEvolvingDataCube
+from repro.ecube.ecube import EvolvingDataCube
+from repro.ecube.disk import DiskEvolvingDataCube
+from repro.ecube.slices import ECubeSliceEngine
+from repro.ecube.sparse import SparseEvolvingDataCube
+
+__all__ = [
+    "BufferedEvolvingDataCube",
+    "DiskEvolvingDataCube",
+    "ECubeSliceEngine",
+    "EvolvingDataCube",
+    "SparseEvolvingDataCube",
+]

@@ -1,0 +1,114 @@
+"""The eCube with out-of-order buffering (Section 2.5, MOLAP instance).
+
+Wraps an :class:`~repro.ecube.ecube.EvolvingDataCube` with the ``G_d``
+buffer: appends flow straight into the cube, late arrivals are buffered,
+queries post-process with a ``G_d`` range aggregate, and a background
+:meth:`drain` applies buffered corrections into the cube (newest first)
+via :meth:`EvolvingDataCube.apply_out_of_order`.
+
+One honest limitation, documented on ``apply_out_of_order``: corrections
+at historic times that never occurred in the stream cannot be spliced into
+the index-stamped cache, so the drain keeps them in ``G_d`` permanently --
+queries remain exact either way, which is the paper's actual guarantee
+(the drain is purely a cost optimization).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.errors import DomainError
+from repro.core.out_of_order import OutOfOrderBuffer
+from repro.core.types import Box
+from repro.ecube.ecube import EvolvingDataCube
+from repro.metrics import CostCounter
+
+
+class BufferedEvolvingDataCube:
+    """Append-only MOLAP cube that tolerates out-of-order updates."""
+
+    def __init__(
+        self,
+        slice_shape: Sequence[int],
+        num_times: int | None = None,
+        counter: CostCounter | None = None,
+        copy_budget: int | None = None,
+        min_density: float = 0.005,
+    ) -> None:
+        self.cube = EvolvingDataCube(
+            slice_shape,
+            num_times=num_times,
+            counter=counter,
+            copy_budget=copy_budget,
+            min_density=min_density,
+        )
+        self.buffer = OutOfOrderBuffer(self.cube.ndim)
+
+    # -- delegated introspection ------------------------------------------------
+
+    @property
+    def ndim(self) -> int:
+        return self.cube.ndim
+
+    @property
+    def counter(self) -> CostCounter:
+        return self.cube.counter
+
+    @property
+    def buffered_updates(self) -> int:
+        return len(self.buffer)
+
+    # -- updates -------------------------------------------------------------------
+
+    def update(self, point: Sequence[int], delta: int) -> None:
+        """Append, or buffer when the TT-coordinate is historic."""
+        point = tuple(int(c) for c in point)
+        if len(point) != self.ndim:
+            raise DomainError(f"point arity {len(point)} != {self.ndim}")
+        latest = self.cube.latest_time
+        if latest is None or point[0] >= latest:
+            self.cube.update(point, delta)
+        else:
+            self.buffer.add(point, int(delta))
+
+    # -- queries --------------------------------------------------------------------
+
+    def query(self, box: Box) -> int:
+        """Cube result plus the buffered ``G_d`` contribution."""
+        result = self.cube.query(box)
+        if len(self.buffer):
+            result += self.buffer.range_sum(box)
+        return result
+
+    def total(self) -> int:
+        full = Box(
+            (0,) * len(self.cube.slice_shape),
+            tuple(n - 1 for n in self.cube.slice_shape),
+        )
+        latest = self.cube.latest_time
+        if latest is None:
+            return 0
+        box = Box((0,) + full.lower, (latest,) + full.upper)
+        return self.query(box)
+
+    # -- background drain ---------------------------------------------------------------
+
+    def drain(self, limit: int | None = None) -> tuple[int, int]:
+        """Apply up to ``limit`` buffered corrections, newest time first.
+
+        Corrections at occurring times are applied into the cube; the rest
+        are re-buffered (they stay exact through query post-processing).
+        Returns ``(applied, kept)``.
+        """
+        drained = self.buffer.drain(limit)
+        applied = 0
+        kept = 0
+        occurring = set(self.cube.occurring_times())
+        for point, delta in drained:
+            if point[0] in occurring:
+                self.cube.apply_out_of_order(point, delta)
+                applied += 1
+            else:
+                self.buffer.add(point, delta)
+                kept += 1
+        return applied, kept

@@ -1,0 +1,481 @@
+"""The complete in-memory Evolving Data Cube (Section 3.4).
+
+``EvolvingDataCube`` maintains a d-dimensional append-only array:
+
+* dimension 0 is the TT-dimension; the PS technique is implicitly applied
+  along it because every slice instance is *cumulative*;
+* dimensions 1..d-1 use DDC in the cache (latest instance) and evolve from
+  DDC toward PS in historic slices (the eCube of Section 3.2);
+* appending a new time slice only *reserves* storage; values migrate from
+  the cache lazily (Section 3.3), with forced copies on cell updates and a
+  budgeted copy-ahead that lets cheap updates pre-pay copy work;
+* a d-dimensional range aggregate reduces to (at most) two (d-1)-dimensional
+  eCube queries, one at the instance covering the upper time bound and one
+  strictly below the lower bound (Figure 9).
+
+Every cell touch is charged to the cube's :class:`~repro.metrics.CostCounter`,
+with lazy-copy writes tagged separately so Figures 12/13 can split the two.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.errors import AgedOutError, AppendOrderError, DomainError
+from repro.core.types import Box
+from repro.ecube.cache import SliceCache
+from repro.ecube.slices import ECubeSliceEngine
+from repro.metrics import CostCounter
+from repro.core.directory import TimeDirectory
+
+
+class _Slice:
+    """Reserved storage for one historic (or latest) time slice."""
+
+    __slots__ = ("values", "ps_flags")
+
+    def __init__(self, shape: tuple[int, ...]) -> None:
+        # 'Reserved' in the paper's sense: allocated but semantically
+        # unfilled; reads are only routed here once a copy has landed.
+        self.values = np.zeros(shape, dtype=np.int64)
+        self.ps_flags = np.zeros(shape, dtype=bool)
+
+    def retire(self) -> None:
+        """Release the detail storage (moved to mass storage, Section 7)."""
+        self.values = None
+        self.ps_flags = None
+
+    @property
+    def retired(self) -> bool:
+        return self.values is None
+
+
+class EvolvingDataCube:
+    """Append-only MOLAP data cube with evolving pre-aggregation.
+
+    Parameters
+    ----------
+    slice_shape:
+        Domain sizes of the non-time dimensions ``N_2 .. N_d``.
+    num_times:
+        Optional upper bound on the TT-domain (used only for validation;
+        the structure grows one *occurring* time at a time regardless).
+    counter:
+        Cost counter; a private one is created when omitted.
+    copy_budget:
+        Total-cost threshold below which an update keeps doing copy-ahead
+        work (Figure 8, step 4: "while the current total cost of the
+        operation is low").  Defaults to the worst-case DDC update cost
+        (one read plus one write per affected cell) plus ``1/min_density``
+        copy operations -- the Section 3.4 amortization argument: a data
+        set of density theta averages at least theta updates per cell, so
+        ``1/theta`` copies per update keep all timestamps current.
+    min_density:
+        The paper's theta_min: the smallest density the array is expected
+        to have ("arrays are only efficient if the underlying data set is
+        not too sparse").  Only used to size the default copy budget.
+    """
+
+    def __init__(
+        self,
+        slice_shape: Sequence[int],
+        num_times: int | None = None,
+        counter: CostCounter | None = None,
+        copy_budget: int | None = None,
+        min_density: float = 0.005,
+    ) -> None:
+        self.slice_shape = tuple(int(n) for n in slice_shape)
+        if any(n <= 0 for n in self.slice_shape):
+            raise DomainError(f"invalid slice shape {self.slice_shape}")
+        self.num_times = int(num_times) if num_times is not None else None
+        self.counter = counter if counter is not None else CostCounter()
+        self.engine = ECubeSliceEngine(self.slice_shape)
+        if copy_budget is None:
+            if not 0 < min_density <= 1:
+                raise DomainError(f"min_density must be in (0, 1], got {min_density}")
+            copy_budget = 2 * self.engine.worst_case_update_cells() + int(
+                1.0 / min_density
+            )
+        self.copy_budget = int(copy_budget)
+        self.directory: TimeDirectory[_Slice] = TimeDirectory()
+        self.cache: SliceCache | None = None
+        self.updates_applied = 0
+        # directory indices below this have had their detail retired
+        self._retired_below = 0
+
+    # -- bulk construction --------------------------------------------------------
+
+    @classmethod
+    def from_dense(
+        cls,
+        dense: np.ndarray,
+        counter: CostCounter | None = None,
+        copy_budget: int | None = None,
+        min_density: float = 0.005,
+    ) -> "EvolvingDataCube":
+        """Vectorized initial load from a complete raw cube (axis 0 = TT).
+
+        Every time coordinate becomes occurring, every slice is fully
+        copied (stamps current) and holds the cumulative DDC values --
+        exactly the state reached by streaming the same data and letting
+        all lazy copies complete, but built with numpy sweeps instead of
+        per-update work.  Use it for historical backfills; stream
+        :meth:`update` for live integration.
+        """
+        dense = np.asarray(dense)
+        if dense.ndim < 2:
+            raise DomainError("need a TT-dimension plus at least one more")
+        cube = cls(
+            dense.shape[1:],
+            num_times=dense.shape[0],
+            counter=counter,
+            copy_budget=copy_budget,
+            min_density=min_density,
+        )
+        cumulative = np.cumsum(dense, axis=0, dtype=np.int64)
+        for axis, technique in enumerate(cube.engine.techniques):
+            cumulative = technique.aggregate(cumulative, axis=axis + 1)
+        num_times = dense.shape[0]
+        for time in range(num_times):
+            payload = _Slice(cube.slice_shape)
+            payload.values = np.ascontiguousarray(cumulative[time])
+            cube.directory.append(time, payload)
+        cube.cache = SliceCache(cube.slice_shape, cube.counter)
+        cube.cache.values = cumulative[num_times - 1].copy()
+        for _ in range(num_times - 1):
+            cube.cache.notice_new_time()
+        last = cube.cache.last_index
+        cube.cache.stamps.fill(last)
+        cube.cache._counts = [0] * num_times
+        cube.cache._counts[last] = cube.cache.num_cells
+        cube.cache._min_idx = last
+        cube.cache._recount_pending()
+        cube.updates_applied = int(np.count_nonzero(dense))
+        return cube
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def ndim(self) -> int:
+        return 1 + len(self.slice_shape)
+
+    @property
+    def num_slices(self) -> int:
+        return len(self.directory)
+
+    @property
+    def latest_time(self) -> int | None:
+        return self.directory.latest_time if self.directory else None
+
+    def incomplete_historic_instances(self) -> int:
+        """Table 4 statistic: historic instances not yet completely copied."""
+        if self.cache is None:
+            return 0
+        return self.cache.incomplete_instances()
+
+    @property
+    def retired_instances(self) -> int:
+        return self._retired_below
+
+    # -- data aging (Section 7) -------------------------------------------------
+
+    def retire_before(self, time: int) -> int:
+        """Retire detail slices older than ``time`` (data aging).
+
+        Every slice with an occurring time strictly below ``time`` is
+        released except the newest of them: that *boundary instance* is
+        cumulative, so aggregates over all retired history remain
+        answerable for free ("aggregates of retired detail data can be
+        retained without additional computation costs").  Queries whose
+        lower time bound falls inside the retired region afterwards raise
+        :class:`~repro.core.errors.AgedOutError`.
+
+        Returns the number of slices retired by this call.
+        """
+        if not self.directory:
+            return 0
+        boundary = self.directory.floor_index(int(time) - 1)
+        if boundary <= self._retired_below:
+            return 0
+        retired = 0
+        for index in range(self._retired_below, boundary):
+            _, payload = self.directory.at_index(index)
+            if not payload.retired:
+                payload.retire()
+                retired += 1
+        self._retired_below = boundary
+        return retired
+
+    # -- updates (Figure 8) -------------------------------------------------------
+
+    def update(self, point: Sequence[int], delta: int) -> None:
+        """Add ``delta`` to the cell at ``point = (t, x_2, .., x_d)``.
+
+        ``t`` must be greater than or equal to the latest occurring time
+        (append-only discipline); out-of-order updates belong in the
+        framework's ``G_d`` buffer, not here.
+        """
+        point = tuple(int(c) for c in point)
+        if len(point) != self.ndim:
+            raise DomainError(f"point arity {len(point)} != {self.ndim}")
+        time, cell = point[0], point[1:]
+        self._check_cell(cell)
+        if self.num_times is not None and not 0 <= time < self.num_times:
+            raise DomainError(f"time {time} outside [0, {self.num_times - 1}]")
+        delta = int(delta)
+        cost_at_start = self.counter.snapshot()
+
+        # Step 1: reserve a new time slice when time advances.
+        if not self.directory:
+            self.directory.append(time, _Slice(self.slice_shape))
+            self.cache = SliceCache(self.slice_shape, self.counter)
+        elif time > self.directory.latest_time:
+            self.directory.append(time, _Slice(self.slice_shape))
+            self.cache.notice_new_time()
+        elif time < self.directory.latest_time:
+            raise AppendOrderError(
+                f"update at time {time} precedes latest occurring time "
+                f"{self.directory.latest_time}; wrap the cube in an "
+                "AppendOnlyAggregator with an out-of-order buffer instead"
+            )
+        cache = self.cache
+        last_index = cache.last_index
+
+        # Steps 2-3: DDC update set; lazy forced copies for stale cells.
+        for affected in self.engine.update_cells(cell):
+            value, stamp = cache.read(affected)
+            if stamp < last_index:
+                self._copy_cell(affected, value, stamp, last_index)
+                cache.restamp(affected, last_index)
+            cache.apply_delta(affected, delta)
+
+        # Step 4: copy-ahead via the roving pointer Z "while the current
+        # total cost of the operation is low": only the headroom left under
+        # the budget after the update's own work may be spent.
+        spent = (self.counter.snapshot() - cost_at_start).cell_accesses
+        self._copy_ahead(last_index, self.copy_budget - spent)
+        self.updates_applied += 1
+
+    def _copy_cell(
+        self,
+        cell: tuple[int, ...],
+        value: int,
+        from_index: int,
+        to_index: int,
+    ) -> None:
+        """Write a cell's old value into slices ``[from_index, to_index)``.
+
+        Cells already converted to PS by a query are skipped: their
+        (converted) content is final and correct.
+        """
+        with self.counter.copying():
+            for index in range(max(from_index, self._retired_below), to_index):
+                _, payload = self.directory.at_index(index)
+                if payload.retired or payload.ps_flags[cell]:
+                    continue
+                self.counter.write_cells()
+                payload.values[cell] = value
+
+    def _copy_ahead(self, last_index: int, budget: int) -> None:
+        if budget <= 0 or self.cache.pending == 0 or last_index == 0:
+            return
+        cache = self.cache
+        spent = 0
+        scanned = 0
+        while spent < budget and cache.pending > 0 and scanned <= cache.num_cells:
+            cell = cache.rover_cell()
+            spent += 1  # inspecting cache[Z] is a cell access
+            self.counter.read_cells()
+            stamp = cache.peek_stamp(cell)
+            if stamp < last_index:
+                value = cache.peek_value(cell)
+                _, payload = self.directory.at_index(stamp)
+                if not payload.retired and not payload.ps_flags[cell]:
+                    with self.counter.copying():
+                        self.counter.write_cells()
+                        payload.values[cell] = value
+                    spent += 1
+                cache.restamp(cell, stamp + 1)
+                scanned = 0
+            else:
+                cache.rover_advance()
+                scanned += 1
+
+    # -- out-of-order corrections (Section 2.5 drain target) ---------------------
+
+    def apply_out_of_order(self, point: Sequence[int], delta: int) -> None:
+        """Apply a historic update directly, cascading through the slices.
+
+        This is the expensive operation the ``G_d`` buffer defers: a delta
+        at TT-coordinate ``u`` must reach every cumulative instance with
+        time >= ``u``.  Correctness over the *mixed* eCube representation:
+
+        * the cache and DDC-flagged slice cells receive the delta on the
+          DDC update set of the cell;
+        * PS-flagged slice cells hold prefix sums, so every flagged cell
+          dominating the updated cell (component-wise >=) receives the
+          delta (vectorized over the flag bitmap);
+        * cells whose lazy copy is still pending are force-completed with
+          their *old* value first, so the cache's future copies cannot
+          leak the delta into instances older than ``u``.
+
+        Only *occurring* TT-coordinates are supported: a non-occurring
+        historic time would need a new instance spliced into the
+        directory, which the index-stamped cache cannot express --
+        buffered updates at such times stay in ``G_d`` (see
+        :class:`~repro.ecube.buffered.BufferedEvolvingDataCube`).
+        """
+        point = tuple(int(c) for c in point)
+        if len(point) != self.ndim:
+            raise DomainError(f"point arity {len(point)} != {self.ndim}")
+        time, cell = point[0], point[1:]
+        self._check_cell(cell)
+        delta = int(delta)
+        if not self.directory:
+            raise AppendOrderError("cube is empty; append normally instead")
+        if time >= self.directory.latest_time:
+            raise AppendOrderError(
+                f"time {time} is not historic; use update() for appends"
+            )
+        start_index = self.directory.floor_index(time)
+        found_time, _ = self.directory.at_index(start_index) if start_index >= 0 else (None, None)
+        if found_time != time:
+            raise AppendOrderError(
+                f"time {time} is not an occurring time value; keep the "
+                "update buffered in G_d"
+            )
+        if start_index < self._retired_below:
+            raise AgedOutError(
+                f"time {time} lies in the retired region; the correction "
+                "cannot be applied to freed detail"
+            )
+        cache = self.cache
+        last_index = cache.last_index
+
+        # DDC path: cache plus already-copied unconverted slice cells.
+        for affected in self.engine.update_cells(cell):
+            value, stamp = cache.read(affected)
+            if stamp < last_index:
+                self._copy_cell(affected, value, stamp, last_index)
+                cache.restamp(affected, last_index)
+            cache.apply_delta(affected, delta)
+            for index in range(max(start_index, self._retired_below), last_index):
+                _, payload = self.directory.at_index(index)
+                if payload.retired or payload.ps_flags[affected]:
+                    continue
+                self.counter.write_cells()
+                payload.values[affected] = int(payload.values[affected]) + delta
+
+        # PS path: every converted cell dominating the updated cell.
+        dominating = np.ones(self.slice_shape, dtype=bool)
+        for axis, coord in enumerate(cell):
+            index_grid = np.arange(self.slice_shape[axis])
+            shape = [1] * len(self.slice_shape)
+            shape[axis] = self.slice_shape[axis]
+            dominating &= (index_grid >= coord).reshape(shape)
+        for index in range(max(start_index, self._retired_below), last_index):
+            _, payload = self.directory.at_index(index)
+            if payload.retired:
+                continue
+            mask = payload.ps_flags & dominating
+            touched = int(mask.sum())
+            if touched:
+                self.counter.write_cells(touched)
+                payload.values[mask] += delta
+
+    # -- queries (Figure 9) ---------------------------------------------------------
+
+    def query(self, box: Box) -> int:
+        """Aggregate over an inclusive d-dimensional box (time is axis 0)."""
+        if box.ndim != self.ndim:
+            raise DomainError(f"box arity {box.ndim} != cube arity {self.ndim}")
+        if not self.directory:
+            return 0
+        time_low, time_up = box.time_range
+        slice_box = box.drop_first().clip_to(self.slice_shape)
+        upper = self._prefix_time_query(slice_box, time_up)
+        lower = self._prefix_time_query(slice_box, time_low - 1)
+        return upper - lower
+
+    def _prefix_time_query(self, slice_box: Box, time: int) -> int:
+        """eCubeQuery of Figure 9: slice query at the cumulative instance
+        covering all points with TT-coordinate <= ``time``.
+
+        Note: Section 2.3's prose picks the *smallest occurring time >=
+        upper bound*, but that instance would include points beyond the
+        query range; the worked example of Section 2.2 ("greatest time
+        value which is less than or equal to the upper value") is the
+        correct -- and implemented -- selection.
+        """
+        found = self.directory.floor_index(time)
+        if found < 0:
+            return 0
+        return self._slice_query(found, slice_box)
+
+    def _slice_query(self, slice_index: int, slice_box: Box) -> int:
+        _, payload = self.directory.at_index(slice_index)
+        if payload.retired:
+            time, _ = self.directory.at_index(slice_index)
+            raise AgedOutError(
+                f"the instance at time {time} was retired by data aging; "
+                "only queries at or after the retirement boundary (or open "
+                "prefixes from the beginning of time) remain answerable"
+            )
+        cache = self.cache
+        counter = self.counter
+        values = payload.values
+        flags = payload.ps_flags
+
+        def read(cell: tuple[int, ...]) -> tuple[int, bool]:
+            counter.read_cells()
+            if flags[cell]:
+                # A persisted conversion is final for this slice even if the
+                # lazy copy of the underlying DDC value has not landed yet.
+                return int(values[cell]), True
+            if cache.peek_stamp(cell) > slice_index:
+                return int(values[cell]), False
+            # Not copied yet: the cache value is current for this slice
+            # (its last change happened at or before slice_index).
+            return cache.peek_value(cell), False
+
+        if slice_index < cache.last_index:
+            def mark(cell: tuple[int, ...], ps_value: int) -> None:
+                # Historic content is final: persist the conversion.
+                values[cell] = ps_value
+                flags[cell] = True
+        else:
+            # The latest instance may still change (same-time updates);
+            # never persist conversions into it.
+            mark = None
+
+        return self.engine.range_query(slice_box, read, mark)
+
+    # -- whole-cube helpers ------------------------------------------------------
+
+    def total(self) -> int:
+        """Aggregate over the entire cube."""
+        if not self.directory:
+            return 0
+        full = Box(
+            (0,) * len(self.slice_shape),
+            tuple(n - 1 for n in self.slice_shape),
+        )
+        return self._slice_query(len(self.directory) - 1, full)
+
+    def occurring_times(self) -> tuple[int, ...]:
+        return self.directory.times()
+
+    def _check_cell(self, cell: tuple[int, ...]) -> None:
+        for coord, size in zip(cell, self.slice_shape):
+            if not 0 <= coord < size:
+                raise DomainError(
+                    f"cell {cell} outside slice shape {self.slice_shape}"
+                )
+
+    def __repr__(self) -> str:
+        return (
+            f"EvolvingDataCube(slice_shape={self.slice_shape}, "
+            f"slices={self.num_slices}, updates={self.updates_applied})"
+        )

@@ -1,0 +1,23 @@
+"""Experiment drivers regenerating every table and figure of Section 5.
+
+Each module exposes ``run(...) -> ExperimentResult`` printing the same rows
+or series the paper reports:
+
+* :mod:`repro.experiments.table3`   -- data-set statistics (Table 3)
+* :mod:`repro.experiments.fig10_11` -- query-cost convergence, eCube vs
+  DDC vs PS, ``uni`` and ``skew`` (Figures 10 and 11)
+* :mod:`repro.experiments.fig12_13` -- sorted per-update cost with and
+  without copy cost (Figures 12 and 13)
+* :mod:`repro.experiments.table4`   -- incomplete historic instances,
+  in-memory and disk (Table 4)
+* :mod:`repro.experiments.fig14`    -- page accesses, DDC array vs
+  bulk-loaded R*-tree (Figure 14)
+
+plus ablations beyond the paper (copy-budget sweep, dimensionality sweep,
+directory variants, out-of-order degradation, sparse substrates).  Run all
+of them with ``python -m repro.experiments``.
+"""
+
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["ExperimentResult"]

@@ -1,0 +1,52 @@
+"""CLI: ``python -m repro.experiments [names...]``.
+
+Without arguments, regenerates every table and figure of the paper's
+Section 5 at the laptop-friendly default scales.  Pass experiment names
+(e.g. ``fig10 table4 ablation-dims``) to run a subset; ``--list`` shows
+everything available.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments.runner import EXPERIMENTS, PAPER_SET, run_experiments
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "names",
+        nargs="*",
+        help=f"experiments to run (default: {' '.join(PAPER_SET)})",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available experiments and exit"
+    )
+    parser.add_argument(
+        "--series",
+        action="store_true",
+        help="render each figure's series as an ASCII chart",
+    )
+    parser.add_argument(
+        "--csv",
+        metavar="DIR",
+        default=None,
+        help="also write each experiment's rows and figure series as CSV",
+    )
+    args = parser.parse_args(argv)
+    if args.list:
+        for name in EXPERIMENTS:
+            marker = "*" if name in PAPER_SET else " "
+            print(f"{marker} {name}")
+        print("* = part of the default paper set")
+        return 0
+    run_experiments(args.names or None, csv_dir=args.csv, show_series=args.series)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

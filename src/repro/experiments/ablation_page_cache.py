@@ -1,0 +1,110 @@
+"""Ablation: Figure 14 under a warm LRU page cache.
+
+The paper measured both structures without caching.  This ablation replays
+the Figure 14 query stream through an LRU buffer pool of growing capacity
+and reports the surviving I/O per query for the DDC array and the
+bulk-loaded R*-tree.
+
+Expected shape: whichever structure's *working set* fits the pool wins
+outright.  The tree's working set is its leaf level, which grows linearly
+with the stored points (about 1,100 leaves at the paper's full scale); the
+array's hot set is the high-level cells of the Fenwick hierarchy, which
+stay a near-constant few pages regardless of data size.  So small pools
+favour the array, and a pool large enough to hold every leaf flips the
+comparison -- quantifying how much of the Figure 14 gap is attributable to
+the array's reuse-friendly access pattern.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import ExperimentResult, comparator_array
+from repro.storage.buffer import LRUBufferPool
+from repro.storage.layout import cells_per_page, rtree_leaf_capacity
+from repro.trees.rtree import RTree
+from repro.workloads.datasets import Dataset, weather6
+from repro.workloads.queries import uni_queries
+
+
+def run(
+    dataset: Dataset | None = None,
+    capacities: tuple[int, ...] = (0, 16, 64, 256, 1024),
+    num_queries: int = 1500,
+    seed: int = 7,
+) -> ExperimentResult:
+    data = dataset if dataset is not None else weather6(scale=0.7)
+    array = comparator_array(data, "DDC")
+    per_page = cells_per_page()
+    strides = np.array(
+        [int(np.prod(data.shape[i + 1:])) for i in range(data.ndim)],
+        dtype=np.int64,
+    )
+    cells, inverse = np.unique(data.coords, axis=0, return_inverse=True)
+    weights = np.zeros(len(cells), dtype=np.int64)
+    np.add.at(weights, inverse, data.values)
+    tree = RTree.bulk_load(
+        [tuple(int(c) for c in row) for row in cells],
+        weights.tolist(),
+        leaf_capacity=rtree_leaf_capacity(data.ndim),
+        fanout=64,
+    )
+    leaves = list(tree._iter_leaves())
+    leaf_ids = {id(leaf): index for index, leaf in enumerate(leaves)}
+
+    queries = uni_queries(data.shape, num_queries, seed=seed)
+    # Precompute per-query page sets once; replay against each pool size.
+    array_pages: list[set] = []
+    tree_pages: list[set] = []
+    for box in queries:
+        terms = array.range_term_cells(box)
+        array_pages.append(
+            {(0, int(np.dot(cell, strides)) // per_page) for cell, _ in terms}
+        )
+        touched = set()
+
+        def collect(node):
+            if node.mbr is None:
+                return
+            from repro.trees.rtree import _intersects
+
+            if not _intersects(node.mbr, box):
+                return
+            if node.is_leaf:
+                touched.add((1, leaf_ids[id(node)]))
+            else:
+                for child in node.entries:
+                    collect(child)
+
+        collect(tree._root)
+        tree_pages.append(touched)
+
+    result = ExperimentResult(
+        name=f"Ablation: Figure 14 with an LRU page cache ({data.name})",
+        headers=[
+            "pool pages", "array I/O per query", "array hit rate",
+            "tree I/O per query", "tree hit rate",
+        ],
+    )
+    for capacity in capacities:
+        array_pool = LRUBufferPool(capacity)
+        tree_pool = LRUBufferPool(capacity)
+        array_io = sum(array_pool.charge(pages) for pages in array_pages)
+        tree_io = sum(tree_pool.charge(pages) for pages in tree_pages)
+        result.rows.append(
+            (
+                capacity,
+                array_io / num_queries,
+                round(array_pool.hit_rate, 3),
+                tree_io / num_queries,
+                round(tree_pool.hit_rate, 3),
+            )
+        )
+    result.notes["tree leaves / array pages"] = (
+        f"{len(leaves)} / {-(-data.num_cells // per_page)}"
+    )
+    return result
+
+
+if __name__ == "__main__":
+    print(run().format_table())

@@ -1,0 +1,204 @@
+"""Shared plumbing for the experiment drivers."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.ecube.disk import DiskEvolvingDataCube
+from repro.ecube.ecube import EvolvingDataCube
+from repro.metrics import CostCounter
+from repro.preagg.cube import PreAggregatedArray
+from repro.workloads.datasets import Dataset
+
+
+@dataclass
+class ExperimentResult:
+    """A regenerated table or figure.
+
+    ``rows``/``headers`` carry tabular results (Tables 3 and 4 and summary
+    lines for the figures); ``series`` carries the per-query or per-update
+    curves the figures plot.
+    """
+
+    name: str
+    headers: list[str] = field(default_factory=list)
+    rows: list[tuple] = field(default_factory=list)
+    series: dict[str, list[float]] = field(default_factory=dict)
+    notes: dict[str, Any] = field(default_factory=dict)
+
+    def format_table(self) -> str:
+        """Render headers/rows as an aligned text table."""
+        if not self.rows:
+            return f"[{self.name}] (no tabular rows)"
+        cells = [self.headers] + [
+            [self._fmt(value) for value in row] for row in self.rows
+        ]
+        widths = [
+            max(len(row[col]) for row in cells) for col in range(len(self.headers))
+        ]
+        lines = [f"== {self.name} =="]
+        header = "  ".join(h.ljust(w) for h, w in zip(cells[0], widths))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in cells[1:]:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        for key, value in self.notes.items():
+            lines.append(f"# {key}: {value}")
+        return "\n".join(lines)
+
+    @staticmethod
+    def _fmt(value) -> str:
+        if isinstance(value, float):
+            return f"{value:.2f}"
+        return str(value)
+
+    def format_series(self, width: int = 64, height: int = 8) -> str:
+        """Render the recorded figure series as ASCII charts.
+
+        Each series is resampled to ``width`` columns and drawn as a
+        column chart over a shared y-scale, so the paper's figures are
+        legible straight from the terminal.
+        """
+        if not self.series:
+            return f"[{self.name}] (no series recorded)"
+        blocks: list[str] = [f"== {self.name} (series) =="]
+        all_values = [v for values in self.series.values() for v in values]
+        top = max(all_values) if all_values else 1.0
+        top = top if top > 0 else 1.0
+        for label, values in self.series.items():
+            if not values:
+                continue
+            columns = min(width, len(values))
+            step = len(values) / columns
+            sampled = [
+                float(values[min(len(values) - 1, int(i * step))])
+                for i in range(columns)
+            ]
+            rows = []
+            for level in range(height, 0, -1):
+                threshold = top * (level - 1) / height
+                rows.append(
+                    "".join("#" if v > threshold else " " for v in sampled)
+                )
+            blocks.append(f"-- {label} (max {top:.0f}) --")
+            blocks.extend(f"|{row}|" for row in rows)
+            blocks.append("+" + "-" * columns + "+")
+        return "\n".join(blocks)
+
+    def write_csv(self, directory) -> list[str]:
+        """Write the rows (and each figure series) as CSV files.
+
+        Returns the written file paths.  ``<slug>.csv`` holds the tabular
+        rows; ``<slug>.<series>.csv`` holds each per-operation curve with
+        an index column -- the data behind the paper's figures.
+        """
+        import csv
+        import re
+        from pathlib import Path
+
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        slug = re.sub(r"[^a-z0-9]+", "_", self.name.lower()).strip("_")[:60]
+        written: list[str] = []
+        if self.rows:
+            path = directory / f"{slug}.csv"
+            with open(path, "w", newline="") as handle:
+                writer = csv.writer(handle)
+                writer.writerow(self.headers)
+                writer.writerows(self.rows)
+            written.append(str(path))
+        for series_name, values in self.series.items():
+            series_slug = re.sub(r"[^a-z0-9]+", "_", series_name.lower()).strip("_")
+            path = directory / f"{slug}.{series_slug}.csv"
+            with open(path, "w", newline="") as handle:
+                writer = csv.writer(handle)
+                writer.writerow(["index", series_name])
+                writer.writerows(enumerate(values))
+            written.append(str(path))
+        return written
+
+
+def build_ecube(
+    dataset: Dataset,
+    disk: bool = False,
+    copy_budget: int | None = None,
+    per_update: Callable[[int, CostCounter], None] | None = None,
+) -> EvolvingDataCube | DiskEvolvingDataCube:
+    """Stream a data set into a (disk) eCube, optionally probing per update.
+
+    ``per_update(update_index, counter)`` runs after each update with the
+    cube's counter, letting experiments record per-operation deltas.
+    """
+    counter = CostCounter()
+    if disk:
+        cube: EvolvingDataCube | DiskEvolvingDataCube = DiskEvolvingDataCube(
+            dataset.slice_shape, num_times=dataset.shape[0], counter=counter
+        )
+    else:
+        cube = EvolvingDataCube(
+            dataset.slice_shape,
+            num_times=dataset.shape[0],
+            counter=counter,
+            copy_budget=copy_budget,
+            # theta_min is known for a generated data set: its density.
+            min_density=max(1e-6, dataset.density()),
+        )
+    for index, (point, delta) in enumerate(dataset.updates()):
+        cube.update(point, delta)
+        if per_update is not None:
+            per_update(index, counter)
+    return cube
+
+
+def comparator_array(
+    dataset: Dataset,
+    slice_technique: str,
+    counter: CostCounter | None = None,
+    dtype=np.int64,
+) -> PreAggregatedArray:
+    """The static comparators of Figures 10/11 and 14.
+
+    ``slice_technique="DDC"`` gives cumulative DDC slices (PS along time,
+    DDC along the rest); ``"PS"`` gives the fully converged PS cube.
+    """
+    techniques = ["PS"] + [slice_technique] * (dataset.ndim - 1)
+    return PreAggregatedArray(
+        dataset.shape,
+        techniques,
+        values=dataset.dense().astype(dtype),
+        counter=counter if counter is not None else CostCounter(),
+        dtype=dtype,
+    )
+
+
+def per_op_cost(counter: CostCounter, operation: Callable[[], Any]) -> tuple[Any, int]:
+    """Run ``operation`` returning (result, cell reads spent)."""
+    before = counter.snapshot()
+    result = operation()
+    delta = counter.snapshot() - before
+    return result, delta.cell_reads
+
+
+def summarize_series(values: Sequence[float]) -> dict[str, float]:
+    arr = np.asarray(values, dtype=np.float64)
+    return {
+        "mean": float(arr.mean()),
+        "min": float(arr.min()),
+        "max": float(arr.max()),
+        "p90": float(np.percentile(arr, 90)),
+    }
+
+
+def take(iterable: Iterable, limit: int | None) -> list:
+    if limit is None:
+        return list(iterable)
+    result = []
+    for item in iterable:
+        result.append(item)
+        if len(result) >= limit:
+            break
+    return result

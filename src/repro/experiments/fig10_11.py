@@ -1,0 +1,96 @@
+"""Figures 10 and 11: query-cost convergence of eCube vs DDC vs PS.
+
+The paper streams weather4 into the append-only cube and then runs 10,000
+``uni`` (Fig. 10) or ``skew`` (Fig. 11) range queries, plotting per-query
+cell accesses as rolling averages over groups of 50.  Expected shape:
+
+* DDC and PS hover around flat averages (they never alter cell values);
+* eCube starts *above* DDC -- it always reduces a range query to two full
+  prefix queries per instance, while DDC's direct algorithm skips cells
+  that would be added and then subtracted -- and then converges below
+  both, toward the constant PS bound of ``2^d``, faster under ``skew``.
+
+Every query is cross-validated: all three structures must return the same
+aggregate (and they are checked against a brute-force numpy sum on a
+sample of queries).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import (
+    ExperimentResult,
+    build_ecube,
+    comparator_array,
+    per_op_cost,
+)
+from repro.metrics import rolling_average
+from repro.workloads.datasets import Dataset, weather4
+from repro.workloads.queries import skew_queries, uni_queries
+
+
+def run(
+    dataset: Dataset | None = None,
+    workload: str = "uni",
+    num_queries: int = 10_000,
+    group_size: int = 50,
+    seed: int = 7,
+    validate_sample: int = 25,
+) -> ExperimentResult:
+    data = dataset if dataset is not None else weather4()
+    generator = uni_queries if workload == "uni" else skew_queries
+    queries = generator(data.shape, num_queries, seed=seed)
+
+    ecube = build_ecube(data)
+    ddc = comparator_array(data, "DDC")
+    ps = comparator_array(data, "PS")
+    dense = data.dense()
+
+    costs: dict[str, list[int]] = {"eCube": [], "DDC": [], "PS": []}
+    for index, box in enumerate(queries):
+        expected, ddc_cost = per_op_cost(ddc.counter, lambda: ddc.range_sum(box))
+        ps_result, ps_cost = per_op_cost(ps.counter, lambda: ps.range_sum(box))
+        ecube_result, ecube_cost = per_op_cost(
+            ecube.counter, lambda: ecube.query(box)
+        )
+        if not expected == ps_result == ecube_result:
+            raise AssertionError(
+                f"result mismatch on query {index} ({box}): "
+                f"DDC={expected} PS={ps_result} eCube={ecube_result}"
+            )
+        if index < validate_sample:
+            brute = int(
+                dense[tuple(slice(l, u + 1) for l, u in zip(box.lower, box.upper))]
+                .sum()
+            )
+            if brute != expected:
+                raise AssertionError(
+                    f"brute-force mismatch on query {index}: {brute} != {expected}"
+                )
+        costs["DDC"].append(ddc_cost)
+        costs["PS"].append(ps_cost)
+        costs["eCube"].append(ecube_cost)
+
+    figure = "Figure 10" if workload == "uni" else "Figure 11"
+    result = ExperimentResult(
+        name=f"{figure}: query cost vs #queries ({data.name}, {workload})",
+        headers=["technique", "first-250 mean", "last-250 mean", "overall mean"],
+    )
+    for technique, values in costs.items():
+        head = float(np.mean(values[:250]))
+        tail = float(np.mean(values[-250:]))
+        result.rows.append((technique, head, tail, float(np.mean(values))))
+        result.series[technique] = rolling_average(values, group_size)
+    result.notes["expected shape"] = (
+        "eCube first-window mean above DDC's, last-window mean below DDC "
+        "and approaching PS"
+    )
+    result.notes["queries"] = num_queries
+    return result
+
+
+if __name__ == "__main__":
+    for workload in ("uni", "skew"):
+        print(run(workload=workload).format_table())
+        print()

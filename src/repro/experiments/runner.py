@@ -1,0 +1,118 @@
+"""Run all (or selected) experiments and print paper-style output."""
+
+from __future__ import annotations
+
+import sys
+import time
+from collections.abc import Callable
+
+from repro.experiments.common import ExperimentResult
+
+
+def _fig10(**kwargs) -> ExperimentResult:
+    from repro.experiments.fig10_11 import run
+
+    return run(workload="uni", **kwargs)
+
+
+def _fig11(**kwargs) -> ExperimentResult:
+    from repro.experiments.fig10_11 import run
+
+    return run(workload="skew", **kwargs)
+
+
+def _fig12(**kwargs) -> ExperimentResult:
+    from repro.experiments.fig12_13 import run
+
+    return run(which="weather6", **kwargs)
+
+
+def _fig13(**kwargs) -> ExperimentResult:
+    from repro.experiments.fig12_13 import run
+
+    return run(which="gauss3", **kwargs)
+
+
+def _table3(**kwargs) -> ExperimentResult:
+    from repro.experiments.table3 import run
+
+    return run(**kwargs)
+
+
+def _table4(**kwargs) -> ExperimentResult:
+    from repro.experiments.table4 import run
+
+    return run(**kwargs)
+
+
+def _fig14(**kwargs) -> ExperimentResult:
+    from repro.experiments.fig14 import run
+
+    return run(**kwargs)
+
+
+def _ablation(module: str) -> Callable[..., ExperimentResult]:
+    def runner(**kwargs) -> ExperimentResult:
+        import importlib
+
+        return importlib.import_module(f"repro.experiments.{module}").run(**kwargs)
+
+    return runner
+
+
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "table3": _table3,
+    "fig10": _fig10,
+    "fig11": _fig11,
+    "fig12": _fig12,
+    "fig13": _fig13,
+    "table4": _table4,
+    "fig14": _fig14,
+    "ablation-copy-budget": _ablation("ablation_copy_budget"),
+    "ablation-dims": _ablation("ablation_dims"),
+    "ablation-directory": _ablation("ablation_directory"),
+    "ablation-out-of-order": _ablation("ablation_out_of_order"),
+    "ablation-sparse": _ablation("ablation_sparse"),
+    "ablation-page-cache": _ablation("ablation_page_cache"),
+    "ablation-adaptivity": _ablation("ablation_adaptivity"),
+    "ablation-molap-rolap": _ablation("ablation_molap_rolap"),
+}
+
+#: Experiments regenerating the paper's evaluation section, in paper order.
+PAPER_SET = ("table3", "fig10", "fig11", "fig12", "fig13", "table4", "fig14")
+
+
+def run_experiments(
+    names: list[str] | None = None,
+    stream=None,
+    csv_dir: str | None = None,
+    show_series: bool = False,
+    **kwargs,
+) -> dict[str, ExperimentResult]:
+    """Run the named experiments (default: the full paper set).
+
+    With ``csv_dir`` set, each experiment's rows and figure series are
+    also written as CSV files into that directory.
+    """
+    if stream is None:
+        stream = sys.stdout  # resolved at call time so capture works
+    selected = names if names else list(PAPER_SET)
+    results: dict[str, ExperimentResult] = {}
+    for name in selected:
+        if name not in EXPERIMENTS:
+            raise KeyError(
+                f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}"
+            )
+        started = time.perf_counter()
+        result = EXPERIMENTS[name](**kwargs)
+        elapsed = time.perf_counter() - started
+        results[name] = result
+        print(result.format_table(), file=stream)
+        if show_series and result.series:
+            print(result.format_series(), file=stream)
+        print(f"# elapsed: {elapsed:.1f}s", file=stream)
+        if csv_dir is not None:
+            for path in result.write_csv(csv_dir):
+                print(f"# wrote {path}", file=stream)
+        print(file=stream)
+    return results

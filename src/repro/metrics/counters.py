@@ -1,0 +1,166 @@
+"""Access counters implementing the paper's cost model.
+
+The unit of cost in the paper is a *cell access* (Section 3) or a *page
+access* (Sections 3.5 and 5, Figure 14).  A :class:`CostCounter` keeps
+separate tallies for reads and writes of both cells and pages so experiments
+can report exactly the quantities the paper plots:
+
+* query cost   = cell reads (Figures 10 and 11),
+* update cost  = cell reads + cell writes, with and without the share spent
+  on lazy copying (Figures 12 and 13),
+* I/O cost     = page reads + page writes (Figure 14).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CostSnapshot:
+    """Immutable view of a counter, used to compute per-operation deltas."""
+
+    cell_reads: int = 0
+    cell_writes: int = 0
+    page_reads: int = 0
+    page_writes: int = 0
+    copy_cell_writes: int = 0
+    copy_page_writes: int = 0
+
+    @property
+    def cell_accesses(self) -> int:
+        """Total cell touches -- the paper's in-memory cost unit."""
+        return self.cell_reads + self.cell_writes
+
+    @property
+    def page_accesses(self) -> int:
+        """Total page touches -- the paper's external-memory cost unit."""
+        return self.page_reads + self.page_writes
+
+    @property
+    def copy_cost(self) -> int:
+        """Cost attributable to lazy slice copying (Section 3.3)."""
+        return self.copy_cell_writes
+
+    @property
+    def cost_without_copy(self) -> int:
+        """Cell accesses excluding copy work ('ideal' curve of Figs. 12/13)."""
+        return self.cell_accesses - self.copy_cell_writes
+
+    def __sub__(self, other: "CostSnapshot") -> "CostSnapshot":
+        return CostSnapshot(
+            cell_reads=self.cell_reads - other.cell_reads,
+            cell_writes=self.cell_writes - other.cell_writes,
+            page_reads=self.page_reads - other.page_reads,
+            page_writes=self.page_writes - other.page_writes,
+            copy_cell_writes=self.copy_cell_writes - other.copy_cell_writes,
+            copy_page_writes=self.copy_page_writes - other.copy_page_writes,
+        )
+
+
+class CostCounter:
+    """Mutable access tally shared by the structures of one experiment.
+
+    The counter deliberately uses plain integer attributes and tiny methods:
+    it sits on the hot path of every cell access.
+    """
+
+    __slots__ = (
+        "cell_reads",
+        "cell_writes",
+        "page_reads",
+        "page_writes",
+        "copy_cell_writes",
+        "copy_page_writes",
+        "_copy_depth",
+    )
+
+    def __init__(self) -> None:
+        self.cell_reads = 0
+        self.cell_writes = 0
+        self.page_reads = 0
+        self.page_writes = 0
+        self.copy_cell_writes = 0
+        self.copy_page_writes = 0
+        self._copy_depth = 0
+
+    # -- recording ---------------------------------------------------------
+
+    def read_cells(self, n: int = 1) -> None:
+        self.cell_reads += n
+
+    def write_cells(self, n: int = 1) -> None:
+        self.cell_writes += n
+        if self._copy_depth:
+            self.copy_cell_writes += n
+
+    def read_pages(self, n: int = 1) -> None:
+        self.page_reads += n
+
+    def write_pages(self, n: int = 1) -> None:
+        self.page_writes += n
+        if self._copy_depth:
+            self.copy_page_writes += n
+
+    @contextlib.contextmanager
+    def copying(self):
+        """Mark writes performed inside the block as lazy-copy work.
+
+        Figures 12 and 13 compare update cost with and without the copy
+        share; the eCube copy paths wrap their writes in this context.
+        """
+        self._copy_depth += 1
+        try:
+            yield self
+        finally:
+            self._copy_depth -= 1
+
+    # -- reading -----------------------------------------------------------
+
+    def snapshot(self) -> CostSnapshot:
+        return CostSnapshot(
+            cell_reads=self.cell_reads,
+            cell_writes=self.cell_writes,
+            page_reads=self.page_reads,
+            page_writes=self.page_writes,
+            copy_cell_writes=self.copy_cell_writes,
+            copy_page_writes=self.copy_page_writes,
+        )
+
+    def reset(self) -> None:
+        self.cell_reads = 0
+        self.cell_writes = 0
+        self.page_reads = 0
+        self.page_writes = 0
+        self.copy_cell_writes = 0
+        self.copy_page_writes = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        s = self.snapshot()
+        return (
+            f"CostCounter(cells={s.cell_reads}r/{s.cell_writes}w, "
+            f"pages={s.page_reads}r/{s.page_writes}w, copy={s.copy_cost})"
+        )
+
+
+_GLOBAL = CostCounter()
+
+
+def global_counter() -> CostCounter:
+    """Default counter used by structures created without an explicit one."""
+    return _GLOBAL
+
+
+@contextlib.contextmanager
+def measured(counter: CostCounter):
+    """Yield a snapshot-delta callable for the duration of a block.
+
+    >>> counter = CostCounter()
+    >>> with measured(counter) as delta:
+    ...     counter.read_cells(3)
+    >>> delta().cell_reads
+    3
+    """
+    before = counter.snapshot()
+    yield lambda: counter.snapshot() - before

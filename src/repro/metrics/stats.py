@@ -1,0 +1,100 @@
+"""Small statistics helpers used when reporting experiment results.
+
+The paper presents query costs as rolling averages over groups of 50 queries
+(Figures 10/11), update costs as sorted per-operation curves (Figures 12/13),
+and incomplete-instance counts as min/max/most-frequent (Table 4).  These
+helpers compute exactly those summaries.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class RollingAverage:
+    """Streaming rolling average over fixed-size groups.
+
+    The paper smooths per-query costs by averaging groups of 50 consecutive
+    queries; this class reproduces that (a *grouped* mean, not a sliding
+    window -- "rolling averages over groups of 50 queries").
+    """
+
+    def __init__(self, group_size: int = 50) -> None:
+        if group_size <= 0:
+            raise ValueError("group_size must be positive")
+        self.group_size = group_size
+        self._pending: list[float] = []
+        self.values: list[float] = []
+
+    def add(self, value: float) -> None:
+        self._pending.append(value)
+        if len(self._pending) == self.group_size:
+            self.values.append(sum(self._pending) / self.group_size)
+            self._pending.clear()
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    def finish(self) -> list[float]:
+        """Flush a trailing partial group and return all group means."""
+        if self._pending:
+            self.values.append(sum(self._pending) / len(self._pending))
+            self._pending.clear()
+        return self.values
+
+
+def rolling_average(values: Sequence[float], group_size: int = 50) -> list[float]:
+    """Grouped means of ``values`` in chunks of ``group_size``."""
+    averager = RollingAverage(group_size)
+    averager.extend(values)
+    return averager.finish()
+
+
+def sorted_costs(values: Sequence[float]) -> np.ndarray:
+    """Costs of single operations in increasing order (Figures 12-14)."""
+    return np.sort(np.asarray(values, dtype=np.float64))
+
+
+@dataclass(frozen=True)
+class Quantiles:
+    """Summary of a cost distribution."""
+
+    minimum: float
+    p50: float
+    p90: float
+    p99: float
+    maximum: float
+    mean: float
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "Quantiles":
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.size == 0:
+            raise ValueError("cannot summarize an empty sequence")
+        return cls(
+            minimum=float(arr.min()),
+            p50=float(np.percentile(arr, 50)),
+            p90=float(np.percentile(arr, 90)),
+            p99=float(np.percentile(arr, 99)),
+            maximum=float(arr.max()),
+            mean=float(arr.mean()),
+        )
+
+
+def frequency_table(values: Iterable[int]) -> dict[int, int]:
+    """Histogram of integer observations (Table 4 raw data)."""
+    return dict(Counter(values))
+
+
+def most_frequent(values: Sequence[int]) -> int:
+    """The modal value; ties broken toward the smaller value (Table 4)."""
+    if not values:
+        raise ValueError("cannot take the mode of an empty sequence")
+    counts = Counter(values)
+    best = max(counts.values())
+    return min(value for value, count in counts.items() if count == best)

@@ -1,0 +1,30 @@
+"""OLAP conveniences over the append-only cubes.
+
+Section 1 of the paper motivates the framework with warehouse analysis:
+"roll-up and drill-down queries that aggregate on different levels of
+granularity are often collections of related range queries", and Section 6
+relates the technique to Gray et al.'s data cube operator.  This package
+provides that query layer:
+
+* :class:`Hierarchy` / :class:`Dimension` -- named granularity levels
+  (e.g. day -> month -> year) as contiguous bucket ranges;
+* :class:`CubeView` -- roll-up, drill-down and slice queries over any
+  backend exposing ``query(Box)`` (the eCube, the disk cube, or the
+  general framework);
+* :func:`group_by` / :class:`CubeView.data_cube` -- the 2^d group-bys of
+  the data cube operator, each computed as a collection of range
+  aggregates.
+"""
+
+from repro.olap.hierarchy import Dimension, Hierarchy, uniform_hierarchy
+from repro.olap.materialized import MaterializedRollups
+from repro.olap.view import CubeView, GroupByResult
+
+__all__ = [
+    "Dimension",
+    "Hierarchy",
+    "uniform_hierarchy",
+    "CubeView",
+    "MaterializedRollups",
+    "GroupByResult",
+]

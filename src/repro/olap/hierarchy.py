@@ -1,0 +1,115 @@
+"""Dimension hierarchies: named granularity levels as bucket ranges.
+
+A *level* partitions a dimension's domain ``[0, size)`` into contiguous,
+ordered buckets; rolling up to that level aggregates one range query per
+bucket.  The implicit finest level is ``"detail"`` (one bucket per value)
+and the implicit coarsest is ``"all"`` (a single bucket).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import DomainError
+
+#: One bucket: an inclusive (low, high) range of detail values.
+Bucket = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class Hierarchy:
+    """A named level: an ordered partition of ``[0, size)`` into buckets."""
+
+    name: str
+    buckets: tuple[Bucket, ...]
+    labels: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.buckets:
+            raise DomainError(f"level {self.name!r} has no buckets")
+        previous_high = -1
+        for low, high in self.buckets:
+            if low != previous_high + 1:
+                raise DomainError(
+                    f"level {self.name!r} buckets are not contiguous at {low}"
+                )
+            if high < low:
+                raise DomainError(f"inverted bucket ({low}, {high})")
+            previous_high = high
+        if self.labels and len(self.labels) != len(self.buckets):
+            raise DomainError(
+                f"{len(self.labels)} labels for {len(self.buckets)} buckets"
+            )
+
+    @property
+    def size(self) -> int:
+        """The detail-domain size this level covers."""
+        return self.buckets[-1][1] + 1
+
+    def __len__(self) -> int:
+        return len(self.buckets)
+
+    def label(self, index: int) -> str:
+        if self.labels:
+            return self.labels[index]
+        low, high = self.buckets[index]
+        return f"{self.name}[{low}..{high}]"
+
+    def bucket_of(self, detail_value: int) -> int:
+        """The bucket index containing a detail value (drill-down helper)."""
+        for index, (low, high) in enumerate(self.buckets):
+            if low <= detail_value <= high:
+                return index
+        raise DomainError(f"value {detail_value} outside level {self.name!r}")
+
+
+def uniform_hierarchy(name: str, size: int, bucket_size: int) -> Hierarchy:
+    """Evenly sized buckets (e.g. days -> weeks with ``bucket_size=7``)."""
+    if bucket_size <= 0 or size <= 0:
+        raise DomainError("size and bucket_size must be positive")
+    buckets = tuple(
+        (low, min(low + bucket_size - 1, size - 1))
+        for low in range(0, size, bucket_size)
+    )
+    return Hierarchy(name, buckets)
+
+
+@dataclass(frozen=True)
+class Dimension:
+    """A named dimension with its granularity levels.
+
+    The levels ``"detail"`` and ``"all"`` always exist; custom levels are
+    registered coarsest-to-finest or in any order.
+    """
+
+    name: str
+    size: int
+    levels: dict[str, Hierarchy] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise DomainError(f"dimension {self.name!r} must have positive size")
+        for level in self.levels.values():
+            if level.size != self.size:
+                raise DomainError(
+                    f"level {level.name!r} covers {level.size} values, "
+                    f"dimension {self.name!r} has {self.size}"
+                )
+
+    def level(self, name: str) -> Hierarchy:
+        if name == "detail":
+            return Hierarchy("detail", tuple((v, v) for v in range(self.size)))
+        if name == "all":
+            return Hierarchy("all", ((0, self.size - 1),), ("*",))
+        try:
+            return self.levels[name]
+        except KeyError:
+            raise DomainError(
+                f"dimension {self.name!r} has no level {name!r}; "
+                f"available: detail, all, {sorted(self.levels)}"
+            ) from None
+
+    def with_level(self, hierarchy: Hierarchy) -> "Dimension":
+        levels = dict(self.levels)
+        levels[hierarchy.name] = hierarchy
+        return Dimension(self.name, self.size, levels)

@@ -1,0 +1,213 @@
+"""Roll-up, drill-down and data-cube queries over an append-only backend.
+
+A :class:`CubeView` binds named :class:`~repro.olap.hierarchy.Dimension`
+objects to the axes of any backend exposing ``query(box) -> int`` (the
+eCube, disk eCube, or :class:`~repro.core.framework.AppendOnlyAggregator`).
+Every group-by cell is one range-aggregate query, exactly the paper's
+"collections of related range queries" framing -- so roll-ups inherit the
+framework's history-independent cost.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import DomainError
+from repro.core.types import Box
+from repro.olap.hierarchy import Dimension, Hierarchy
+
+
+@dataclass(frozen=True)
+class GroupByResult:
+    """The result of one group-by: bucket labels per axis plus values."""
+
+    dimension_names: tuple[str, ...]
+    level_names: tuple[str, ...]
+    axis_labels: tuple[tuple[str, ...], ...]
+    values: np.ndarray
+
+    def cell(self, *bucket_indices: int) -> int:
+        return int(self.values[tuple(bucket_indices)])
+
+    def to_rows(self):
+        """Yield (label per grouped dim ..., value) rows, row-major."""
+        for index in itertools.product(*(range(n) for n in self.values.shape)):
+            labels = tuple(
+                self.axis_labels[axis][bucket]
+                for axis, bucket in enumerate(index)
+            )
+            yield labels + (int(self.values[index]),)
+
+
+class CubeView:
+    """Named-dimension OLAP facade over a range-aggregate backend."""
+
+    def __init__(self, backend, dimensions: Sequence[Dimension]) -> None:
+        self.backend = backend
+        self.dimensions = list(dimensions)
+        names = [d.name for d in self.dimensions]
+        if len(set(names)) != len(names):
+            raise DomainError(f"duplicate dimension names in {names}")
+        self._index = {d.name: axis for axis, d in enumerate(self.dimensions)}
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(d.size for d in self.dimensions)
+
+    # -- plain range aggregates -----------------------------------------------
+
+    def aggregate(self, **ranges: tuple[int, int] | int) -> int:
+        """Aggregate with named per-dimension selections.
+
+        Unnamed dimensions select their complete domain; a scalar selects a
+        single value; a (low, high) pair selects an inclusive range.
+        """
+        lower = []
+        upper = []
+        for dimension in self.dimensions:
+            selection = ranges.pop(dimension.name, None)
+            if selection is None:
+                lower.append(0)
+                upper.append(dimension.size - 1)
+            elif isinstance(selection, tuple):
+                lower.append(selection[0])
+                upper.append(selection[1])
+            else:
+                lower.append(int(selection))
+                upper.append(int(selection))
+        if ranges:
+            raise DomainError(f"unknown dimensions {sorted(ranges)}")
+        return self.backend.query(Box(tuple(lower), tuple(upper)))
+
+    # -- roll-up / drill-down -----------------------------------------------------
+
+    def rollup(self, levels: Mapping[str, str]) -> GroupByResult:
+        """Group by the given level per named dimension.
+
+        Dimensions not mentioned are rolled all the way up (level "all").
+        Each result cell costs one backend range query.
+        """
+        unknown = set(levels) - set(self._index)
+        if unknown:
+            raise DomainError(f"unknown dimensions {sorted(unknown)}")
+        chosen: list[Hierarchy] = []
+        for dimension in self.dimensions:
+            chosen.append(dimension.level(levels.get(dimension.name, "all")))
+        shape = tuple(len(level) for level in chosen)
+        values = np.zeros(shape, dtype=np.int64)
+        for index in itertools.product(*(range(n) for n in shape)):
+            lower = tuple(chosen[axis].buckets[b][0] for axis, b in enumerate(index))
+            upper = tuple(chosen[axis].buckets[b][1] for axis, b in enumerate(index))
+            values[index] = self.backend.query(Box(lower, upper))
+        return GroupByResult(
+            dimension_names=tuple(d.name for d in self.dimensions),
+            level_names=tuple(level.name for level in chosen),
+            axis_labels=tuple(
+                tuple(level.label(i) for i in range(len(level)))
+                for level in chosen
+            ),
+            values=values,
+        )
+
+    def drill_down(
+        self,
+        levels: Mapping[str, str],
+        into: str,
+        finer_level: str,
+        **fixed: int,
+    ) -> GroupByResult:
+        """Re-aggregate one dimension at a finer level, others fixed/rolled.
+
+        ``fixed`` pins other dimensions to single detail values.
+        """
+        if into not in self._index:
+            raise DomainError(f"unknown dimension {into!r}")
+        new_levels = dict(levels)
+        new_levels[into] = finer_level
+        view = self
+        if fixed:
+            # fixing a dimension = detail level restricted via aggregate()
+            # per bucket; implemented by a filtered backend shim
+            view = _FixedView(self, fixed)
+        return view.rollup(new_levels)
+
+    # -- the data cube operator (Gray et al.) ----------------------------------------
+
+    def data_cube(
+        self, levels: Mapping[str, str] | None = None
+    ) -> dict[tuple[str, ...], GroupByResult]:
+        """All 2^d group-bys over subsets of the dimensions.
+
+        Each dimension uses its level from ``levels`` (default "detail")
+        when grouped and "all" otherwise.  Returns a mapping from the
+        grouped dimension-name tuple to its :class:`GroupByResult`.
+        """
+        levels = dict(levels or {})
+        names = [d.name for d in self.dimensions]
+        results: dict[tuple[str, ...], GroupByResult] = {}
+        for mask in range(1 << len(names)):
+            grouped = tuple(
+                name for bit, name in enumerate(names) if (mask >> bit) & 1
+            )
+            spec = {
+                name: levels.get(name, "detail") for name in grouped
+            }
+            results[grouped] = self.rollup(spec)
+        return results
+
+
+class _FixedView:
+    """A CubeView facade with some dimensions pinned to single values."""
+
+    def __init__(self, view: CubeView, fixed: Mapping[str, int]) -> None:
+        unknown = set(fixed) - set(view._index)
+        if unknown:
+            raise DomainError(f"unknown dimensions {sorted(unknown)}")
+        self._view = view
+        self._fixed = dict(fixed)
+        self.dimensions = view.dimensions
+        self._index = view._index
+
+    def rollup(self, levels: Mapping[str, str]) -> GroupByResult:
+        chosen = [
+            dimension.level(levels.get(dimension.name, "all"))
+            for dimension in self.dimensions
+        ]
+        shape = tuple(
+            1 if dimension.name in self._fixed else len(level)
+            for dimension, level in zip(self.dimensions, chosen)
+        )
+        values = np.zeros(shape, dtype=np.int64)
+        for index in itertools.product(*(range(n) for n in shape)):
+            lower = []
+            upper = []
+            for axis, (dimension, level) in enumerate(zip(self.dimensions, chosen)):
+                if dimension.name in self._fixed:
+                    value = self._fixed[dimension.name]
+                    lower.append(value)
+                    upper.append(value)
+                else:
+                    low, high = level.buckets[index[axis]]
+                    lower.append(low)
+                    upper.append(high)
+            values[index] = self._view.backend.query(
+                Box(tuple(lower), tuple(upper))
+            )
+        return GroupByResult(
+            dimension_names=tuple(d.name for d in self.dimensions),
+            level_names=tuple(
+                "fixed" if d.name in self._fixed else level.name
+                for d, level in zip(self.dimensions, chosen)
+            ),
+            axis_labels=tuple(
+                (str(self._fixed[d.name]),)
+                if d.name in self._fixed
+                else tuple(level.label(i) for i in range(len(level)))
+                for d, level in zip(self.dimensions, chosen)
+            ),
+            values=values,
+        )

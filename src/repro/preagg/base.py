@@ -1,0 +1,125 @@
+"""The term algebra shared by all one-dimensional techniques.
+
+A pre-aggregation technique replaces the cells of a one-dimensional array
+``A[0..N-1]`` by linear combinations of cells (Section 3.1).  Because every
+technique here is linear, three operations characterize it completely:
+
+* ``prefix_terms(k)``  -- terms (i, c) with  ``P[k] = sum c * D[i]`` where
+  ``P[k] = A[0] + ... + A[k]`` is the prefix sum;
+* ``range_terms(l, u)`` -- terms evaluating ``A[l] + ... + A[u]`` directly
+  (DDC's "direct approach" avoids cells that a prefix-difference would add
+  and then subtract again -- the effect discussed for Figures 10/11);
+* ``update_terms(i)``  -- terms (j, c) with ``D[j] += c * delta`` when the
+  raw cell ``A[i]`` changes by ``delta``.
+
+The cost of an operation is simply the number of terms, which is what the
+paper counts.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.errors import DomainError
+
+#: One addend of a linear combination: (cell index, integer coefficient).
+Term = tuple[int, int]
+
+
+class Technique(abc.ABC):
+    """A one-dimensional pre-aggregation technique over ``N`` cells."""
+
+    #: Short name used in reports ("A", "PS", "DDC").
+    name: str = "?"
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise DomainError(f"technique size must be positive, got {size}")
+        self.size = int(size)
+
+    # -- transformation ----------------------------------------------------
+
+    @abc.abstractmethod
+    def aggregate(self, values: np.ndarray, axis: int = 0) -> np.ndarray:
+        """Return the pre-aggregated form of ``values`` along ``axis``.
+
+        ``values.shape[axis]`` must equal :attr:`size`.  The input is not
+        modified.
+        """
+
+    @abc.abstractmethod
+    def deaggregate(self, values: np.ndarray, axis: int = 0) -> np.ndarray:
+        """Invert :meth:`aggregate` (used by tests and format conversions)."""
+
+    # -- term sets ---------------------------------------------------------
+
+    @abc.abstractmethod
+    def prefix_terms(self, k: int) -> list[Term]:
+        """Terms computing the prefix sum ``P[k]``; empty for ``k == -1``."""
+
+    @abc.abstractmethod
+    def update_terms(self, i: int) -> list[Term]:
+        """Terms receiving an update to the raw cell ``A[i]``."""
+
+    def range_terms(self, lower: int, upper: int) -> list[Term]:
+        """Terms computing ``A[lower] + ... + A[upper]`` directly.
+
+        The default implementation is the prefix difference
+        ``P[upper] - P[lower-1]``; techniques with a cheaper direct
+        evaluation (DDC) override it.
+        """
+        self._check_range(lower, upper)
+        terms = list(self.prefix_terms(upper))
+        terms.extend((idx, -coeff) for idx, coeff in self.prefix_terms(lower - 1))
+        return terms
+
+    # -- helpers -----------------------------------------------------------
+
+    def _check_index(self, i: int) -> None:
+        if not 0 <= i < self.size:
+            raise DomainError(f"index {i} outside [0, {self.size - 1}]")
+
+    def _check_prefix(self, k: int) -> None:
+        if not -1 <= k < self.size:
+            raise DomainError(f"prefix bound {k} outside [-1, {self.size - 1}]")
+
+    def _check_range(self, lower: int, upper: int) -> None:
+        if lower > upper:
+            raise DomainError(f"inverted range [{lower}, {upper}]")
+        self._check_index(lower)
+        self._check_index(upper)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(size={self.size})"
+
+
+def evaluate_terms(array: Sequence[int], terms: Sequence[Term]) -> int:
+    """Evaluate a linear combination against a one-dimensional array."""
+    return sum(coeff * int(array[idx]) for idx, coeff in terms)
+
+
+def technique_by_name(name: str, size: int) -> Technique:
+    """Instantiate a technique from its report name ("A", "PS" or "DDC")."""
+    from repro.preagg.ddc import DDCTechnique
+    from repro.preagg.identity import IdentityTechnique
+    from repro.preagg.prefix_sum import PrefixSumTechnique
+    from repro.preagg.local_prefix import LocalPrefixSumTechnique
+    from repro.preagg.relative_prefix import RelativePrefixSumTechnique
+
+    classes: dict[str, type[Technique]] = {
+        "A": IdentityTechnique,
+        "ID": IdentityTechnique,
+        "IDENTITY": IdentityTechnique,
+        "PS": PrefixSumTechnique,
+        "DDC": DDCTechnique,
+        "RPS": RelativePrefixSumTechnique,
+        "LPS": LocalPrefixSumTechnique,
+    }
+    try:
+        cls = classes[name.upper()]
+    except KeyError:
+        raise DomainError(f"unknown pre-aggregation technique {name!r}") from None
+    return cls(size)

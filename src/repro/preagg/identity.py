@@ -1,0 +1,44 @@
+"""The trivial technique: the raw array ``A`` itself.
+
+Queries scan every selected cell (O(N) worst case) while updates touch a
+single cell -- one extreme of the query/update trade-off spectrum of
+Section 3.1 (Figure 3, left).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.preagg.base import Technique, Term
+
+
+class IdentityTechnique(Technique):
+    """No pre-aggregation; cells hold the original measure values."""
+
+    name = "A"
+
+    def aggregate(self, values: np.ndarray, axis: int = 0) -> np.ndarray:
+        self._check_shape(values, axis)
+        return values.copy()
+
+    def deaggregate(self, values: np.ndarray, axis: int = 0) -> np.ndarray:
+        self._check_shape(values, axis)
+        return values.copy()
+
+    def prefix_terms(self, k: int) -> list[Term]:
+        self._check_prefix(k)
+        return [(i, 1) for i in range(k + 1)]
+
+    def range_terms(self, lower: int, upper: int) -> list[Term]:
+        self._check_range(lower, upper)
+        return [(i, 1) for i in range(lower, upper + 1)]
+
+    def update_terms(self, i: int) -> list[Term]:
+        self._check_index(i)
+        return [(i, 1)]
+
+    def _check_shape(self, values: np.ndarray, axis: int) -> None:
+        if values.shape[axis] != self.size:
+            raise ValueError(
+                f"axis {axis} has length {values.shape[axis]}, expected {self.size}"
+            )

@@ -1,0 +1,89 @@
+"""The Local Prefix Sum technique (LPS): the balanced sqrt-N point.
+
+The Section 3.1 framework admits "a variety of query-update cost
+trade-offs"; LPS is the symmetric one.  The array is split into blocks of
+~sqrt(N) cells, each holding prefix sums *local to its block* (no global
+overlay).  A prefix query walks the block totals (the last cell of every
+earlier block) plus one local cell -- O(sqrt N); an update touches only
+the remainder of its own block -- O(sqrt N).
+
+Contrast with RPS (O(1) queries, O(sqrt N) updates) and DDC (O(log N)
+both): LPS trades everything evenly and needs no overlay maintenance,
+which makes it the simplest bounded-update member of the family.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.preagg.base import Technique, Term
+
+
+class LocalPrefixSumTechnique(Technique):
+    """Blocked local prefix sums: O(sqrt N) queries and updates."""
+
+    name = "LPS"
+
+    def __init__(self, size: int, block_size: int | None = None) -> None:
+        super().__init__(size)
+        if block_size is None:
+            block_size = max(1, int(math.isqrt(size)))
+        if block_size <= 0:
+            raise ValueError("block_size must be positive")
+        self.block_size = min(block_size, size)
+
+    def _block_of(self, index: int) -> int:
+        return index // self.block_size
+
+    def _block_end(self, block: int) -> int:
+        """Index of the block's last cell (its local total)."""
+        return min((block + 1) * self.block_size, self.size) - 1
+
+    # -- transformation ---------------------------------------------------------
+
+    def aggregate(self, values: np.ndarray, axis: int = 0) -> np.ndarray:
+        self._check_shape(values, axis)
+        moved = np.moveaxis(values, axis, 0)
+        result = moved.copy()
+        for start in range(0, self.size, self.block_size):
+            stop = min(start + self.block_size, self.size)
+            result[start:stop] = np.cumsum(moved[start:stop], axis=0)
+        return np.moveaxis(result, 0, axis)
+
+    def deaggregate(self, values: np.ndarray, axis: int = 0) -> np.ndarray:
+        self._check_shape(values, axis)
+        moved = np.moveaxis(values, axis, 0)
+        result = moved.copy()
+        for start in range(0, self.size, self.block_size):
+            stop = min(start + self.block_size, self.size)
+            result[start:stop] = np.diff(
+                moved[start:stop], axis=0, prepend=0
+            )
+        return np.moveaxis(result.astype(moved.dtype), 0, axis)
+
+    # -- term sets ------------------------------------------------------------------
+
+    def prefix_terms(self, k: int) -> list[Term]:
+        self._check_prefix(k)
+        if k < 0:
+            return []
+        block = self._block_of(k)
+        terms: list[Term] = [
+            (self._block_end(earlier), 1) for earlier in range(block)
+        ]
+        terms.append((k, 1))
+        return terms
+
+    def update_terms(self, i: int) -> list[Term]:
+        self._check_index(i)
+        block = self._block_of(i)
+        stop = self._block_end(block) + 1
+        return [(j, 1) for j in range(i, stop)]
+
+    def _check_shape(self, values: np.ndarray, axis: int) -> None:
+        if values.shape[axis] != self.size:
+            raise ValueError(
+                f"axis {axis} has length {values.shape[axis]}, expected {self.size}"
+            )

@@ -1,0 +1,53 @@
+"""The Prefix Sum technique (PS) of Ho et al., SIGMOD 1997.
+
+Every cell ``P[k]`` stores ``A[0] + ... + A[k]`` (Section 3.1, Figure 3,
+right).  Any range sum costs at most two cell accesses
+(``q(l, u) = P[u] - P[l-1]``) while an update to ``A[i]`` must touch every
+``P[j]`` with ``j >= i`` -- the other extreme of the trade-off spectrum.
+
+PS is the paper's choice for the TT-dimension (instances are cumulative) and
+the target format that eCube converts historic slices toward.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.preagg.base import Technique, Term
+
+
+class PrefixSumTechnique(Technique):
+    """Cells hold running prefix sums; O(1) queries, O(N) updates."""
+
+    name = "PS"
+
+    def aggregate(self, values: np.ndarray, axis: int = 0) -> np.ndarray:
+        self._check_shape(values, axis)
+        return np.cumsum(values, axis=axis, dtype=values.dtype)
+
+    def deaggregate(self, values: np.ndarray, axis: int = 0) -> np.ndarray:
+        self._check_shape(values, axis)
+        return np.diff(values, axis=axis, prepend=0).astype(values.dtype)
+
+    def prefix_terms(self, k: int) -> list[Term]:
+        self._check_prefix(k)
+        if k < 0:
+            return []
+        return [(k, 1)]
+
+    def range_terms(self, lower: int, upper: int) -> list[Term]:
+        self._check_range(lower, upper)
+        terms: list[Term] = [(upper, 1)]
+        if lower > 0:
+            terms.append((lower - 1, -1))
+        return terms
+
+    def update_terms(self, i: int) -> list[Term]:
+        self._check_index(i)
+        return [(j, 1) for j in range(i, self.size)]
+
+    def _check_shape(self, values: np.ndarray, axis: int) -> None:
+        if values.shape[axis] != self.size:
+            raise ValueError(
+                f"axis {axis} has length {values.shape[axis]}, expected {self.size}"
+            )

@@ -1,0 +1,113 @@
+"""The Relative Prefix Sum technique (RPS; Geffner et al., ICDE 1999).
+
+Section 3.1 presents PS and DDC as two points on a spectrum of
+query/update trade-offs produced by the pre-aggregation framework of
+Riedewald et al. (ICDT 2001).  RPS is the classic third point, sitting
+between them:
+
+* the array is split into blocks of ~sqrt(N) cells;
+* the *first* cell of each block holds the global prefix sum up to and
+  including that position (an "overlay" anchor);
+* the remaining cells hold prefix sums relative to their block's anchor.
+
+A prefix query costs at most 2 cell accesses (anchor + relative cell); an
+update touches the rest of its own block plus every later anchor --
+O(sqrt N) worst case.  This makes RPS queries as cheap as PS while
+updates are polynomially cheaper, and it slots into the same composable
+term algebra, so any dimension of a :class:`~repro.preagg.cube.
+PreAggregatedArray` can use it.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.preagg.base import Technique, Term
+
+
+class RelativePrefixSumTechnique(Technique):
+    """Blocked prefix sums: O(1) queries, O(sqrt N) updates."""
+
+    name = "RPS"
+
+    def __init__(self, size: int, block_size: int | None = None) -> None:
+        super().__init__(size)
+        if block_size is None:
+            block_size = max(1, int(math.isqrt(size)))
+        if block_size <= 0:
+            raise ValueError("block_size must be positive")
+        self.block_size = min(block_size, size)
+
+    # -- helpers -------------------------------------------------------------
+
+    def _block_of(self, index: int) -> int:
+        return index // self.block_size
+
+    def _anchor_of(self, block: int) -> int:
+        return block * self.block_size
+
+    # -- transformation ---------------------------------------------------------
+
+    def aggregate(self, values: np.ndarray, axis: int = 0) -> np.ndarray:
+        self._check_shape(values, axis)
+        moved = np.moveaxis(values, axis, 0)
+        prefix = np.cumsum(moved, axis=0, dtype=moved.dtype)
+        result = prefix.copy()
+        for start in range(self.block_size, self.size, self.block_size):
+            stop = min(start + self.block_size, self.size)
+            # anchor keeps the global prefix; the rest become relative
+            result[start + 1 : stop] = prefix[start + 1 : stop] - prefix[start]
+        return np.moveaxis(result, 0, axis)
+
+    def deaggregate(self, values: np.ndarray, axis: int = 0) -> np.ndarray:
+        self._check_shape(values, axis)
+        moved = np.moveaxis(values, axis, 0)
+        prefix = moved.copy()
+        for start in range(self.block_size, self.size, self.block_size):
+            stop = min(start + self.block_size, self.size)
+            prefix[start + 1 : stop] = moved[start + 1 : stop] + prefix[start]
+        return np.moveaxis(
+            np.diff(prefix, axis=0, prepend=0).astype(moved.dtype), 0, axis
+        )
+
+    # -- term sets -----------------------------------------------------------------
+
+    def prefix_terms(self, k: int) -> list[Term]:
+        self._check_prefix(k)
+        if k < 0:
+            return []
+        block = self._block_of(k)
+        anchor = self._anchor_of(block)
+        if k == anchor or block == 0:
+            # anchors (and all of block 0) hold global prefix sums
+            return [(k, 1)]
+        return [(anchor, 1), (k, 1)]
+
+    def update_terms(self, i: int) -> list[Term]:
+        self._check_index(i)
+        block = self._block_of(i)
+        anchor = self._anchor_of(block)
+        terms: list[Term] = []
+        if block == 0:
+            # global prefixes within block 0
+            terms.extend((j, 1) for j in range(i, min(self.block_size, self.size)))
+        elif i == anchor:
+            # the anchor's own global prefix changes; relative cells do not
+            # (both their prefix and their anchor's prefix include A[i])
+            terms.append((anchor, 1))
+        else:
+            # relative cells at or after i within the block
+            stop = min(anchor + self.block_size, self.size)
+            terms.extend((j, 1) for j in range(i, stop))
+        # every later anchor carries the global prefix
+        for later in range(block + 1, -(-self.size // self.block_size)):
+            terms.append((self._anchor_of(later), 1))
+        return terms
+
+    def _check_shape(self, values: np.ndarray, axis: int) -> None:
+        if values.shape[axis] != self.size:
+            raise ValueError(
+                f"axis {axis} has length {values.shape[axis]}, expected {self.size}"
+            )

@@ -1,0 +1,138 @@
+"""An append-only columnar fact table with counted scan costs.
+
+The relational substrate: dimension attributes and one measure, stored as
+growable numpy columns.  Aggregation scans are vectorized but *costed*
+per scanned row (the honest unit for a ROLAP comparator: without
+pre-aggregation, a range aggregate inspects every candidate row).
+
+An optional sorted index on the first dimension narrows scans to the
+matching row band -- the classic "cluster the fact table by time" layout,
+which the append-only arrival order provides for free.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.errors import DomainError
+from repro.core.types import Box
+from repro.metrics import CostCounter, global_counter
+
+_INITIAL_CAPACITY = 1024
+
+
+class FactTable:
+    """Columnar (dimensions..., measure) storage in arrival order."""
+
+    def __init__(
+        self,
+        column_names: Sequence[str],
+        counter: CostCounter | None = None,
+        sorted_by_first: bool = True,
+    ) -> None:
+        names = [str(n) for n in column_names]
+        if not names:
+            raise DomainError("need at least one dimension column")
+        if len(set(names)) != len(names):
+            raise DomainError(f"duplicate column names in {names}")
+        self.column_names = tuple(names)
+        self.counter = counter if counter is not None else global_counter()
+        self.sorted_by_first = sorted_by_first
+        self._columns = np.zeros(
+            (len(names) + 1, _INITIAL_CAPACITY), dtype=np.int64
+        )
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def ndim(self) -> int:
+        return len(self.column_names)
+
+    # -- ingestion ----------------------------------------------------------
+
+    def append(self, coords: Sequence[int], measure: int) -> int:
+        """Append one fact; returns its row id (arrival position)."""
+        coords = tuple(int(c) for c in coords)
+        if len(coords) != self.ndim:
+            raise DomainError(
+                f"fact arity {len(coords)} != {self.ndim} dimension columns"
+            )
+        if self.sorted_by_first and self._size:
+            latest = int(self._columns[0, self._size - 1])
+            if coords[0] < latest:
+                raise DomainError(
+                    f"first column must be non-decreasing "
+                    f"({coords[0]} after {latest}); construct with "
+                    "sorted_by_first=False for unordered facts"
+                )
+        if self._size == self._columns.shape[1]:
+            grown = np.zeros(
+                (self._columns.shape[0], self._columns.shape[1] * 2),
+                dtype=np.int64,
+            )
+            grown[:, : self._size] = self._columns[:, : self._size]
+            self._columns = grown
+        row = self._size
+        self._columns[: self.ndim, row] = coords
+        self._columns[self.ndim, row] = int(measure)
+        self._size += 1
+        return row
+
+    # -- access -------------------------------------------------------------------
+
+    def column(self, name: str) -> np.ndarray:
+        try:
+            index = self.column_names.index(name)
+        except ValueError:
+            raise DomainError(
+                f"unknown column {name!r}; available: {self.column_names}"
+            ) from None
+        return self._columns[index, : self._size]
+
+    @property
+    def measures(self) -> np.ndarray:
+        return self._columns[self.ndim, : self._size]
+
+    def _dims(self, row_limit: int) -> np.ndarray:
+        return self._columns[: self.ndim, :row_limit]
+
+    # -- aggregation scans -------------------------------------------------------------
+
+    def range_sum(self, box: Box, row_limit: int | None = None) -> int:
+        """SUM over facts inside the box, scanning up to ``row_limit`` rows.
+
+        With the first column sorted, the scan is narrowed to the row band
+        matching the box's first-dimension range via binary search; every
+        inspected row is charged as one cell read.
+        """
+        if box.ndim != self.ndim:
+            raise DomainError(f"box arity {box.ndim} != table arity {self.ndim}")
+        limit = self._size if row_limit is None else min(int(row_limit), self._size)
+        if limit <= 0:
+            return 0
+        start, stop = 0, limit
+        if self.sorted_by_first:
+            first = self._columns[0, :limit]
+            start = int(np.searchsorted(first, box.lower[0], side="left"))
+            stop = int(np.searchsorted(first, box.upper[0], side="right"))
+            if start >= stop:
+                return 0
+        dims = self._columns[: self.ndim, start:stop]
+        mask = np.ones(stop - start, dtype=bool)
+        for axis in range(self.ndim):
+            mask &= (dims[axis] >= box.lower[axis]) & (dims[axis] <= box.upper[axis])
+        self.counter.read_cells(stop - start)
+        return int(self._columns[self.ndim, start:stop][mask].sum())
+
+    def scan_cost(self, box: Box) -> int:
+        """Rows a query would inspect (the ROLAP cost unit)."""
+        if not self.sorted_by_first:
+            return self._size
+        first = self._columns[0, : self._size]
+        start = int(np.searchsorted(first, box.lower[0], side="left"))
+        stop = int(np.searchsorted(first, box.upper[0], side="right"))
+        return max(0, stop - start)

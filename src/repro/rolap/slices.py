@@ -1,0 +1,105 @@
+"""The framework's slice protocol over a fact table.
+
+Because facts arrive in TT-order, the cumulative instance ``R_{d-1}(t)``
+is exactly the table prefix ingested up to ``t``: a snapshot is a
+row-count watermark (O(1) -- the constant-time "copy" of Section 2.3),
+and a historic query is a scan bounded by that watermark.
+
+This realizes the ROLAP end of the paper's storage-independence claim:
+linear storage in the number of facts, scan-shaped query cost, zero
+pre-aggregation maintenance.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.types import Box
+from repro.metrics import CostCounter
+from repro.rolap.facttable import FactTable
+
+
+class ROLAPSliceStructure:
+    """(d-1)-dimensional slice structure backed by a shared fact table."""
+
+    def __init__(self, ndim: int, counter: CostCounter | None = None) -> None:
+        self.ndim = int(ndim)
+        self.table = FactTable(
+            tuple(f"d{i}" for i in range(self.ndim)),
+            counter=counter,
+            sorted_by_first=False,
+        )
+
+    # -- SliceStructure protocol -------------------------------------------------
+
+    def update(self, cell: Sequence[int], delta: int) -> None:
+        cell = self._normalize(cell)
+        self.table.append(cell, int(delta))
+
+    def range_sum(self, lower, upper) -> int:
+        return self.snapshot().range_sum(lower, upper)
+
+    def snapshot(self) -> "ROLAPSnapshot":
+        # O(1): the prefix watermark is the whole copy.
+        return ROLAPSnapshot(self, len(self.table))
+
+    def _normalize(self, cell) -> tuple[int, ...]:
+        if isinstance(cell, (tuple, list)):
+            coords = tuple(int(c) for c in cell)
+        else:
+            coords = (int(cell),)
+        if len(coords) != self.ndim:
+            from repro.core.errors import DomainError
+
+            raise DomainError(f"cell arity {len(coords)} != {self.ndim}")
+        return coords
+
+
+class ROLAPSnapshot:
+    """A frozen instance: the fact-table prefix up to a watermark."""
+
+    def __init__(self, owner: ROLAPSliceStructure, watermark: int) -> None:
+        self._owner = owner
+        self._watermark = watermark
+
+    def range_sum(self, lower, upper) -> int:
+        lower = self._owner._normalize(lower)
+        upper = self._owner._normalize(upper)
+        return self._owner.table.range_sum(
+            Box(lower, upper), row_limit=self._watermark
+        )
+
+    def with_update(self, cell, delta) -> "ROLAPSnapshot":
+        """Drain support: splice a correction *under* the watermark.
+
+        The fact table is append-only, so the correction row lands at the
+        end; a corrected snapshot therefore needs its own overlay list.
+        """
+        overlay = _OverlaySnapshot(self)
+        return overlay.with_update(cell, delta)
+
+
+class _OverlaySnapshot:
+    """A snapshot plus correction rows (used by the drain cascade)."""
+
+    def __init__(self, base: ROLAPSnapshot) -> None:
+        self._base = base
+        self._corrections: list[tuple[tuple[int, ...], int]] = []
+
+    def range_sum(self, lower, upper) -> int:
+        owner = self._base._owner
+        low = owner._normalize(lower)
+        up = owner._normalize(upper)
+        total = self._base.range_sum(lower, upper)
+        for cell, delta in self._corrections:
+            if all(a <= c <= b for a, c, b in zip(low, cell, up)):
+                total += delta
+        return total
+
+    def with_update(self, cell, delta) -> "_OverlaySnapshot":
+        clone = _OverlaySnapshot(self._base)
+        clone._corrections = list(self._corrections)
+        clone._corrections.append(
+            (self._base._owner._normalize(cell), int(delta))
+        )
+        return clone

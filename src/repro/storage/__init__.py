@@ -1,0 +1,32 @@
+"""Simulated external memory (Sections 3.5 and 5).
+
+The paper's disk experiments count *page accesses* against 8 KiB pages
+holding 4-byte measure values (2048 cells per page) and allow the disk-based
+copy mechanism at most one page access per update.  This package provides
+the page arithmetic and counted page-access tracking those experiments need;
+no real I/O is performed -- the cost model is the page counter.
+"""
+
+from repro.storage.layout import (
+    cells_per_page,
+    pages_for_cells,
+    rtree_leaf_capacity,
+)
+from repro.storage.buffer import LRUBufferPool
+from repro.storage.paged_cube import PagedPreAggregatedArray
+from repro.storage.pages import PageAccessTracker, PagedArray
+from repro.storage.serialize import dumps_cube, load_cube, loads_cube, save_cube
+
+__all__ = [
+    "cells_per_page",
+    "pages_for_cells",
+    "rtree_leaf_capacity",
+    "LRUBufferPool",
+    "PageAccessTracker",
+    "PagedArray",
+    "PagedPreAggregatedArray",
+    "dumps_cube",
+    "load_cube",
+    "loads_cube",
+    "save_cube",
+]

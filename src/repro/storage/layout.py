@@ -1,0 +1,58 @@
+"""Page-layout arithmetic for the simulated disk.
+
+Constants follow Section 5: 8 KiB pages; array cells store only the 4-byte
+measure value, so "a page fits 2048 cells"; R*-tree leaf entries must also
+store the point coordinates.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import StorageError
+
+DEFAULT_PAGE_SIZE = 8192
+DEFAULT_CELL_SIZE = 4
+DEFAULT_COORD_SIZE = 2
+
+
+def cells_per_page(
+    page_size: int = DEFAULT_PAGE_SIZE, cell_size: int = DEFAULT_CELL_SIZE
+) -> int:
+    """How many array cells fit one page (2048 for the paper's numbers)."""
+    if page_size < cell_size:
+        raise StorageError(f"page size {page_size} below cell size {cell_size}")
+    return page_size // cell_size
+
+
+def pages_for_cells(
+    num_cells: int,
+    page_size: int = DEFAULT_PAGE_SIZE,
+    cell_size: int = DEFAULT_CELL_SIZE,
+) -> int:
+    """Pages needed to store ``num_cells`` cells row-major."""
+    if num_cells < 0:
+        raise StorageError("negative cell count")
+    per_page = cells_per_page(page_size, cell_size)
+    return -(-num_cells // per_page)
+
+
+def rtree_leaf_capacity(
+    ndim: int,
+    page_size: int = DEFAULT_PAGE_SIZE,
+    coord_size: int = DEFAULT_COORD_SIZE,
+    value_size: int = DEFAULT_CELL_SIZE,
+) -> int:
+    """Leaf entries per page when entries carry coordinates plus a measure.
+
+    Unlike array cells, an R-tree leaf entry is ``ndim`` coordinates plus
+    the measure value, so leaves hold far fewer entries per page -- one of
+    the structural reasons behind the Figure 14 gap.
+    """
+    if ndim <= 0:
+        raise StorageError("ndim must be positive")
+    entry_size = ndim * coord_size + value_size
+    capacity = page_size // entry_size
+    if capacity < 2:
+        raise StorageError(
+            f"page of {page_size} bytes cannot hold two {entry_size}-byte entries"
+        )
+    return capacity

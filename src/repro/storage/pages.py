@@ -1,0 +1,139 @@
+"""Counted page-granular access over in-memory arrays.
+
+The experiments never perform real I/O; what Section 5 measures is *how
+many pages* an algorithm touches.  :class:`PagedArray` wraps a flat cell
+space laid out row-major across fixed-size pages and tallies the distinct
+pages each operation touches (the paper used no caching *across* queries;
+within one operation, touching the same page twice costs one access, which
+is what makes the DDC array's sequential layout pay off in Figure 14).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.errors import StorageError
+from repro.metrics import CostCounter, global_counter
+from repro.storage.layout import DEFAULT_CELL_SIZE, DEFAULT_PAGE_SIZE, cells_per_page
+
+
+class PageAccessTracker:
+    """Collects the distinct pages touched during one operation."""
+
+    def __init__(self) -> None:
+        self.read_pages: set[tuple[int, int]] = set()
+        self.written_pages: set[tuple[int, int]] = set()
+
+    def record_read(self, store_id: int, page: int) -> None:
+        self.read_pages.add((store_id, page))
+
+    def record_write(self, store_id: int, page: int) -> None:
+        self.written_pages.add((store_id, page))
+
+    @property
+    def page_accesses(self) -> int:
+        return len(self.read_pages | self.written_pages)
+
+    def flush_to(self, counter: CostCounter) -> int:
+        """Charge the collected accesses to a counter and reset."""
+        reads = len(self.read_pages)
+        writes = len(self.written_pages - self.read_pages)
+        counter.read_pages(reads)
+        counter.write_pages(writes)
+        total = reads + writes
+        self.read_pages.clear()
+        self.written_pages.clear()
+        return total
+
+
+_NEXT_STORE_ID = 0
+
+
+def _new_store_id() -> int:
+    global _NEXT_STORE_ID
+    _NEXT_STORE_ID += 1
+    return _NEXT_STORE_ID
+
+
+class PagedArray:
+    """A d-dimensional int array stored row-major across simulated pages.
+
+    Cell reads/writes go through :meth:`read` / :meth:`write` with an active
+    :class:`PageAccessTracker`; whole-page writes (the disk copy mechanism
+    of Section 3.5) use :meth:`write_page`.
+    """
+
+    def __init__(
+        self,
+        shape: Sequence[int],
+        page_size: int = DEFAULT_PAGE_SIZE,
+        cell_size: int = DEFAULT_CELL_SIZE,
+        counter: CostCounter | None = None,
+        dtype=np.int64,
+    ) -> None:
+        self.shape = tuple(int(n) for n in shape)
+        if any(n <= 0 for n in self.shape):
+            raise StorageError(f"invalid shape {self.shape}")
+        self.cells = np.zeros(self.shape, dtype=dtype)
+        self.cells_per_page = cells_per_page(page_size, cell_size)
+        self.counter = counter if counter is not None else global_counter()
+        self.store_id = _new_store_id()
+        self._strides = self._row_major_strides(self.shape)
+
+    @staticmethod
+    def _row_major_strides(shape: tuple[int, ...]) -> tuple[int, ...]:
+        strides = [1] * len(shape)
+        for i in range(len(shape) - 2, -1, -1):
+            strides[i] = strides[i + 1] * shape[i + 1]
+        return tuple(strides)
+
+    # -- addressing ----------------------------------------------------------
+
+    def linear_index(self, index: Sequence[int]) -> int:
+        if len(index) != len(self.shape):
+            raise StorageError(f"index arity {len(index)} != {len(self.shape)}")
+        return sum(int(c) * s for c, s in zip(index, self._strides))
+
+    def page_of(self, index: Sequence[int]) -> int:
+        return self.linear_index(index) // self.cells_per_page
+
+    @property
+    def num_pages(self) -> int:
+        return -(-int(np.prod(self.shape)) // self.cells_per_page)
+
+    # -- counted access --------------------------------------------------------
+
+    def read(self, index: Sequence[int], tracker: PageAccessTracker) -> int:
+        tracker.record_read(self.store_id, self.page_of(index))
+        return int(self.cells[tuple(index)])
+
+    def write(self, index: Sequence[int], value: int, tracker: PageAccessTracker) -> None:
+        tracker.record_write(self.store_id, self.page_of(index))
+        self.cells[tuple(index)] = value
+
+    def write_page(
+        self,
+        page: int,
+        linear_indices: Iterable[int],
+        values: Iterable[int],
+        tracker: PageAccessTracker,
+    ) -> int:
+        """Write several cells that all live on ``page`` (one page access).
+
+        This is the Section 3.5 mechanism: "a single page write copies 2048
+        cells".  Returns the number of cells written.
+        """
+        flat = self.cells.reshape(-1)
+        written = 0
+        for linear, value in zip(linear_indices, values):
+            if linear // self.cells_per_page != page:
+                raise StorageError(
+                    f"cell {linear} is not on page {page} "
+                    f"(cells/page={self.cells_per_page})"
+                )
+            flat[linear] = value
+            written += 1
+        tracker.record_write(self.store_id, page)
+        return written

@@ -1,0 +1,49 @@
+"""Tree substrates: ordered indexes and multiversion structures.
+
+These are the "pool" of data structures the framework draws from
+(Sections 2.3 and 4):
+
+* :class:`BPlusTree` -- single-version ordered index with subtree
+  aggregates; usable as the one-dimensional ``R_{d-1}`` and as the sparse
+  directory the paper mentions.
+* :class:`PersistentAggregateTree` -- a partially persistent (multiversion)
+  aggregate search tree with O(1) snapshots, the Section 4 instantiation
+  for sparse data.
+* :class:`FatNodeArray` -- the fat-node multiversion array (Driscoll et
+  al. / O'Neill & Burton) the paper contrasts against: reads need a binary
+  search over versions.
+* :class:`MultiversionBTree` -- the blockwise-optimal multiversion B-tree
+  (Becker et al.), the paper's named external-memory Section 4 option.
+* :class:`RTree` -- R-tree with an R*-style insertion path and Sort-Tile-
+  Recursive bulk loading; the Figure 14 baseline and the ``G_d``
+  out-of-order store.
+* :class:`ZOrderSliceStructure` -- sparse multi-dimensional slices over
+  the persistent tree via Morton linearization (framework slices with
+  d-1 >= 2).
+* :class:`MRATree` -- multi-resolution aggregate tree with progressive
+  error bounds (the pCube / Lazaridis-Mehrotra substrate family the paper
+  cites for ``R_{d-1}``).
+* :class:`TemporalAggregateTree` -- the SB-tree-style instant-aggregate
+  index of the classic temporal-aggregation line (Section 6), including
+  the non-invertible MAX/MIN the framework deliberately excludes.
+"""
+
+from repro.trees.bptree import BPlusTree
+from repro.trees.mratree import MRATree
+from repro.trees.mvbtree import MultiversionBTree
+from repro.trees.fat_node import FatNodeArray
+from repro.trees.persistent import PersistentAggregateTree
+from repro.trees.rtree import RTree
+from repro.trees.sbtree import TemporalAggregateTree
+from repro.trees.zorder import ZOrderSliceStructure
+
+__all__ = [
+    "BPlusTree",
+    "FatNodeArray",
+    "MRATree",
+    "MultiversionBTree",
+    "PersistentAggregateTree",
+    "RTree",
+    "TemporalAggregateTree",
+    "ZOrderSliceStructure",
+]

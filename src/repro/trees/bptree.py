@@ -1,0 +1,221 @@
+"""A B+tree with per-subtree aggregates.
+
+Used in two roles:
+
+* the sparse-directory alternative of Section 2.3 ("a B-tree for a sparse
+  ... TT-dimension"), and
+* a one-dimensional instance of ``R_{d-1}`` supporting
+  ``update(x, delta)`` / ``range_sum(l, u)`` in O(log n) node accesses
+  (Table 1 of the paper), e.g. the "B-tree with location keys" of the
+  Section 2.2 walk-through.
+
+Every internal entry carries the aggregate (SUM) of its subtree so a range
+aggregate descends the two boundary paths and consumes whole-subtree
+aggregates in between, visiting O(log n) nodes.
+
+Node accesses are tallied in :attr:`BPlusTree.node_accesses`.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections.abc import Iterator
+
+from repro.core.errors import DomainError
+
+
+class _Leaf:
+    __slots__ = ("keys", "values", "next")
+
+    def __init__(self) -> None:
+        self.keys: list[int] = []
+        self.values: list[int] = []
+        self.next: _Leaf | None = None
+
+    def total(self) -> int:
+        return sum(self.values)
+
+
+class _Internal:
+    __slots__ = ("keys", "children", "sums")
+
+    def __init__(self) -> None:
+        # children[i] covers keys < keys[i] (for i < len(keys)),
+        # children[-1] covers the rest; sums[i] aggregates children[i].
+        self.keys: list[int] = []
+        self.children: list[object] = []
+        self.sums: list[int] = []
+
+
+class BPlusTree:
+    """Order-``fanout`` B+tree mapping integer keys to summed measures.
+
+    ``update(key, delta)`` inserts the key if absent and adds ``delta`` to
+    its measure; a measure reaching zero is kept (logical emptiness), which
+    matches the cumulative use inside the framework.
+    """
+
+    def __init__(self, fanout: int = 32) -> None:
+        if fanout < 4:
+            raise DomainError("fanout must be at least 4")
+        self.fanout = fanout
+        self._root: _Leaf | _Internal = _Leaf()
+        self._size = 0
+        self.node_accesses = 0
+        self.height = 1
+
+    def __len__(self) -> int:
+        """Number of distinct keys stored."""
+        return self._size
+
+    # -- updates -----------------------------------------------------------
+
+    def update(self, key: int, delta: int) -> None:
+        """Add ``delta`` to the measure of ``key`` (inserting if needed)."""
+        key = int(key)
+        split = self._update(self._root, key, int(delta))
+        if split is not None:
+            sep, right = split
+            new_root = _Internal()
+            new_root.keys = [sep]
+            new_root.children = [self._root, right]
+            new_root.sums = [self._aggregate_of(self._root), self._aggregate_of(right)]
+            self._root = new_root
+            self.height += 1
+
+    def _update(self, node, key: int, delta: int):
+        self.node_accesses += 1
+        if isinstance(node, _Leaf):
+            pos = bisect.bisect_left(node.keys, key)
+            if pos < len(node.keys) and node.keys[pos] == key:
+                node.values[pos] += delta
+                return None
+            node.keys.insert(pos, key)
+            node.values.insert(pos, delta)
+            self._size += 1
+            if len(node.keys) <= self.fanout:
+                return None
+            return self._split_leaf(node)
+        pos = bisect.bisect_right(node.keys, key)
+        split = self._update(node.children[pos], key, delta)
+        node.sums[pos] = self._aggregate_of(node.children[pos])
+        if split is None:
+            return None
+        sep, right = split
+        node.keys.insert(pos, sep)
+        node.children.insert(pos + 1, right)
+        node.sums.insert(pos + 1, self._aggregate_of(right))
+        node.sums[pos] = self._aggregate_of(node.children[pos])
+        if len(node.children) <= self.fanout:
+            return None
+        return self._split_internal(node)
+
+    def _split_leaf(self, node: _Leaf):
+        mid = len(node.keys) // 2
+        right = _Leaf()
+        right.keys = node.keys[mid:]
+        right.values = node.values[mid:]
+        right.next = node.next
+        node.keys = node.keys[:mid]
+        node.values = node.values[:mid]
+        node.next = right
+        return right.keys[0], right
+
+    def _split_internal(self, node: _Internal):
+        mid = len(node.children) // 2
+        sep = node.keys[mid - 1]
+        right = _Internal()
+        right.keys = node.keys[mid:]
+        right.children = node.children[mid:]
+        right.sums = node.sums[mid:]
+        node.keys = node.keys[: mid - 1]
+        node.children = node.children[:mid]
+        node.sums = node.sums[:mid]
+        return sep, right
+
+    def _aggregate_of(self, node) -> int:
+        if isinstance(node, _Leaf):
+            return node.total()
+        return sum(node.sums)
+
+    # -- queries -----------------------------------------------------------
+
+    def get(self, key: int) -> int:
+        """The measure of ``key`` (0 if the key does not exist)."""
+        key = int(key)
+        node = self._root
+        while isinstance(node, _Internal):
+            self.node_accesses += 1
+            node = node.children[bisect.bisect_right(node.keys, key)]
+        self.node_accesses += 1
+        pos = bisect.bisect_left(node.keys, key)
+        if pos < len(node.keys) and node.keys[pos] == key:
+            return node.values[pos]
+        return 0
+
+    def range_sum(self, lower: int, upper: int) -> int:
+        """Sum of measures for keys in ``[lower, upper]``."""
+        if lower > upper:
+            raise DomainError(f"inverted range [{lower}, {upper}]")
+        return self._range_sum(self._root, int(lower), int(upper))
+
+    def _range_sum(self, node, lower: int | None, upper: int | None) -> int:
+        """Range aggregate; ``None`` bounds mean "unconstrained on this side".
+
+        Descends at most the two boundary paths; everything strictly
+        between them is consumed as stored subtree sums, so the cost is
+        O(height) node accesses.
+        """
+        self.node_accesses += 1
+        if lower is None and upper is None:
+            return self._aggregate_of(node)
+        if isinstance(node, _Leaf):
+            lo = 0 if lower is None else bisect.bisect_left(node.keys, lower)
+            hi = (
+                len(node.keys)
+                if upper is None
+                else bisect.bisect_right(node.keys, upper)
+            )
+            return sum(node.values[lo:hi])
+        lo = 0 if lower is None else bisect.bisect_right(node.keys, lower)
+        hi = (
+            len(node.children) - 1
+            if upper is None
+            else bisect.bisect_right(node.keys, upper)
+        )
+        if lo == hi:
+            return self._range_sum(node.children[lo], lower, upper)
+        total = self._range_sum(node.children[lo], lower, None)
+        for mid in range(lo + 1, hi):
+            total += node.sums[mid]  # fully covered subtree: O(1)
+        total += self._range_sum(node.children[hi], None, upper)
+        return total
+
+    def prefix_sum(self, key: int) -> int:
+        """Sum of measures for keys <= ``key`` (prefix-time query shape)."""
+        node = self._root
+        total = 0
+        key = int(key)
+        while isinstance(node, _Internal):
+            self.node_accesses += 1
+            pos = bisect.bisect_right(node.keys, key)
+            total += sum(node.sums[:pos])
+            node = node.children[pos]
+        self.node_accesses += 1
+        hi = bisect.bisect_right(node.keys, key)
+        return total + sum(node.values[:hi])
+
+    def total(self) -> int:
+        return self._aggregate_of(self._root)
+
+    def items(self) -> Iterator[tuple[int, int]]:
+        """All (key, measure) pairs in key order."""
+        node = self._root
+        while isinstance(node, _Internal):
+            node = node.children[0]
+        while node is not None:
+            yield from zip(node.keys, node.values)
+            node = node.next
+
+    def __repr__(self) -> str:
+        return f"BPlusTree(size={self._size}, height={self.height})"

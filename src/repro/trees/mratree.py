@@ -1,0 +1,177 @@
+"""A multi-resolution aggregate tree with progressive range queries.
+
+Section 2.3 points at "recent data structures with specific support for
+aggregate range queries" -- pCube (Riedewald et al., SSDBM 2000) and the
+multi-resolution aggregate tree (Lazaridis & Mehrotra, SIGMOD 2001) -- as
+candidate instances of ``R_{d-1}``.  This module implements that substrate
+family: a sparse implicit quadtree over the cell domain whose nodes store
+subtree aggregates, answering
+
+* exact box aggregates by recursive decomposition, and
+* **progressive** box aggregates: an iterator of monotonically tightening
+  ``(lower, upper, estimate)`` bounds that reaches the exact answer when
+  exhausted, and may be stopped early once the interval is tight enough --
+  pCube's "progressive feedback and error bounds".
+
+Bounds require non-negative measures (COUNT, or SUM of non-negative
+deltas); per-node minima/maxima of signed data would work the same way but
+the paper's use cases are monotone, so updates assert non-negativity.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Iterator, Sequence
+
+from repro.core.errors import DomainError
+
+NodeKey = tuple[int, tuple[int, ...]]  # (level, aligned origin)
+
+
+class MRATree:
+    """Sparse aggregate quadtree over a d-dimensional integer domain."""
+
+    def __init__(self, shape: Sequence[int]) -> None:
+        self.shape = tuple(int(n) for n in shape)
+        if not self.shape or any(n <= 0 for n in self.shape):
+            raise DomainError(f"invalid shape {self.shape}")
+        self.ndim = len(self.shape)
+        self.levels = max(1, max((n - 1).bit_length() for n in self.shape))
+        # node aggregates, keyed by (level, origin); absent = zero subtree
+        self._aggregates: dict[NodeKey, int] = {}
+        self.node_accesses = 0
+        self.updates_applied = 0
+
+    # -- updates ---------------------------------------------------------------
+
+    def update(self, cell: Sequence[int], delta: int) -> None:
+        """Add a non-negative ``delta`` to a cell (O(levels) node touches)."""
+        cell = self._check_cell(cell)
+        delta = int(delta)
+        if delta < 0:
+            raise DomainError(
+                "MRATree requires non-negative measures for its bounds; "
+                "route signed data through the framework's SUM cubes instead"
+            )
+        for level in range(self.levels, -1, -1):
+            origin = tuple((c >> level) << level for c in cell)
+            key = (level, origin)
+            self.node_accesses += 1
+            self._aggregates[key] = self._aggregates.get(key, 0) + delta
+        self.updates_applied += 1
+
+    # -- exact queries ------------------------------------------------------------
+
+    def range_sum(self, lower: Sequence[int], upper: Sequence[int]) -> int:
+        """Exact aggregate over the inclusive box."""
+        total = 0
+        for _, _, exact in self.progressive_range_sum(lower, upper):
+            total = exact
+        return total if isinstance(total, int) else 0
+
+    # -- progressive queries ---------------------------------------------------------
+
+    def progressive_range_sum(
+        self, lower: Sequence[int], upper: Sequence[int]
+    ) -> Iterator[tuple[int, int, int]]:
+        """Yield tightening ``(lower_bound, upper_bound, estimate)`` triples.
+
+        Each step resolves the unresolved node with the largest aggregate
+        (the biggest contributor to the uncertainty).  The final yield has
+        ``lower_bound == upper_bound ==`` the exact answer.
+        """
+        lower = tuple(int(c) for c in lower)
+        upper = tuple(int(c) for c in upper)
+        if len(lower) != self.ndim or len(upper) != self.ndim:
+            raise DomainError("bound arity mismatch")
+        lower = tuple(max(0, c) for c in lower)
+        upper = tuple(min(n - 1, c) for n, c in zip(self.shape, upper))
+        if any(low > up for low, up in zip(lower, upper)):
+            yield 0, 0, 0
+            return
+
+        root: NodeKey = (self.levels, tuple(0 for _ in range(self.ndim)))
+        exact = 0
+        # max-heap of unresolved partially-overlapping nodes
+        pending: list[tuple[int, NodeKey]] = []
+        uncertain = 0
+
+        def classify(key: NodeKey) -> None:
+            nonlocal exact, uncertain
+            self.node_accesses += 1
+            aggregate = self._aggregates.get(key, 0)
+            if aggregate == 0:
+                return
+            level, origin = key
+            side = 1 << level
+            quad_upper = tuple(o + side - 1 for o in origin)
+            disjoint = any(
+                quad_upper[a] < lower[a] or origin[a] > upper[a]
+                for a in range(self.ndim)
+            )
+            if disjoint:
+                return
+            contained = all(
+                lower[a] <= origin[a] and quad_upper[a] <= upper[a]
+                for a in range(self.ndim)
+            )
+            if contained:
+                exact += aggregate
+                return
+            if level == 0:
+                # a single cell partially... cannot happen: level-0 nodes
+                # are single cells, either disjoint or contained
+                exact += aggregate
+                return
+            uncertain += aggregate
+            heapq.heappush(pending, (-aggregate, key))
+
+        classify(root)
+        yield exact, exact + uncertain, exact + uncertain // 2
+
+        while pending:
+            negative, key = heapq.heappop(pending)
+            uncertain -= -negative
+            level, origin = key
+            half = 1 << (level - 1)
+            for mask in range(1 << self.ndim):
+                child_origin = tuple(
+                    origin[a] + (half if (mask >> a) & 1 else 0)
+                    for a in range(self.ndim)
+                )
+                classify((level - 1, child_origin))
+            yield exact, exact + uncertain, exact + uncertain // 2
+
+    def query_with_tolerance(
+        self, lower: Sequence[int], upper: Sequence[int], tolerance: float
+    ) -> tuple[int, int, int]:
+        """Stop the progressive iteration once the relative uncertainty
+        drops below ``tolerance``; returns the final (low, high, estimate)."""
+        if tolerance < 0:
+            raise DomainError("tolerance must be non-negative")
+        result = (0, 0, 0)
+        for low, high, estimate in self.progressive_range_sum(lower, upper):
+            result = (low, high, estimate)
+            scale = max(1, high)
+            if (high - low) / scale <= tolerance:
+                break
+        return result
+
+    def total(self) -> int:
+        root: NodeKey = (self.levels, tuple(0 for _ in range(self.ndim)))
+        return self._aggregates.get(root, 0)
+
+    def _check_cell(self, cell: Sequence[int]) -> tuple[int, ...]:
+        cell = tuple(int(c) for c in cell)
+        if len(cell) != self.ndim:
+            raise DomainError(f"cell arity {len(cell)} != {self.ndim}")
+        for coord, size in zip(cell, self.shape):
+            if not 0 <= coord < size:
+                raise DomainError(f"cell {cell} outside shape {self.shape}")
+        return cell
+
+    def __repr__(self) -> str:
+        return (
+            f"MRATree(shape={self.shape}, nodes={len(self._aggregates)}, "
+            f"updates={self.updates_applied})"
+        )

@@ -1,0 +1,410 @@
+"""A multiversion B-tree (after Becker et al., VLDB Journal 1996).
+
+Section 4 of the paper singles out the multiversion B-tree as the
+asymptotically optimal way to make ``R_{d-1}`` partially persistent for
+*blockwise* (external-memory) access: queries and updates on any version
+cost as much as on a single-version B-tree, and storage stays linear in
+the number of updates.  The in-memory persistent tree
+(:mod:`repro.trees.persistent`) is optimal for RAM; this structure is the
+disk-oriented counterpart, with node accesses counted so the trade-off can
+be measured.
+
+Design, faithful to the original:
+
+* every entry carries a version interval ``[start, end)``; an entry is
+  *live* at version ``v`` iff ``start <= v < end`` (``end`` is ``None``
+  while the entry is current);
+* router entries additionally carry an **immutable key range**
+  ``[key_low, key_high)``; at any version, the live routers of a node
+  partition the node's own range, so both descents and historic range
+  queries prune exactly;
+* a node overflowing its block capacity undergoes a **version split**:
+  its live entries are copied into a fresh node and the old entries (and
+  the node's parent router) are closed at the current version;
+* the fresh node must satisfy the **strong version condition** -- its
+  live-entry count must leave room both for future inserts and future
+  deletes -- otherwise it is key-split (too full) or merged with a
+  range-adjacent sibling (too empty);
+* one root per version range (the "root*" directory).
+
+Measure semantics follow the framework's Table 1: ``update(key, delta)``
+adds ``delta`` to the measure of ``key`` (a logical deletion is an update
+with the negative measure).  A version split *consolidates* the live
+entries of a leaf -- same-key entries merge into one and zero measures are
+dropped -- so duplicate keys never straddle a key split.
+``range_sum(lower, upper, version)`` aggregates any historic version.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.core.errors import AppendOrderError, DomainError, EmptyStructureError
+
+KEY_MIN = -(2**62)  # -infinity sentinel for router ranges
+KEY_MAX = 2**62  # +infinity sentinel
+
+
+class _Item:
+    """A leaf entry: a (key, measure delta) item with a version interval."""
+
+    __slots__ = ("key", "value", "start", "end")
+
+    def __init__(self, key: int, value: int, start: int) -> None:
+        self.key = key
+        self.value = value
+        self.start = start
+        self.end: int | None = None
+
+    def live_at(self, version: int) -> bool:
+        return self.start <= version and (self.end is None or version < self.end)
+
+    @property
+    def alive(self) -> bool:
+        return self.end is None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        end = "inf" if self.end is None else self.end
+        return f"I(k={self.key},v={self.value},[{self.start},{end}))"
+
+
+class _Router:
+    """An internal entry: an immutable key range routing to a child."""
+
+    __slots__ = ("key_low", "key_high", "child", "start", "end")
+
+    def __init__(self, key_low: int, key_high: int, child: "_Node", start: int) -> None:
+        if key_low >= key_high:
+            raise DomainError(f"empty router range [{key_low}, {key_high})")
+        self.key_low = key_low
+        self.key_high = key_high
+        self.child = child
+        self.start = start
+        self.end: int | None = None
+
+    def live_at(self, version: int) -> bool:
+        return self.start <= version and (self.end is None or version < self.end)
+
+    @property
+    def alive(self) -> bool:
+        return self.end is None
+
+    def contains_key(self, key: int) -> bool:
+        return self.key_low <= key < self.key_high
+
+    def intersects(self, lower: int, upper: int) -> bool:
+        return self.key_low <= upper and lower < self.key_high
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        end = "inf" if self.end is None else self.end
+        return f"R([{self.key_low},{self.key_high}),[{self.start},{end}))"
+
+
+class _Node:
+    __slots__ = ("is_leaf", "entries")
+
+    def __init__(self, is_leaf: bool) -> None:
+        self.is_leaf = is_leaf
+        self.entries: list = []
+
+    def live_entries(self, version: int | None = None) -> list:
+        if version is None:
+            return [e for e in self.entries if e.alive]
+        return [e for e in self.entries if e.live_at(version)]
+
+
+class MultiversionBTree:
+    """Partially persistent aggregate B-tree over (key, measure) items.
+
+    Parameters
+    ----------
+    capacity:
+        Block capacity ``B`` (max entries per node, live or dead);
+        at least 8 so the version-condition bands are non-empty.
+    """
+
+    def __init__(self, capacity: int = 16) -> None:
+        if capacity < 8:
+            raise DomainError("capacity must be at least 8")
+        self.capacity = capacity
+        self.min_live = max(2, capacity // 4)
+        self.max_live = capacity - self.min_live
+        self.current_version = 0
+        self._root = _Node(is_leaf=True)
+        self._roots: list[tuple[int, _Node]] = [(0, self._root)]
+        self.node_accesses = 0
+        self.nodes_allocated = 1
+
+    # -- version management ----------------------------------------------------
+
+    def advance_version(self, version: int | None = None) -> int:
+        """Move the current version forward (monotone)."""
+        if version is None:
+            version = self.current_version + 1
+        version = int(version)
+        if version < self.current_version:
+            raise AppendOrderError(
+                f"version {version} precedes current {self.current_version}"
+            )
+        self.current_version = version
+        return version
+
+    def _root_at(self, version: int) -> _Node:
+        if version < self._roots[0][0]:
+            raise EmptyStructureError(f"no root for version {version}")
+        result = self._roots[0][1]
+        for start, root in self._roots:
+            if start <= version:
+                result = root
+            else:
+                break
+        return result
+
+    # -- updates (current version only) -------------------------------------------
+
+    def update(self, key: int, delta: int, version: int | None = None) -> None:
+        """Add ``delta`` to the measure of ``key`` at the current version."""
+        if version is not None:
+            self.advance_version(max(version, self.current_version))
+        key = int(key)
+        if not KEY_MIN < key < KEY_MAX:
+            raise DomainError(f"key {key} outside the supported domain")
+        leaf, path = self._find_leaf(key)
+        leaf.entries.append(_Item(key, int(delta), self.current_version))
+        if len(leaf.entries) > self.capacity:
+            self._restructure(leaf, path)
+
+    def insert(self, key: int, value: int, version: int | None = None) -> None:
+        """Alias of :meth:`update` (insert a weighted item)."""
+        self.update(key, value, version)
+
+    def delete(self, key: int, value: int, version: int | None = None) -> None:
+        """Logically delete a previously inserted weight (update by -value)."""
+        self.update(key, -int(value), version)
+
+    # -- structural machinery ----------------------------------------------------
+
+    def _find_leaf(self, key: int) -> tuple[_Node, list[tuple[_Node, _Router]]]:
+        node = self._root
+        path: list[tuple[_Node, _Router]] = []
+        while not node.is_leaf:
+            self.node_accesses += 1
+            chosen = None
+            for router in node.entries:
+                if router.alive and router.contains_key(key):
+                    chosen = router
+                    break
+            if chosen is None:
+                raise AssertionError(
+                    f"live routers do not cover key {key}"
+                )  # pragma: no cover - invariant
+            path.append((node, chosen))
+            node = chosen.child
+        self.node_accesses += 1
+        return node, path
+
+    def _restructure(
+        self, node: _Node, path: list[tuple[_Node, _Router]]
+    ) -> None:
+        """Version split; then key split or merge; recurse on the parent."""
+        version = self.current_version
+
+        if node is self._root:
+            low, high = KEY_MIN, KEY_MAX
+            live = self._consolidated_live(node, version)
+            routers = self._pack(live, node.is_leaf, low, high, version)
+            if len(routers) == 1:
+                new_root = routers[0].child
+            else:
+                new_root = _Node(is_leaf=False)
+                new_root.entries = routers
+                self.nodes_allocated += 1
+            self._root = new_root
+            self._roots.append((version, new_root))
+            return
+
+        parent, router = path[-1]
+        low, high = router.key_low, router.key_high
+        live = self._consolidated_live(node, version)
+        router.end = version
+
+        # Too empty: merge with a range-adjacent live sibling.
+        if len(live) < self.min_live:
+            sibling = self._adjacent_live_sibling(parent, router)
+            if sibling is not None:
+                live = live + self._consolidated_live(sibling.child, version)
+                sibling.end = version
+                low = min(low, sibling.key_low)
+                high = max(high, sibling.key_high)
+                if node.is_leaf:
+                    live = self._merge_items(live, version)
+
+        parent.entries.extend(self._pack(live, node.is_leaf, low, high, version))
+        if len(parent.entries) > self.capacity:
+            self._restructure(parent, path[:-1])
+        elif parent is not self._root and len(parent.live_entries()) < self.min_live:
+            self._restructure(parent, path[:-1])
+
+    def _consolidated_live(self, node: _Node, version: int) -> list:
+        """The node's live entries, merged/consolidated for copying.
+
+        Leaf items with equal keys merge into one (SUM semantics) and zero
+        measures are dropped; routers copy as-is (their ranges are
+        immutable).  Originals are closed at ``version``.
+        """
+        self.node_accesses += 1
+        live = node.live_entries()
+        if node.is_leaf:
+            return self._merge_items(live, version)
+        copies = []
+        for router in live:
+            router.end = version
+            copy = _Router(router.key_low, router.key_high, router.child, version)
+            copies.append(copy)
+        return copies
+
+    @staticmethod
+    def _merge_items(live: list, version: int) -> list:
+        sums: dict[int, int] = {}
+        for item in live:
+            sums[item.key] = sums.get(item.key, 0) + item.value
+            if item.alive:
+                item.end = version
+        return [
+            _Item(key, value, version)
+            for key, value in sorted(sums.items())
+            if value != 0
+        ]
+
+    def _adjacent_live_sibling(
+        self, parent: _Node, router: _Router
+    ) -> _Router | None:
+        for candidate in parent.entries:
+            if candidate is router or not candidate.alive:
+                continue
+            if (
+                candidate.key_high == router.key_low
+                or candidate.key_low == router.key_high
+            ):
+                return candidate
+        return None
+
+    def _pack(
+        self, live: list, is_leaf: bool, low: int, high: int, version: int
+    ) -> list[_Router]:
+        """Distribute consolidated live entries into fresh nodes covering
+        exactly ``[low, high)``; returns the new parent routers."""
+        if is_leaf:
+            live.sort(key=lambda item: item.key)
+        else:
+            live.sort(key=lambda router: router.key_low)
+        if len(live) <= self.max_live:
+            groups = [live]
+        else:
+            count = -(-len(live) // self.max_live)
+            size = -(-len(live) // count)
+            groups = [live[i : i + size] for i in range(0, len(live), size)]
+        routers: list[_Router] = []
+        for index, group in enumerate(groups):
+            fresh = _Node(is_leaf=is_leaf)
+            fresh.entries = group
+            self.nodes_allocated += 1
+            if index == 0:
+                group_low = low
+            elif is_leaf:
+                group_low = group[0].key
+            else:
+                group_low = group[0].key_low
+            if index == len(groups) - 1:
+                group_high = high
+            elif is_leaf:
+                group_high = groups[index + 1][0].key
+            else:
+                group_high = groups[index + 1][0].key_low
+            routers.append(_Router(group_low, group_high, fresh, version))
+        if not routers:
+            # a node can consolidate to nothing (all measures cancelled);
+            # keep an empty node so the range stays covered
+            fresh = _Node(is_leaf=is_leaf)
+            self.nodes_allocated += 1
+            routers.append(_Router(low, high, fresh, version))
+        return routers
+
+    # -- queries (any version) ------------------------------------------------------
+
+    def range_sum(self, lower: int, upper: int, version: int | None = None) -> int:
+        """SUM of measures with key in ``[lower, upper]`` at ``version``."""
+        if lower > upper:
+            raise DomainError(f"inverted range [{lower}, {upper}]")
+        if version is None:
+            version = self.current_version
+        version = min(int(version), self.current_version)
+        root = self._root_at(version)
+        return self._range(root, int(lower), int(upper), version)
+
+    def _range(self, node: _Node, lower: int, upper: int, version: int) -> int:
+        self.node_accesses += 1
+        if node.is_leaf:
+            return sum(
+                item.value
+                for item in node.entries
+                if item.live_at(version) and lower <= item.key <= upper
+            )
+        return sum(
+            self._range(router.child, lower, upper, version)
+            for router in node.entries
+            if router.live_at(version) and router.intersects(lower, upper)
+        )
+
+    def get(self, key: int, version: int | None = None) -> int:
+        """The accumulated measure of ``key`` at ``version``."""
+        return self.range_sum(key, key, version)
+
+    def items_at(self, version: int) -> Iterator[tuple[int, int]]:
+        """All (key, net measure) pairs with non-zero measure at ``version``."""
+        version = int(version)
+        try:
+            root = self._root_at(version)
+        except EmptyStructureError:
+            return iter(())
+        sums: dict[int, int] = {}
+
+        def walk(node: _Node) -> None:
+            if node.is_leaf:
+                for item in node.entries:
+                    if item.live_at(version):
+                        sums[item.key] = sums.get(item.key, 0) + item.value
+                return
+            for router in node.entries:
+                if router.live_at(version):
+                    walk(router.child)
+
+        walk(root)
+        return iter(sorted((k, v) for k, v in sums.items() if v != 0))
+
+    # -- invariants (exercised by the tests) ---------------------------------------
+
+    def check_invariants(self) -> None:
+        """Capacity bounds and exact live-router range partitions."""
+
+        def walk(node: _Node, low: int, high: int) -> None:
+            if len(node.entries) > self.capacity + 1:
+                raise AssertionError(f"node over capacity: {len(node.entries)}")
+            if node.is_leaf:
+                for item in node.live_entries():
+                    if not low <= item.key < high:
+                        raise AssertionError(
+                            f"item key {item.key} outside [{low}, {high})"
+                        )
+                return
+            live = sorted(node.live_entries(), key=lambda r: r.key_low)
+            if live:
+                if live[0].key_low != low or live[-1].key_high != high:
+                    raise AssertionError("live routers do not span the range")
+                for left, right in zip(live, live[1:]):
+                    if left.key_high != right.key_low:
+                        raise AssertionError("live router ranges not contiguous")
+            for router in live:
+                walk(router.child, router.key_low, router.key_high)
+
+        walk(self._root, KEY_MIN, KEY_MAX)

@@ -1,0 +1,216 @@
+"""A partially persistent (multiversion) aggregate search tree.
+
+Section 4 of the paper instantiates the framework for *sparse* data by
+making ``R_{d-1}`` multiversion: queries may target any historic version
+while updates go to the newest one.  This module provides such a structure
+for one-dimensional keys: a balanced binary search tree with
+
+* per-subtree SUM aggregates (range aggregates in O(log n) node touches),
+* *path copying* updates -- an update allocates O(log n) fresh nodes and
+  never mutates shared ones, so
+
+  - a snapshot is O(1) (capture the root), and
+  - storage grows linearly in the number of updates,
+
+matching the guarantees the paper quotes for Driscoll et al. and the
+multiversion B-tree family.
+
+Balancing uses treap priorities derived by *hashing the key*, which makes
+the structure deterministic (no RNG state to persist) while keeping the
+expected O(log n) depth of a random treap.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.core.errors import DomainError
+
+
+def _priority(key: int) -> int:
+    """Deterministic pseudo-random priority for treap balancing."""
+    digest = hashlib.blake2b(repr(key).encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+@dataclass(frozen=True)
+class _Node:
+    __slots__ = ("key", "priority", "value", "subtree_sum", "size", "left", "right")
+    key: int
+    priority: int
+    value: int
+    subtree_sum: int
+    size: int
+    left: "_Node | None"
+    right: "_Node | None"
+
+
+def _make(key: int, priority: int, value: int, left, right) -> _Node:
+    total = value + (left.subtree_sum if left else 0) + (right.subtree_sum if right else 0)
+    size = 1 + (left.size if left else 0) + (right.size if right else 0)
+    return _Node(key, priority, value, total, size, left, right)
+
+
+def _with_children(node: _Node, left, right) -> _Node:
+    return _make(node.key, node.priority, node.value, left, right)
+
+
+def _with_value(node: _Node, value: int) -> _Node:
+    return _make(node.key, node.priority, value, node.left, node.right)
+
+
+class PersistentAggregateTree:
+    """Multiversion map from integer keys to summed measures.
+
+    The *current* version is mutated through :meth:`update`;
+    :meth:`snapshot` captures an immutable :class:`TreeVersion` usable for
+    queries forever after, at O(1) cost -- the constant-time "copy" the
+    framework assumes in Section 2.3.
+    """
+
+    def __init__(self) -> None:
+        self._root: _Node | None = None
+        self.node_accesses = 0
+
+    # -- updates (newest version only) --------------------------------------
+
+    def update(self, key: int, delta: int) -> None:
+        """Add ``delta`` to the measure of ``key`` (path-copying insert)."""
+        self._root = self._insert(self._root, int(key), int(delta))
+
+    def _insert(self, node: _Node | None, key: int, delta: int) -> _Node:
+        self.node_accesses += 1
+        if node is None:
+            return _make(key, _priority(key), delta, None, None)
+        if key == node.key:
+            return _with_value(node, node.value + delta)
+        if key < node.key:
+            left = self._insert(node.left, key, delta)
+            node = _with_children(node, left, node.right)
+            if left.priority > node.priority:
+                node = self._rotate_right(node)
+        else:
+            right = self._insert(node.right, key, delta)
+            node = _with_children(node, node.left, right)
+            if right.priority > node.priority:
+                node = self._rotate_left(node)
+        return node
+
+    @staticmethod
+    def _rotate_right(node: _Node) -> _Node:
+        left = node.left
+        assert left is not None
+        new_right = _with_children(node, left.right, node.right)
+        return _with_children(left, left.left, new_right)
+
+    @staticmethod
+    def _rotate_left(node: _Node) -> _Node:
+        right = node.right
+        assert right is not None
+        new_left = _with_children(node, node.left, right.left)
+        return _with_children(right, new_left, right.right)
+
+    # -- versioning ----------------------------------------------------------
+
+    def snapshot(self) -> "TreeVersion":
+        """An O(1) immutable view of the current version."""
+        return TreeVersion(self._root, self)
+
+    # -- queries on the current version ---------------------------------------
+
+    def range_sum(self, lower: int, upper: int) -> int:
+        return self.snapshot().range_sum(lower, upper)
+
+    def get(self, key: int) -> int:
+        return self.snapshot().get(key)
+
+    def total(self) -> int:
+        return self._root.subtree_sum if self._root else 0
+
+    def __len__(self) -> int:
+        return self._root.size if self._root else 0
+
+
+class TreeVersion:
+    """A frozen version of a :class:`PersistentAggregateTree`."""
+
+    __slots__ = ("_root", "_owner")
+
+    def __init__(self, root: _Node | None, owner: PersistentAggregateTree) -> None:
+        self._root = root
+        self._owner = owner
+
+    def __len__(self) -> int:
+        return self._root.size if self._root else 0
+
+    def total(self) -> int:
+        return self._root.subtree_sum if self._root else 0
+
+    def get(self, key: int) -> int:
+        key = int(key)
+        node = self._root
+        while node is not None:
+            self._owner.node_accesses += 1
+            if key == node.key:
+                return node.value
+            node = node.left if key < node.key else node.right
+        return 0
+
+    def range_sum(self, lower: int, upper: int) -> int:
+        """Sum of measures for keys in ``[lower, upper]``."""
+        if lower > upper:
+            raise DomainError(f"inverted range [{lower}, {upper}]")
+        return self._range(self._root, int(lower), int(upper))
+
+    def _range(self, node: _Node | None, lower: int, upper: int) -> int:
+        if node is None:
+            return 0
+        self._owner.node_accesses += 1
+        if lower <= node.key <= upper:
+            total = node.value
+            total += self._sum_from(node.left, lower)  # keys >= lower
+            total += self._sum_to(node.right, upper)  # keys <= upper
+            return total
+        if upper < node.key:
+            return self._range(node.left, lower, upper)
+        return self._range(node.right, lower, upper)
+
+    def _sum_from(self, node: _Node | None, lower: int) -> int:
+        """Sum of the subtree restricted to keys >= ``lower``."""
+        total = 0
+        while node is not None:
+            self._owner.node_accesses += 1
+            if node.key >= lower:
+                total += node.value
+                total += node.right.subtree_sum if node.right else 0
+                node = node.left
+            else:
+                node = node.right
+        return total
+
+    def _sum_to(self, node: _Node | None, upper: int) -> int:
+        """Sum of the subtree restricted to keys <= ``upper``."""
+        total = 0
+        while node is not None:
+            self._owner.node_accesses += 1
+            if node.key <= upper:
+                total += node.value
+                total += node.left.subtree_sum if node.left else 0
+                node = node.right
+            else:
+                node = node.left
+        return total
+
+    def items(self) -> Iterator[tuple[int, int]]:
+        """All (key, measure) pairs in key order."""
+        stack: list[_Node] = []
+        node = self._root
+        while stack or node is not None:
+            while node is not None:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            yield node.key, node.value
+            node = node.right

@@ -1,0 +1,254 @@
+"""An SB-tree-style temporal aggregation index.
+
+Section 6 situates the paper against classic temporal aggregation (Kline &
+Snodgrass; Yang & Widom's SB-tree; Zhang et al.'s multiversion SB-tree):
+structures that maintain, for interval data, the *instant aggregate
+function* ``f(t)`` = aggregate of all intervals containing ``t`` -- and
+answer queries "over the whole range in all non-temporal dimensions".
+
+This module provides that comparator with the SB-tree's asymptotics
+(O(log n) inserts and queries), built as an augmented treap over the
+function's change points:
+
+* ``value_at(t)``          -- the instant aggregate ``f(t)`` (SUM/COUNT);
+* ``integral(t1, t2)``     -- the time-weighted sum  ``sum_{t in [t1,t2]} f(t)``;
+* ``max_over(t1, t2)`` / ``min_over`` -- extrema of ``f`` over a window.
+
+The extrema are the interesting part: MAX is *not invertible*, so the
+paper's framework cannot support it (Section 1 restricts to invertible
+operators) -- this structure marks that boundary.  Internally each
+interval ``[s, e]`` with value ``v`` contributes ``+v`` at ``s`` and
+``-v`` at ``e + 1``; subtree nodes carry (sum, weighted sum, max-prefix,
+min-prefix) so window queries combine in O(log n).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.core.errors import DomainError, EmptyStructureError
+from repro.core.types import TimeInterval
+
+NEG_INF = float("-inf")
+POS_INF = float("inf")
+
+
+def _priority(key: int) -> int:
+    digest = hashlib.blake2b(repr(key).encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class _Node:
+    __slots__ = (
+        "key", "priority", "delta",
+        "sum", "wsum", "max_prefix", "min_prefix",
+        "left", "right",
+    )
+
+    def __init__(self, key: int, delta: int) -> None:
+        self.key = key
+        self.priority = _priority(key)
+        self.delta = delta
+        self.left: _Node | None = None
+        self.right: _Node | None = None
+        self.pull()
+
+    def pull(self) -> None:
+        left, right = self.left, self.right
+        left_sum = left.sum if left else 0
+        left_wsum = left.wsum if left else 0
+        right_sum = right.sum if right else 0
+        right_wsum = right.wsum if right else 0
+        self.sum = left_sum + self.delta + right_sum
+        self.wsum = left_wsum + self.delta * self.key + right_wsum
+        through = left_sum + self.delta
+        best = through
+        worst = through
+        if left:
+            best = max(best, left.max_prefix)
+            worst = min(worst, left.min_prefix)
+        if right:
+            best = max(best, through + right.max_prefix)
+            worst = min(worst, through + right.min_prefix)
+        self.max_prefix = best
+        self.min_prefix = worst
+
+
+class TemporalAggregateTree:
+    """Instant-aggregate index over interval insertions (SB-tree role)."""
+
+    def __init__(self) -> None:
+        self._root: _Node | None = None
+        self.intervals_inserted = 0
+        self.node_accesses = 0
+
+    def __len__(self) -> int:
+        """Number of distinct change points currently stored."""
+
+        def count(node: _Node | None) -> int:
+            if node is None:
+                return 0
+            return 1 + count(node.left) + count(node.right)
+
+        return count(self._root)
+
+    # -- updates -----------------------------------------------------------
+
+    def insert(self, interval: TimeInterval, value: int = 1) -> None:
+        """Add ``value`` to ``f(t)`` for every ``t`` in the interval."""
+        self._add(interval.start, int(value))
+        self._add(interval.end + 1, -int(value))
+        self.intervals_inserted += 1
+
+    def _add(self, key: int, delta: int) -> None:
+        self._root = self._insert(self._root, int(key), delta)
+
+    def _insert(self, node: _Node | None, key: int, delta: int) -> _Node:
+        self.node_accesses += 1
+        if node is None:
+            return _Node(key, delta)
+        if key == node.key:
+            node.delta += delta
+            node.pull()
+            return node
+        if key < node.key:
+            node.left = self._insert(node.left, key, delta)
+            if node.left.priority > node.priority:
+                node = self._rotate_right(node)
+            else:
+                node.pull()
+        else:
+            node.right = self._insert(node.right, key, delta)
+            if node.right.priority > node.priority:
+                node = self._rotate_left(node)
+            else:
+                node.pull()
+        return node
+
+    @staticmethod
+    def _rotate_right(node: _Node) -> _Node:
+        left = node.left
+        node.left = left.right
+        left.right = node
+        node.pull()
+        left.pull()
+        return left
+
+    @staticmethod
+    def _rotate_left(node: _Node) -> _Node:
+        right = node.right
+        node.right = right.left
+        right.left = node
+        node.pull()
+        right.pull()
+        return right
+
+    # -- range scans over change points ---------------------------------------
+
+    def _range(self, node: _Node | None, lo, hi):
+        """(sum, wsum, max_prefix, min_prefix) of keys in [lo, hi].
+
+        ``None`` bounds mean "unconstrained on this side", letting fully
+        covered subtrees contribute their cached aggregates in O(1) --
+        the scan follows at most the two boundary paths.  Prefix extrema
+        are over *non-empty* prefixes; +-inf when the range has no keys.
+        """
+        if node is None:
+            return 0, 0, NEG_INF, POS_INF
+        self.node_accesses += 1
+        if lo is None and hi is None:
+            return node.sum, node.wsum, node.max_prefix, node.min_prefix
+        if lo is not None and node.key < lo:
+            return self._range(node.right, lo, hi)
+        if hi is not None and node.key > hi:
+            return self._range(node.left, lo, hi)
+        ls, lw, lmax, lmin = self._range(node.left, lo, None)
+        rs, rw, rmax, rmin = self._range(node.right, None, hi)
+        total = ls + node.delta + rs
+        weighted = lw + node.delta * node.key + rw
+        through = ls + node.delta
+        best = max(lmax, through, through + rmax if rmax != NEG_INF else NEG_INF)
+        worst = min(lmin, through, through + rmin if rmin != POS_INF else POS_INF)
+        return total, weighted, best, worst
+
+    def _prefix(self, t: int) -> int:
+        """f(t): sum of deltas at keys <= t."""
+        total = 0
+        node = self._root
+        while node is not None:
+            self.node_accesses += 1
+            if node.key <= t:
+                total += node.delta + (node.left.sum if node.left else 0)
+                node = node.right
+            else:
+                node = node.left
+        return total
+
+    # -- queries -------------------------------------------------------------------
+
+    def value_at(self, t: int) -> int:
+        """The instant aggregate ``f(t)``."""
+        return self._prefix(int(t))
+
+    def integral(self, t_low: int, t_up: int) -> int:
+        """``sum of f(t) for t in [t_low, t_up]`` (time-weighted sum).
+
+        Each interval contributes its value times the length of its
+        overlap with the window.
+        """
+        t_low, t_up = int(t_low), int(t_up)
+        if t_low > t_up:
+            raise DomainError(f"inverted window [{t_low}, {t_up}]")
+        # sum over t of prefix(t) = (t_up + 1) P(t_up) - t_low P(t_low - 1)
+        #   - sum over keys k in (t_low, t_up] of delta_k * k   ... derived
+        # from counting how many window instants each delta covers.
+        p_up = self._prefix(t_up)
+        p_low = self._prefix(t_low - 1)
+        _, weighted, _, _ = self._range(self._root, t_low, t_up)
+        in_range_sum = p_up - p_low
+        # deltas at keys in [t_low, t_up] cover (t_up - k + 1) instants;
+        # deltas at keys < t_low cover the whole window.
+        return (
+            p_low * (t_up - t_low + 1)
+            + in_range_sum * (t_up + 1)
+            - weighted
+        )
+
+    def max_over(self, t_low: int, t_up: int) -> int:
+        """The maximum of ``f`` over the window (non-invertible MAX)."""
+        return self._extremum(t_low, t_up, maximum=True)
+
+    def min_over(self, t_low: int, t_up: int) -> int:
+        """The minimum of ``f`` over the window."""
+        return self._extremum(t_low, t_up, maximum=False)
+
+    def _extremum(self, t_low: int, t_up: int, maximum: bool) -> int:
+        t_low, t_up = int(t_low), int(t_up)
+        if t_low > t_up:
+            raise DomainError(f"inverted window [{t_low}, {t_up}]")
+        base = self._prefix(t_low)
+        _, _, best, worst = self._range(self._root, t_low + 1, t_up)
+        if maximum:
+            if best == NEG_INF:
+                return base
+            return max(base, base + int(best))
+        if worst == POS_INF:
+            return base
+        return min(base, base + int(worst))
+
+    def total_active(self) -> int:
+        """f at +infinity (0 once every interval has ended)."""
+        return self._root.sum if self._root else 0
+
+    def span(self) -> tuple[int, int]:
+        """The smallest and largest change point currently stored."""
+        if self._root is None:
+            raise EmptyStructureError("no intervals inserted")
+        low = self._root
+        self.node_accesses += 1
+        while low.left is not None:
+            low = low.left
+        high = self._root
+        while high.right is not None:
+            high = high.right
+        return low.key, high.key

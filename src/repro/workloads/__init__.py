@@ -1,0 +1,31 @@
+"""Workloads: the Section 5 datasets, query mixes and update streams.
+
+The weather data sets substitute synthetic generators for the (offline
+unavailable) edited synoptic cloud reports; shapes, densities and the
+clustered station structure follow Table 3 -- see DESIGN.md for the
+substitution rationale.  ``gauss3`` is generated exactly as described.
+"""
+
+from repro.workloads.datasets import (
+    Dataset,
+    gauss3,
+    weather4,
+    weather6,
+    dataset_by_name,
+    uniform,
+)
+from repro.workloads.queries import QueryWorkload, skew_queries, uni_queries
+from repro.workloads.streams import interleave_out_of_order
+
+__all__ = [
+    "Dataset",
+    "gauss3",
+    "weather4",
+    "weather6",
+    "dataset_by_name",
+    "uniform",
+    "QueryWorkload",
+    "skew_queries",
+    "uni_queries",
+    "interleave_out_of_order",
+]

@@ -1,0 +1,315 @@
+"""Synthetic versions of the Table 3 data sets.
+
+Table 3 of the paper:
+
+=========  ==========================================================
+weather4   COUNT cube of cloud reports; dims (time, latitude,
+           longitude, total cloud cover); 143,648,037 cells;
+           1,048,679 non-empty (density 0.0073)
+weather6   SUM cube of cloud reports; dims (time, latitude/10deg,
+           longitude/10deg, total cover, lower amount, middle
+           amount); 139,826,700 cells; 549,010 non-empty (0.0039)
+gauss3     SUM cube, 60 dense Gaussian clusters, 3 dims of domain
+           271 each; 19,902,511 cells; 950,633 non-empty (0.048)
+=========  ==========================================================
+
+The cloud-report source data (ship and land-station synoptic reports,
+1982-91) is not available offline; the weather generators reproduce the
+properties the experiments exercise instead: *stations* are spatially
+clustered (ships on lanes, land stations on continents), report repeatedly
+over time with gaps, and cloud attributes are correlated per station.  This
+preserves the per-slice update distribution (which drives the copy
+amortization of Figures 12/13 and Table 4) and the spatial clustering of
+populated cells (which drives eCube convergence in Figures 10/11).
+
+``gauss3`` follows the paper exactly.  Every generator takes a ``scale``
+knob shrinking each domain (and the point budget) proportionally so the
+default experiment runs fit a laptop; ``scale=1.0`` gives the paper's
+shapes.  Axis 0 is always the TT-dimension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+import numpy as np
+
+from repro.core.errors import DomainError
+
+#: Paper-exact full-scale shapes (time first).
+WEATHER4_FULL_SHAPE = (246, 180, 360, 9)
+WEATHER6_FULL_SHAPE = (296, 18, 36, 9, 9, 9)
+GAUSS3_FULL_SHAPE = (271, 271, 271)
+
+WEATHER4_DENSITY = 0.0073
+WEATHER6_DENSITY = 0.0039
+GAUSS3_DENSITY = 0.048
+
+
+@dataclass(frozen=True, eq=False)
+class Dataset:
+    """A generated data set: an ordered append-only update stream.
+
+    ``coords`` rows are sorted by the TT-coordinate (axis 0), so iterating
+    them *is* the paper's append-only arrival order.  Duplicate coordinates
+    are legitimate (several updates to one cell); ``non_empty`` counts
+    distinct cells as Table 3 does.
+    """
+
+    name: str
+    shape: tuple[int, ...]
+    measure: str  # "COUNT" or "SUM"
+    coords: np.ndarray = field(repr=False)  # (n, d) int64, time-sorted
+    values: np.ndarray = field(repr=False)  # (n,) int64
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def num_updates(self) -> int:
+        return int(self.coords.shape[0])
+
+    @property
+    def num_cells(self) -> int:
+        return int(np.prod(self.shape))
+
+    @property
+    def slice_shape(self) -> tuple[int, ...]:
+        return self.shape[1:]
+
+    @lru_cache(maxsize=1)
+    def non_empty(self) -> int:
+        return int(np.unique(self.coords, axis=0).shape[0])
+
+    def density(self) -> float:
+        return self.non_empty() / self.num_cells
+
+    def updates(self):
+        """Yield (coordinate tuple, delta) in arrival order."""
+        for row, value in zip(self.coords, self.values):
+            yield tuple(int(c) for c in row), int(value)
+
+    def dense(self) -> np.ndarray:
+        """Materialize the raw cube (small shapes only)."""
+        if self.num_cells > 50_000_000:
+            raise DomainError(
+                f"refusing to densify {self.num_cells} cells; "
+                "use the update stream instead"
+            )
+        cube = np.zeros(self.shape, dtype=np.int64)
+        np.add.at(cube, tuple(self.coords.T), self.values)
+        return cube
+
+    def occurring_times(self) -> np.ndarray:
+        return np.unique(self.coords[:, 0])
+
+    def updates_per_slice(self) -> np.ndarray:
+        """Update counts per occurring time (the copy-amortization driver)."""
+        _, counts = np.unique(self.coords[:, 0], return_counts=True)
+        return counts
+
+
+def _scaled_shape(full: tuple[int, ...], scale: float) -> tuple[int, ...]:
+    if not 0 < scale <= 1:
+        raise DomainError(f"scale must be in (0, 1], got {scale}")
+    # Small categorical domains (cloud octas) must not collapse: floor at 4.
+    return tuple(max(4, round(n * scale)) for n in full)
+
+
+def _finish(
+    name: str,
+    shape: tuple[int, ...],
+    measure: str,
+    coords: np.ndarray,
+    values: np.ndarray,
+) -> Dataset:
+    order = np.argsort(coords[:, 0], kind="stable")
+    return Dataset(
+        name=name,
+        shape=shape,
+        measure=measure,
+        coords=np.ascontiguousarray(coords[order]),
+        values=np.ascontiguousarray(values[order]),
+    )
+
+
+def _station_field(
+    rng: np.random.Generator,
+    lat_size: int,
+    lon_size: int,
+    num_stations: int,
+    num_clusters: int = 5,
+) -> np.ndarray:
+    """Spatially clustered station positions (continents / shipping lanes).
+
+    A handful of tight clusters with unequal weights: most stations sit on
+    a few "continents", compressing pairwise distances well below a
+    uniform field (asserted statistically in the test suite).
+    """
+    centers = np.column_stack(
+        [
+            rng.uniform(0.15 * lat_size, 0.85 * lat_size, size=num_clusters),
+            rng.uniform(0.15 * lon_size, 0.85 * lon_size, size=num_clusters),
+        ]
+    )
+    spread = np.array([lat_size, lon_size], dtype=float) * 0.035 + 0.5
+    weights = rng.dirichlet(np.full(num_clusters, 0.8))
+    assignment = rng.choice(num_clusters, size=num_stations, p=weights)
+    positions = centers[assignment] + rng.normal(0, 1, size=(num_stations, 2)) * spread
+    positions[:, 0] = np.clip(np.round(positions[:, 0]), 0, lat_size - 1)
+    positions[:, 1] = np.clip(np.round(positions[:, 1]), 0, lon_size - 1)
+    return positions.astype(np.int64)
+
+
+def _weather(
+    name: str,
+    full_shape: tuple[int, ...],
+    density: float,
+    measure: str,
+    scale: float,
+    seed: int,
+    cloud_dims: int,
+) -> Dataset:
+    shape = _scaled_shape(full_shape, scale)
+    rng = np.random.default_rng(seed)
+    num_times, lat_size, lon_size = shape[0], shape[1], shape[2]
+    cloud_sizes = shape[3:]
+    target_updates = max(64, int(density * np.prod(shape)))
+
+    # Enough stations that each reports a handful of times over the history.
+    num_stations = max(8, target_updates // max(8, num_times // 4))
+    stations = _station_field(rng, lat_size, lon_size, num_stations)
+    # Per-station persistent cloud state: a shared "cloudiness" factor
+    # plus attribute-specific variation, so total cover and the amount
+    # attributes correlate positively as in real synoptic reports.
+    cloudiness = rng.uniform(0, 1, size=(num_stations, 1))
+    station_state = np.clip(
+        0.65 * cloudiness
+        + 0.35 * rng.uniform(0, 1, size=(num_stations, len(cloud_sizes))),
+        0.0,
+        1.0,
+    )
+    report_prob = min(1.0, target_updates / (num_stations * num_times))
+
+    coords_parts: list[np.ndarray] = []
+    for t in range(num_times):
+        reporting = np.nonzero(rng.random(num_stations) < report_prob)[0]
+        if reporting.size == 0:
+            reporting = rng.integers(0, num_stations, size=1)
+        block = np.empty((reporting.size, len(shape)), dtype=np.int64)
+        block[:, 0] = t
+        block[:, 1] = stations[reporting, 0]
+        block[:, 2] = stations[reporting, 1]
+        for j, size in enumerate(cloud_sizes):
+            drift = station_state[reporting, j] + rng.normal(
+                0, 0.15, size=reporting.size
+            )
+            block[:, 3 + j] = np.clip(
+                np.round(drift * (size - 1)), 0, size - 1
+            ).astype(np.int64)
+        coords_parts.append(block)
+    coords = np.concatenate(coords_parts, axis=0)
+    if measure == "COUNT":
+        values = np.ones(coords.shape[0], dtype=np.int64)
+    else:
+        values = rng.integers(1, 9, size=coords.shape[0]).astype(np.int64)
+    return _finish(name, shape, measure, coords, values)
+
+
+def weather4(scale: float = 0.25, seed: int = 42) -> Dataset:
+    """Synthetic stand-in for the 4-dimensional COUNT cloud cube.
+
+    ``scale=1.0`` reproduces the paper's (246, 180, 360, 9) shape; the
+    default keeps experiment runtimes laptop-friendly.
+    """
+    return _weather(
+        "weather4", WEATHER4_FULL_SHAPE, WEATHER4_DENSITY, "COUNT",
+        scale, seed, cloud_dims=1,
+    )
+
+
+def weather6(scale: float = 0.55, seed: int = 43) -> Dataset:
+    """Synthetic stand-in for the 6-dimensional SUM cloud cube.
+
+    ``scale=1.0`` reproduces the paper's (296, 18, 36, 9, 9, 9) shape.
+    """
+    return _weather(
+        "weather6", WEATHER6_FULL_SHAPE, WEATHER6_DENSITY, "SUM",
+        scale, seed, cloud_dims=3,
+    )
+
+
+def gauss3(scale: float = 0.35, seed: int = 44, num_clusters: int = 60) -> Dataset:
+    """The Gaussian-cluster SUM cube, exactly as the paper describes.
+
+    60 dense clusters in a cube of domain 271 per dimension at full scale;
+    overall density 0.048.  Cluster time-variance produces the per-slice
+    update-count variance the paper credits for the gauss3 maximum in
+    Table 4.
+    """
+    shape = _scaled_shape(GAUSS3_FULL_SHAPE, scale)
+    rng = np.random.default_rng(seed)
+    target_updates = max(64, int(GAUSS3_DENSITY * np.prod(shape) * 1.25))
+    centers = rng.uniform(0, 1, size=(num_clusters, 3)) * (
+        np.array(shape, dtype=float) - 1
+    )
+    sigma = np.array(shape, dtype=float) * 0.035 + 0.5
+    per_cluster = rng.multinomial(
+        target_updates, np.full(num_clusters, 1.0 / num_clusters)
+    )
+    parts = []
+    for center, count in zip(centers, per_cluster):
+        if count == 0:
+            continue
+        pts = rng.normal(center, sigma, size=(count, 3))
+        pts = np.clip(np.round(pts), 0, np.array(shape) - 1)
+        parts.append(pts.astype(np.int64))
+    coords = np.concatenate(parts, axis=0)
+    values = rng.integers(1, 11, size=coords.shape[0]).astype(np.int64)
+    return _finish("gauss3", shape, "SUM", coords, values)
+
+
+def uniform(
+    shape: tuple[int, ...] | list[int],
+    density: float = 0.05,
+    seed: int = 45,
+    measure: str = "SUM",
+) -> Dataset:
+    """A uniform synthetic cube (Section 5 mentions these as control data).
+
+    Non-empty cells are drawn uniformly over the whole domain; useful for
+    the dimensionality ablation where clustered structure would confound
+    the comparison.
+    """
+    shape = tuple(int(n) for n in shape)
+    if any(n <= 0 for n in shape):
+        raise DomainError(f"invalid shape {shape}")
+    if not 0 < density <= 1:
+        raise DomainError(f"density must be in (0, 1], got {density}")
+    rng = np.random.default_rng(seed)
+    num_updates = max(16, int(density * np.prod(shape)))
+    coords = np.column_stack(
+        [rng.integers(0, n, size=num_updates) for n in shape]
+    ).astype(np.int64)
+    if measure == "COUNT":
+        values = np.ones(num_updates, dtype=np.int64)
+    else:
+        values = rng.integers(1, 10, size=num_updates).astype(np.int64)
+    return _finish(f"uniform{len(shape)}d", shape, measure, coords, values)
+
+
+def dataset_by_name(name: str, scale: float | None = None, seed: int | None = None) -> Dataset:
+    """Instantiate a Table 3 data set by name with optional overrides."""
+    generators = {"weather4": weather4, "weather6": weather6, "gauss3": gauss3}
+    try:
+        generator = generators[name.lower()]
+    except KeyError:
+        raise DomainError(f"unknown data set {name!r}") from None
+    kwargs = {}
+    if scale is not None:
+        kwargs["scale"] = scale
+    if seed is not None:
+        kwargs["seed"] = seed
+    return generator(**kwargs)

@@ -1,0 +1,112 @@
+"""The Section 5 query workloads ``uni`` and ``skew``.
+
+For every dimension one of four predicate shapes is drawn:
+
+=================  ===========  ============================
+prefix range       prob. 0.1    ``min <= x <= A``
+general range      prob. 0.7    ``A <= x <= B``
+point query        prob. 0.1    ``x = A``
+complete domain    prob. 0.1    ``min <= x <= max``
+=================  ===========  ============================
+
+with A, B uniform in the dimension's domain -- "this selection favors
+general ranges and generates a wide spectrum of different selectivities".
+
+``skew`` draws 80 % of its queries inside a fixed subregion covering half
+of each domain (``0.5^d`` of the data space); the remaining 20 % are
+``uni`` queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import DomainError
+from repro.core.types import Box
+
+#: (prefix, general, point, complete) predicate probabilities of Section 5.
+PREDICATE_PROBABILITIES = (0.1, 0.7, 0.1, 0.1)
+
+
+@dataclass(frozen=True)
+class QueryWorkload:
+    """A named, reproducible sequence of range queries."""
+
+    name: str
+    shape: tuple[int, ...]
+    queries: tuple[Box, ...]
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self):
+        return iter(self.queries)
+
+    def __getitem__(self, index):
+        return self.queries[index]
+
+
+def _one_dimension(rng: np.random.Generator, low: int, high: int) -> tuple[int, int]:
+    """One predicate on a domain ``[low, high]`` per the Section 5 mix."""
+    kind = rng.choice(4, p=PREDICATE_PROBABILITIES)
+    if kind == 0:  # prefix range: min <= x <= A
+        return low, int(rng.integers(low, high + 1))
+    if kind == 1:  # general range: A <= x <= B
+        a = int(rng.integers(low, high + 1))
+        b = int(rng.integers(low, high + 1))
+        return (a, b) if a <= b else (b, a)
+    if kind == 2:  # point query
+        a = int(rng.integers(low, high + 1))
+        return a, a
+    return low, high  # complete domain
+
+
+def _one_query(rng: np.random.Generator, bounds: list[tuple[int, int]]) -> Box:
+    per_dim = [_one_dimension(rng, low, high) for low, high in bounds]
+    return Box(
+        tuple(low for low, _ in per_dim), tuple(high for _, high in per_dim)
+    )
+
+
+def uni_queries(
+    shape: tuple[int, ...] | list[int], count: int, seed: int = 7
+) -> QueryWorkload:
+    """The ``uni`` workload: uniform predicate parameters."""
+    shape = tuple(int(n) for n in shape)
+    _check(shape, count)
+    rng = np.random.default_rng(seed)
+    bounds = [(0, n - 1) for n in shape]
+    queries = tuple(_one_query(rng, bounds) for _ in range(count))
+    return QueryWorkload("uni", shape, queries)
+
+
+def skew_queries(
+    shape: tuple[int, ...] | list[int],
+    count: int,
+    seed: int = 7,
+    hot_fraction: float = 0.8,
+) -> QueryWorkload:
+    """The ``skew`` workload: 80 % of queries in a half-per-dimension region."""
+    shape = tuple(int(n) for n in shape)
+    _check(shape, count)
+    rng = np.random.default_rng(seed)
+    full_bounds = [(0, n - 1) for n in shape]
+    hot_bounds = []
+    for n in shape:
+        span = max(1, n // 2)
+        start = int(rng.integers(0, n - span + 1))
+        hot_bounds.append((start, start + span - 1))
+    queries = tuple(
+        _one_query(rng, hot_bounds if rng.random() < hot_fraction else full_bounds)
+        for _ in range(count)
+    )
+    return QueryWorkload("skew", shape, queries)
+
+
+def _check(shape: tuple[int, ...], count: int) -> None:
+    if any(n <= 0 for n in shape):
+        raise DomainError(f"invalid shape {shape}")
+    if count <= 0:
+        raise DomainError("query count must be positive")

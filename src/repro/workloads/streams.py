@@ -1,0 +1,65 @@
+"""Update-stream shaping: injecting out-of-order arrivals (Section 2.5).
+
+A dataset's natural stream is perfectly append-only.  To exercise the
+``G_d`` buffering path, :func:`interleave_out_of_order` delays a fraction
+of the updates so they arrive *after* later time slices have opened --
+late-registered sales or corrected historic values in the paper's terms.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+from repro.core.errors import DomainError
+
+Update = tuple[tuple[int, ...], int]
+
+
+def interleave_out_of_order(
+    updates: Iterable[Update],
+    fraction: float,
+    seed: int = 13,
+    max_delay: int = 64,
+) -> Iterator[Update]:
+    """Yield ``updates`` with ``fraction`` of them delayed in arrival order.
+
+    A delayed update keeps its original (historic) TT-coordinate but is
+    emitted up to ``max_delay`` positions later, after updates with greater
+    time coordinates -- exactly the out-of-order shape of Section 2.5.
+    The remaining stream stays in its original order.
+    """
+    if not 0 <= fraction <= 1:
+        raise DomainError(f"fraction must be in [0, 1], got {fraction}")
+    if max_delay <= 0:
+        raise DomainError("max_delay must be positive")
+    rng = np.random.default_rng(seed)
+    pending: list[tuple[int, Update]] = []  # (release position, update)
+    for position, update in enumerate(updates):
+        released = [item for item in pending if item[0] <= position]
+        pending = [item for item in pending if item[0] > position]
+        for _, late in sorted(released):
+            yield late
+        if fraction > 0 and rng.random() < fraction:
+            delay = int(rng.integers(1, max_delay + 1))
+            pending.append((position + delay, update))
+        else:
+            yield update
+    for _, late in sorted(pending):
+        yield late
+
+
+def split_stream(
+    updates: Iterable[Update], boundary_time: int
+) -> tuple[list[Update], list[Update]]:
+    """Split a stream into (up to boundary, after boundary) by TT-coordinate.
+
+    Useful for experiments that load a prefix of the history and then
+    measure the integration cost of the remainder.
+    """
+    before: list[Update] = []
+    after: list[Update] = []
+    for update in updates:
+        (before if update[0][0] <= boundary_time else after).append(update)
+    return before, after

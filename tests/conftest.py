@@ -1,0 +1,44 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.types import Box
+from repro.metrics import CostCounter
+
+
+@pytest.fixture
+def counter() -> CostCounter:
+    return CostCounter()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+def brute_box_sum(dense: np.ndarray, box: Box) -> int:
+    """Reference aggregate: plain numpy sum over the inclusive box."""
+    slices = tuple(slice(low, up + 1) for low, up in zip(box.lower, box.upper))
+    return int(dense[slices].sum())
+
+
+def random_box(rng: np.random.Generator, shape: tuple[int, ...]) -> Box:
+    """A random inclusive box within an array of the given shape."""
+    lower = []
+    upper = []
+    for n in shape:
+        a, b = sorted(int(v) for v in rng.integers(0, n, size=2))
+        lower.append(a)
+        upper.append(b)
+    return Box(tuple(lower), tuple(upper))
+
+
+def apply_updates(dense_shape, updates):
+    """Materialize a list of (point, delta) updates as a dense cube."""
+    dense = np.zeros(dense_shape, dtype=np.int64)
+    for point, delta in updates:
+        dense[tuple(point)] += delta
+    return dense

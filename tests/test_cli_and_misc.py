@@ -1,0 +1,65 @@
+"""CLI smoke tests and assorted coverage of small surfaces."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.__main__ import main as repro_main
+from repro.core import errors
+
+
+class TestPackage:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_version(self):
+        assert repro.__version__
+
+    def test_module_docstring_quickstart_is_valid(self):
+        # the package docstring shows a runnable snippet; keep it honest
+        from repro import Box, EvolvingDataCube
+
+        cube = EvolvingDataCube(slice_shape=(8, 8), num_times=16)
+        cube.update((0, 2, 3), +5)
+        cube.update((1, 2, 3), +7)
+        assert cube.query(Box((0, 0, 0), (1, 7, 7))) == 12
+
+
+class TestCLI:
+    def test_info(self, capsys):
+        assert repro_main([]) == 0
+        out = capsys.readouterr().out
+        assert "SIGMOD 2002" in out
+        assert "EvolvingDataCube" in out
+
+    def test_demo(self, capsys):
+        assert repro_main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "range aggregate" in out
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            repro_main(["frobnicate"])
+
+
+class TestErrorHierarchy:
+    def test_all_errors_are_repro_errors(self):
+        for name in (
+            "AppendOrderError",
+            "DomainError",
+            "EmptyStructureError",
+            "OperatorError",
+            "StorageError",
+            "AgedOutError",
+        ):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError)
+            assert issubclass(cls, Exception)
+
+    def test_catchable_as_base(self):
+        from repro.core.types import Box
+
+        with pytest.raises(errors.ReproError):
+            Box((2,), (1,))

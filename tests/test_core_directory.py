@@ -1,0 +1,105 @@
+"""Tests for the occurring-time directory."""
+
+from __future__ import annotations
+
+import bisect
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.directory import TimeDirectory
+from repro.core.errors import AppendOrderError, EmptyStructureError
+
+
+class TestAppendDiscipline:
+    def test_appends_must_be_strictly_increasing(self):
+        directory: TimeDirectory[str] = TimeDirectory()
+        directory.append(3, "a")
+        with pytest.raises(AppendOrderError):
+            directory.append(3, "b")
+        with pytest.raises(AppendOrderError):
+            directory.append(1, "c")
+
+    def test_empty_directory_properties(self):
+        directory: TimeDirectory[str] = TimeDirectory()
+        assert len(directory) == 0
+        assert not directory
+        with pytest.raises(EmptyStructureError):
+            _ = directory.latest
+        with pytest.raises(EmptyStructureError):
+            _ = directory.latest_time
+
+
+class TestLookups:
+    def test_floor_semantics(self):
+        directory: TimeDirectory[str] = TimeDirectory()
+        for time, payload in [(2, "a"), (5, "b"), (9, "c")]:
+            directory.append(time, payload)
+        assert directory.floor(1) is None
+        assert directory.floor(2) == (2, "a")
+        assert directory.floor(4) == (2, "a")
+        assert directory.floor(5) == (5, "b")
+        assert directory.floor(100) == (9, "c")
+
+    def test_strictly_before(self):
+        directory: TimeDirectory[str] = TimeDirectory()
+        directory.append(2, "a")
+        directory.append(5, "b")
+        assert directory.strictly_before(2) is None
+        assert directory.strictly_before(3) == (2, "a")
+        assert directory.strictly_before(5) == (2, "a")
+        assert directory.strictly_before(6) == (5, "b")
+
+    def test_latest_pointer_constant_time(self):
+        directory: TimeDirectory[int] = TimeDirectory()
+        directory.append(1, 10)
+        directory.append(4, 40)
+        before = directory.comparisons
+        assert directory.latest == 40
+        assert directory.latest_time == 4
+        assert directory.comparisons == before  # no search involved
+
+    def test_replace_latest(self):
+        directory: TimeDirectory[int] = TimeDirectory()
+        directory.append(1, 10)
+        directory.replace_latest(11)
+        assert directory.latest == 11
+
+    def test_payload_at_time_exact(self):
+        directory: TimeDirectory[str] = TimeDirectory()
+        directory.append(2, "a")
+        assert directory.payload_at_time(2) == "a"
+        with pytest.raises(KeyError):
+            directory.payload_at_time(3)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        times=st.lists(st.integers(0, 10_000), min_size=1, max_size=200, unique=True),
+        probes=st.lists(st.integers(-5, 10_005), min_size=1, max_size=50),
+    )
+    def test_floor_matches_bisect_model(self, times, probes):
+        times = sorted(times)
+        directory: TimeDirectory[int] = TimeDirectory()
+        for index, time in enumerate(times):
+            directory.append(time, index)
+        for probe in probes:
+            position = bisect.bisect_right(times, probe) - 1
+            expected = None if position < 0 else (times[position], position)
+            assert directory.floor(probe) == expected
+
+
+class TestLookupCost:
+    def test_comparisons_logarithmic(self):
+        directory: TimeDirectory[int] = TimeDirectory()
+        n = 4096
+        for time in range(n):
+            directory.append(time, time)
+        directory.comparisons = 0
+        directory.lookups = 0
+        rng = np.random.default_rng(0)
+        for probe in rng.integers(0, n, size=100):
+            directory.floor(int(probe))
+        assert directory.lookups == 100
+        assert directory.comparisons / 100 <= np.log2(n) + 1

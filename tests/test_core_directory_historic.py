@@ -1,0 +1,57 @@
+"""Tests for historic inserts into the time directory (drain support)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.directory import TimeDirectory
+from repro.core.errors import AppendOrderError, EmptyStructureError
+
+
+@pytest.fixture
+def directory() -> TimeDirectory[str]:
+    d: TimeDirectory[str] = TimeDirectory()
+    for time, payload in [(2, "a"), (5, "b"), (9, "c")]:
+        d.append(time, payload)
+    return d
+
+
+class TestInsertHistoric:
+    def test_inserts_between_existing_times(self, directory):
+        index = directory.insert_historic(4, "x")
+        assert index == 1
+        assert directory.times() == (2, 4, 5, 9)
+        assert directory.floor(4) == (4, "x")
+        assert directory.strictly_before(5) == (4, "x")
+
+    def test_inserts_before_all(self, directory):
+        index = directory.insert_historic(0, "z")
+        assert index == 0
+        assert directory.times() == (0, 2, 5, 9)
+
+    def test_latest_pointer_unaffected(self, directory):
+        directory.insert_historic(4, "x")
+        assert directory.latest == "c"
+        assert directory.latest_time == 9
+
+    def test_rejects_at_or_after_latest(self, directory):
+        with pytest.raises(AppendOrderError):
+            directory.insert_historic(9, "x")
+        with pytest.raises(AppendOrderError):
+            directory.insert_historic(12, "x")
+
+    def test_rejects_existing_time(self, directory):
+        with pytest.raises(AppendOrderError):
+            directory.insert_historic(5, "x")
+
+    def test_rejects_on_empty(self):
+        empty: TimeDirectory[str] = TimeDirectory()
+        with pytest.raises(EmptyStructureError):
+            empty.insert_historic(1, "x")
+
+    def test_appends_still_work_afterwards(self, directory):
+        directory.insert_historic(3, "x")
+        directory.append(11, "d")
+        assert directory.times() == (2, 3, 5, 9, 11)
+        with pytest.raises(AppendOrderError):
+            directory.append(11, "e")

@@ -1,0 +1,149 @@
+"""Tests for interval objects with extent in the TT-dimension (Section 2.4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import AppendOrderError
+from repro.core.extent import IntervalAggregator
+from repro.core.types import TimeInterval
+
+
+def brute_intersecting(objects, query, key_low, key_up):
+    return sum(
+        v
+        for interval, key, v in objects
+        if interval.intersects(query) and key_low <= key <= key_up
+    )
+
+
+def brute_containment(objects, query):
+    return sum(v for interval, _key, v in objects if interval.contained_in(query))
+
+
+def random_objects(rng, count, horizon=60, keys=10):
+    objects = []
+    starts = np.sort(rng.integers(0, horizon, size=count))
+    for start in starts:
+        end = int(start + rng.integers(0, horizon // 3))
+        objects.append(
+            (
+                TimeInterval(int(start), end),
+                int(rng.integers(0, keys)),
+                int(rng.integers(1, 5)),
+            )
+        )
+    return objects
+
+
+class TestAppendDiscipline:
+    def test_starts_must_not_regress_past_clock(self):
+        agg = IntervalAggregator()
+        agg.insert(TimeInterval(5, 9), key=0)
+        agg.intersecting(TimeInterval(0, 20), 0, 10)  # advances clock to 20
+        with pytest.raises(AppendOrderError):
+            agg.insert(TimeInterval(10, 12), key=0)
+
+    def test_inserts_in_start_order_ok(self):
+        agg = IntervalAggregator()
+        agg.insert(TimeInterval(0, 100), key=1)
+        agg.insert(TimeInterval(0, 3), key=2)
+        agg.insert(TimeInterval(7, 9), key=3)
+        assert agg.objects_inserted == 3
+
+
+class TestIntersecting:
+    def test_paper_equation_components(self):
+        # b(t_up) + c(t_up) - b(t_low)
+        agg = IntervalAggregator()
+        agg.insert(TimeInterval(0, 4), key=1)   # ends before query
+        agg.insert(TimeInterval(2, 8), key=1)   # spans the query start
+        agg.insert(TimeInterval(6, 12), key=1)  # alive at t_up
+        assert agg.intersecting(TimeInterval(5, 10), 0, 9) == 2
+
+    def test_interval_touching_boundaries_counts(self):
+        agg = IntervalAggregator()
+        agg.insert(TimeInterval(0, 5), key=1)
+        agg.insert(TimeInterval(10, 15), key=1)
+        # touching at the endpoints intersects
+        assert agg.intersecting(TimeInterval(5, 10), 0, 9) == 2
+        assert agg.intersecting(TimeInterval(6, 9), 0, 9) == 0
+
+    def test_key_range_filters(self):
+        agg = IntervalAggregator()
+        agg.insert(TimeInterval(0, 10), key=1, value=5)
+        agg.insert(TimeInterval(0, 10), key=7, value=9)
+        assert agg.intersecting(TimeInterval(0, 10), 0, 3) == 5
+        assert agg.intersecting(TimeInterval(0, 10), 5, 9) == 9
+        assert agg.intersecting(TimeInterval(0, 10), 0, 9) == 14
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_matches_brute_force(self, data):
+        seed = data.draw(st.integers(0, 2**31))
+        count = data.draw(st.integers(1, 60))
+        rng = np.random.default_rng(seed)
+        objects = random_objects(rng, count)
+        agg = IntervalAggregator()
+        for interval, key, value in objects:
+            agg.insert(interval, key, value)
+        # queries in increasing end order (they advance the clock)
+        ends = np.sort(rng.integers(0, 90, size=8))
+        for end in ends:
+            start = int(rng.integers(0, end + 1))
+            key_low = int(rng.integers(0, 10))
+            key_up = int(rng.integers(key_low, 10))
+            query = TimeInterval(start, int(end))
+            assert agg.intersecting(query, key_low, key_up) == brute_intersecting(
+                objects, query, key_low, key_up
+            )
+
+
+class TestContainment:
+    def test_basic(self):
+        agg = IntervalAggregator()
+        agg.insert(TimeInterval(0, 4), key=1)
+        agg.insert(TimeInterval(2, 8), key=1)
+        agg.insert(TimeInterval(3, 3), key=1)
+        assert agg.containment(TimeInterval(0, 4)) == 2
+        assert agg.containment(TimeInterval(0, 8)) == 3
+        assert agg.containment(TimeInterval(5, 9)) == 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_matches_brute_force(self, data):
+        seed = data.draw(st.integers(0, 2**31))
+        count = data.draw(st.integers(1, 50))
+        rng = np.random.default_rng(seed)
+        objects = random_objects(rng, count)
+        agg = IntervalAggregator()
+        for interval, key, value in objects:
+            agg.insert(interval, key, value)
+        ends = np.sort(rng.integers(0, 90, size=6))
+        for end in ends:
+            start = int(rng.integers(0, end + 1))
+            query = TimeInterval(start, int(end))
+            assert agg.containment(query) == brute_containment(objects, query)
+
+
+class TestAliveAt:
+    def test_c_family(self):
+        agg = IntervalAggregator()
+        agg.insert(TimeInterval(0, 4), key=1, value=2)
+        agg.insert(TimeInterval(3, 9), key=2, value=5)
+        assert agg.alive_at(0, 0, 9) == 2
+        assert agg.alive_at(3, 0, 9) == 7
+        assert agg.alive_at(4, 0, 9) == 7  # interval contains its endpoint
+        assert agg.alive_at(5, 0, 9) == 5
+
+    def test_update_cost_shape(self):
+        # an insert touches C once; its end later triggers one delete from
+        # C and one insert to B (storage roughly doubles)
+        agg = IntervalAggregator()
+        agg.insert(TimeInterval(0, 2), key=1)
+        assert agg.pending_ends == 1
+        agg.alive_at(10, 0, 9)  # flushes the end event
+        assert agg.pending_ends == 0

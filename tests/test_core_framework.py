@@ -1,0 +1,208 @@
+"""Tests for the general append-only framework (Section 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import AppendOrderError, DomainError
+from repro.core.framework import (
+    AppendOnlyAggregator,
+    CopySnapshotStructure,
+    TreeSliceStructure,
+)
+from repro.core.types import Box
+
+from tests.conftest import brute_box_sum, random_box
+
+
+def random_stream(rng, shape, count, out_of_order=0.0):
+    times = np.sort(rng.integers(0, shape[0], size=count))
+    if out_of_order:
+        # move a fraction of updates earlier in time than already-seen ones
+        times = times.copy()
+    updates = []
+    for t in times:
+        updates.append(
+            ((int(t), int(rng.integers(0, shape[1]))), int(rng.integers(-5, 9)))
+        )
+    return updates
+
+
+class TestPaperSection22Example:
+    """The running example of Figure 1/Figure 2."""
+
+    def test_figure2_query(self):
+        # points (time, location, value) from Figure 1's final state,
+        # reconstructed from the narrative: query 2<=t<=4, 3<=loc<=5 -> 6
+        agg = AppendOnlyAggregator(ndim=2)
+        agg.update((1, 4), 7)  # R1(1) answers 7 on location range 3..5
+        agg.update((3, 3), 2)
+        agg.update((3, 7), 5)
+        agg.update((4, 5), 4)
+        agg.update((4, 1), 3)
+        assert agg.query(Box((2, 3), (4, 5))) == 6
+        # the prefix-time decomposition: R1(4) gives 13, R1(1) gives 7
+        assert agg.query(Box((0, 3), (4, 5))) == 13
+        assert agg.query(Box((0, 3), (1, 5))) == 7
+
+
+class TestConstruction:
+    def test_needs_two_dimensions(self):
+        with pytest.raises(DomainError):
+            AppendOnlyAggregator(ndim=1)
+
+    def test_default_factory_is_one_dimensional_only(self):
+        with pytest.raises(DomainError):
+            AppendOnlyAggregator(ndim=3)
+
+    def test_out_of_order_disabled_raises(self):
+        agg = AppendOnlyAggregator(ndim=2)
+        agg.update((5, 0), 1)
+        with pytest.raises(AppendOrderError):
+            agg.update((4, 0), 1)
+
+
+class TestCorrectness:
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_matches_dense_reference(self, data):
+        shape = (
+            data.draw(st.integers(2, 30)),
+            data.draw(st.integers(2, 30)),
+        )
+        count = data.draw(st.integers(1, 120))
+        seed = data.draw(st.integers(0, 2**31))
+        rng = np.random.default_rng(seed)
+        updates = random_stream(rng, shape, count)
+        agg = AppendOnlyAggregator(ndim=2)
+        dense = np.zeros(shape, dtype=np.int64)
+        for point, delta in updates:
+            agg.update(point, delta)
+            dense[point] += delta
+        for _ in range(10):
+            box = random_box(rng, shape)
+            assert agg.query(box) == brute_box_sum(dense, box)
+
+    def test_interleaved_queries(self):
+        rng = np.random.default_rng(60)
+        shape = (40, 20)
+        agg = AppendOnlyAggregator(ndim=2)
+        dense = np.zeros(shape, dtype=np.int64)
+        for point, delta in random_stream(rng, shape, 300):
+            agg.update(point, delta)
+            dense[point] += delta
+            box = random_box(rng, shape)
+            assert agg.query(box) == brute_box_sum(dense, box)
+
+    def test_snapshot_count_equals_occurring_times(self):
+        rng = np.random.default_rng(61)
+        agg = AppendOnlyAggregator(ndim=2)
+        times = sorted(set(int(t) for t in rng.integers(0, 50, size=30)))
+        for t in times:
+            agg.update((t, 0), 1)
+        assert agg.num_instances == len(times)
+        assert agg.occurring_times() == tuple(times)
+
+
+class TestOutOfOrder:
+    def test_buffered_and_queryable(self):
+        agg = AppendOnlyAggregator(ndim=2, out_of_order=True)
+        agg.update((0, 3), 5)
+        agg.update((10, 4), 7)
+        agg.update((5, 3), 100)  # late arrival for historic time 5
+        assert agg.buffered_updates == 1
+        assert agg.query(Box((0, 0), (10, 9))) == 112
+        assert agg.query(Box((4, 0), (6, 9))) == 100
+        assert agg.query(Box((6, 0), (10, 9))) == 7
+
+    def test_drain_applies_to_all_later_instances(self):
+        agg = AppendOnlyAggregator(ndim=2, out_of_order=True)
+        for t in [0, 3, 6, 9]:
+            agg.update((t, 1), 1)
+        agg.update((4, 1), 50)  # late; affects instances 6, 9 and beyond
+        drained = agg.drain()
+        assert drained == 1
+        assert agg.buffered_updates == 0
+        assert agg.query(Box((0, 0), (3, 9))) == 2
+        assert agg.query(Box((0, 0), (5, 9))) == 52
+        assert agg.query(Box((0, 0), (9, 9))) == 54
+        assert agg.query(Box((4, 0), (6, 9))) == 51
+
+    def test_drain_limit(self):
+        agg = AppendOnlyAggregator(ndim=2, out_of_order=True)
+        agg.update((10, 0), 1)
+        for t in (1, 2, 3):
+            agg.update((t, 0), 10)
+        assert agg.drain(limit=2) == 2
+        assert agg.buffered_updates == 1
+        assert agg.query(Box((0, 0), (10, 9))) == 31
+
+    @settings(max_examples=15, deadline=None)
+    @given(data=st.data())
+    def test_random_out_of_order_streams(self, data):
+        from repro.workloads.streams import interleave_out_of_order
+
+        shape = (30, 12)
+        count = data.draw(st.integers(5, 80))
+        fraction = data.draw(st.sampled_from([0.1, 0.3, 0.6]))
+        seed = data.draw(st.integers(0, 2**31))
+        rng = np.random.default_rng(seed)
+        updates = random_stream(rng, shape, count)
+        agg = AppendOnlyAggregator(ndim=2, out_of_order=True)
+        dense = np.zeros(shape, dtype=np.int64)
+        for point, delta in interleave_out_of_order(updates, fraction, seed=seed):
+            agg.update(point, delta)
+            dense[point] += delta
+        boxes = [random_box(rng, shape) for _ in range(6)]
+        for box in boxes:
+            assert agg.query(box) == brute_box_sum(dense, box)
+        agg.drain()
+        for box in boxes:
+            assert agg.query(box) == brute_box_sum(dense, box)
+
+
+class TestNaiveCopyStructure:
+    def test_deep_copy_snapshots_work(self):
+        from tests.test_core_framework import random_stream  # self-import ok
+
+        class DictStructure:
+            def __init__(self):
+                self.data = {}
+
+            def update(self, cell, delta):
+                key = cell[0] if isinstance(cell, tuple) else cell
+                self.data[key] = self.data.get(key, 0) + delta
+
+            def range_sum(self, lower, upper):
+                low = lower[0] if isinstance(lower, tuple) else lower
+                up = upper[0] if isinstance(upper, tuple) else upper
+                return sum(v for k, v in self.data.items() if low <= k <= up)
+
+        agg = AppendOnlyAggregator(
+            slice_factory=lambda: CopySnapshotStructure(DictStructure()), ndim=2
+        )
+        rng = np.random.default_rng(62)
+        dense = np.zeros((20, 10), dtype=np.int64)
+        for point, delta in random_stream(rng, (20, 10), 60):
+            agg.update(point, delta)
+            dense[point] += delta
+        for _ in range(10):
+            box = random_box(rng, (20, 10))
+            assert agg.query(box) == brute_box_sum(dense, box)
+
+
+class TestTreeSliceStructure:
+    def test_accepts_scalar_and_tuple_cells(self):
+        structure = TreeSliceStructure()
+        structure.update(3, 5)
+        structure.update((3,), 2)
+        assert structure.range_sum(3, 3) == 7
+        assert structure.range_sum((0,), (10,)) == 7
+
+    def test_rejects_multidimensional_cells(self):
+        structure = TreeSliceStructure()
+        with pytest.raises(DomainError):
+            structure.update((1, 2), 5)

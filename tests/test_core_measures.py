@@ -1,0 +1,128 @@
+"""Tests for multiple measure attributes (MeasureCube)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import DomainError, OperatorError
+from repro.core.measures import MeasureCube
+from repro.core.types import Box
+from repro.ecube.ecube import EvolvingDataCube
+
+
+def make_cube():
+    return MeasureCube(
+        lambda: EvolvingDataCube((8, 8), num_times=16),
+        measures=("revenue", "units"),
+    )
+
+
+class TestConstruction:
+    def test_needs_measures(self):
+        with pytest.raises(DomainError):
+            MeasureCube(lambda: None, measures=())
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(DomainError):
+            MeasureCube(lambda: None, measures=("a", "a"))
+
+    def test_count_collision_rejected(self):
+        with pytest.raises(DomainError):
+            MeasureCube(lambda: None, measures=("count",))
+
+
+class TestUpdatesAndQueries:
+    def test_partial_measures_per_update(self):
+        cube = make_cube()
+        cube.update((0, 1, 1), revenue=100, units=2)
+        cube.update((1, 1, 1), revenue=50)
+        box = Box((0, 0, 0), (15, 7, 7))
+        assert cube.query(box, "revenue") == 150
+        assert cube.query(box, "units") == 2
+        assert cube.query(box, "count") == 2
+
+    def test_unknown_measure_rejected(self):
+        cube = make_cube()
+        with pytest.raises(DomainError):
+            cube.update((0, 0, 0), price=1)
+        cube.update((0, 0, 0), revenue=1)
+        with pytest.raises(DomainError):
+            cube.query(Box((0, 0, 0), (15, 7, 7)), "price")
+
+    def test_query_all(self):
+        cube = make_cube()
+        cube.update((0, 2, 2), revenue=10, units=1)
+        result = cube.query_all(Box((0, 0, 0), (0, 7, 7)))
+        assert result == {"revenue": 10, "units": 1, "count": 1}
+
+    def test_matches_reference_per_measure(self):
+        cube = make_cube()
+        rng = np.random.default_rng(31)
+        revenue = np.zeros((16, 8, 8), dtype=np.int64)
+        units = np.zeros((16, 8, 8), dtype=np.int64)
+        count = np.zeros((16, 8, 8), dtype=np.int64)
+        times = np.sort(rng.integers(0, 16, size=120))
+        for t in times:
+            point = (int(t), int(rng.integers(0, 8)), int(rng.integers(0, 8)))
+            r, u = int(rng.integers(1, 100)), int(rng.integers(1, 5))
+            cube.update(point, revenue=r, units=u)
+            revenue[point] += r
+            units[point] += u
+            count[point] += 1
+        for _ in range(15):
+            a, b = sorted(int(v) for v in rng.integers(0, 16, size=2))
+            box = Box((a, 0, 0), (b, 7, 7))
+            assert cube.query(box, "revenue") == revenue[a : b + 1].sum()
+            assert cube.query(box, "units") == units[a : b + 1].sum()
+            assert cube.query(box, "count") == count[a : b + 1].sum()
+
+
+class TestAverage:
+    def test_average_as_sum_and_count(self):
+        cube = make_cube()
+        cube.update((0, 1, 1), revenue=100)
+        cube.update((1, 1, 1), revenue=50)
+        cube.update((2, 5, 5), revenue=10)
+        box = Box((0, 0, 0), (1, 7, 7))
+        assert cube.average(box, "revenue") == 75.0
+
+    def test_empty_average_rejected(self):
+        cube = make_cube()
+        cube.update((0, 1, 1), revenue=100)
+        with pytest.raises(OperatorError):
+            cube.average(Box((5, 0, 0), (9, 7, 7)), "revenue")
+
+    def test_average_unavailable_without_count(self):
+        cube = MeasureCube(
+            lambda: EvolvingDataCube((4,), num_times=4),
+            measures=("x",),
+            count_measure=None,
+        )
+        cube.update((0, 0), x=3)
+        with pytest.raises(OperatorError):
+            cube.average(Box((0, 0), (3, 3)), "x")
+
+    def test_update_without_values_needs_count(self):
+        cube = MeasureCube(
+            lambda: EvolvingDataCube((4,), num_times=4),
+            measures=("x",),
+            count_measure=None,
+        )
+        with pytest.raises(DomainError):
+            cube.update((0, 0))
+
+
+class TestOlapIntegration:
+    def test_backend_feeds_cube_view(self):
+        from repro.olap import CubeView, Dimension
+
+        cube = make_cube()
+        cube.update((0, 1, 1), revenue=10)
+        cube.update((3, 2, 2), revenue=20)
+        view = CubeView(
+            cube.backend("revenue"),
+            [Dimension("day", 16), Dimension("store", 8), Dimension("product", 8)],
+        )
+        assert view.aggregate() == 30
+        assert view.aggregate(day=(0, 2)) == 10

@@ -1,0 +1,63 @@
+"""Tests for the invertible-operator layer."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import OperatorError
+from repro.core.operators import (
+    AVERAGE,
+    COUNT,
+    SUM,
+    Operator,
+    SumCount,
+    get_operator,
+    register_operator,
+)
+
+
+class TestSum:
+    @given(st.integers(), st.integers())
+    def test_subtract_inverts_combine(self, a, b):
+        assert SUM.subtract(SUM.combine(a, b), b) == a
+
+    def test_fold(self):
+        assert SUM.fold([1, 2, 3]) == 6
+        assert SUM.fold([]) == SUM.identity
+
+
+class TestAverage:
+    def test_pairing_keeps_average_invertible(self):
+        total = AVERAGE.combine(SumCount(10.0, 2), SumCount(20.0, 3))
+        assert total.average == 6.0
+        without = AVERAGE.subtract(total, SumCount(20.0, 3))
+        assert without.average == 5.0
+
+    def test_empty_average_rejected(self):
+        with pytest.raises(OperatorError):
+            _ = SumCount().average
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert get_operator("sum") is SUM
+        assert get_operator("COUNT") is COUNT
+        assert get_operator("avg") is AVERAGE
+
+    def test_non_invertible_rejected_with_explanation(self):
+        with pytest.raises(OperatorError, match="not invertible"):
+            get_operator("MIN")
+        with pytest.raises(OperatorError, match="not invertible"):
+            get_operator("max")
+
+    def test_unknown_rejected(self):
+        with pytest.raises(OperatorError, match="unknown"):
+            get_operator("median-ish")
+
+    def test_custom_registration(self):
+        xor = Operator("XOR-TEST", lambda a, b: a ^ b, 0, lambda a: a)
+        register_operator(xor)
+        assert get_operator("xor-test") is xor
+        assert xor.subtract(xor.combine(5, 9), 9) == 5

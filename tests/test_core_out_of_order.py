@@ -1,0 +1,65 @@
+"""Tests for the G_d out-of-order buffer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.out_of_order import OutOfOrderBuffer
+from repro.core.types import Box
+
+from tests.conftest import random_box
+
+
+class TestBuffer:
+    def test_empty(self):
+        buffer = OutOfOrderBuffer(2)
+        assert len(buffer) == 0
+        assert buffer.range_sum(Box((0, 0), (9, 9))) == 0
+        assert buffer.drain() == []
+
+    def test_add_and_query(self):
+        buffer = OutOfOrderBuffer(2)
+        buffer.add((3, 4), 5)
+        buffer.add((3, 4), 2)  # duplicates accumulate
+        buffer.add((7, 1), -3)
+        assert len(buffer) == 3
+        assert buffer.range_sum(Box((0, 0), (9, 9))) == 4
+        assert buffer.range_sum(Box((3, 4), (3, 4))) == 7
+        assert buffer.range_sum(Box((7, 0), (7, 9))) == -3
+
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(70)
+        buffer = OutOfOrderBuffer(3)
+        points = []
+        for _ in range(200):
+            point = tuple(int(c) for c in rng.integers(0, 20, size=3))
+            delta = int(rng.integers(-5, 6))
+            buffer.add(point, delta)
+            points.append((point, delta))
+        for _ in range(20):
+            box = random_box(rng, (20, 20, 20))
+            expected = sum(d for p, d in points if box.contains(p))
+            assert buffer.range_sum(box) == expected
+
+    def test_drain_newest_first(self):
+        buffer = OutOfOrderBuffer(2)
+        buffer.add((5, 0), 1)
+        buffer.add((2, 0), 2)
+        buffer.add((9, 0), 3)
+        drained = buffer.drain()
+        assert [p[0] for p, _ in drained] == [9, 5, 2]
+        assert len(buffer) == 0
+        assert buffer.range_sum(Box((0, 0), (9, 9))) == 0
+
+    def test_partial_drain_keeps_rest_queryable(self):
+        buffer = OutOfOrderBuffer(2)
+        for t in range(10):
+            buffer.add((t, 0), 1)
+        drained = buffer.drain(limit=4)
+        assert len(drained) == 4
+        assert {p[0] for p, _ in drained} == {6, 7, 8, 9}  # newest times
+        assert len(buffer) == 6
+        assert buffer.range_sum(Box((0, 0), (9, 9))) == 6
+        # draining again returns the next-newest batch
+        drained = buffer.drain(limit=100)
+        assert len(drained) == 6

@@ -1,0 +1,82 @@
+"""Tests for boxes, intervals and coordinate helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import DomainError
+from repro.core.types import Box, TimeInterval, as_point, full_box
+
+
+class TestBox:
+    def test_normalizes_to_int_tuples(self):
+        box = Box([1.0, 2.0], [3.0, 4.0])
+        assert box.lower == (1, 2)
+        assert box.upper == (3, 4)
+
+    def test_rejects_arity_mismatch(self):
+        with pytest.raises(DomainError):
+            Box((1, 2), (3,))
+
+    def test_rejects_inverted_range(self):
+        with pytest.raises(DomainError):
+            Box((5,), (3,))
+
+    def test_contains(self):
+        box = Box((0, 0), (2, 2))
+        assert box.contains((1, 1))
+        assert box.contains((0, 2))
+        assert not box.contains((3, 0))
+
+    def test_intersects(self):
+        a = Box((0, 0), (4, 4))
+        assert a.intersects(Box((4, 4), (9, 9)))
+        assert not a.intersects(Box((5, 0), (9, 4)))
+
+    def test_volume(self):
+        assert Box((0, 0), (1, 2)).volume() == 6
+        assert Box((3,), (3,)).volume() == 1
+
+    def test_clip_to_shape(self):
+        box = Box((-3, 2), (100, 3)).clip_to((10, 10))
+        assert box == Box((0, 2), (9, 3))
+
+    def test_clip_to_empty_raises(self):
+        with pytest.raises(DomainError):
+            Box((12, 0), (15, 3)).clip_to((10, 10))
+
+    def test_drop_first_and_time_range(self):
+        box = Box((2, 0, 1), (7, 3, 4))
+        assert box.time_range == (2, 7)
+        assert box.drop_first() == Box((0, 1), (3, 4))
+
+    def test_iter_points(self):
+        points = list(Box((0, 0), (1, 1)).iter_points())
+        assert points == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_full_box(self):
+        assert full_box((3, 4)) == Box((0, 0), (2, 3))
+
+
+class TestTimeInterval:
+    def test_rejects_inverted(self):
+        with pytest.raises(DomainError):
+            TimeInterval(5, 3)
+
+    def test_contains_time(self):
+        interval = TimeInterval(2, 5)
+        assert interval.contains_time(2)
+        assert interval.contains_time(5)
+        assert not interval.contains_time(6)
+
+    def test_intersects(self):
+        assert TimeInterval(0, 3).intersects(TimeInterval(3, 9))
+        assert not TimeInterval(0, 3).intersects(TimeInterval(4, 9))
+
+    def test_contained_in(self):
+        assert TimeInterval(2, 3).contained_in(TimeInterval(0, 5))
+        assert not TimeInterval(2, 6).contained_in(TimeInterval(0, 5))
+
+
+def test_as_point():
+    assert as_point([1.0, 2]) == (1, 2)

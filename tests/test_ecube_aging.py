@@ -1,0 +1,91 @@
+"""Tests for data aging (Section 7's by-product claim)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import AgedOutError
+from repro.core.types import Box
+from repro.ecube.ecube import EvolvingDataCube
+
+from tests.conftest import brute_box_sum, random_box
+from tests.test_ecube_cube import random_append_stream
+
+
+@pytest.fixture
+def aged_cube():
+    rng = np.random.default_rng(95)
+    shape = (40, 8, 8)
+    cube = EvolvingDataCube(shape[1:], num_times=shape[0])
+    dense = np.zeros(shape, dtype=np.int64)
+    for point, delta in random_append_stream(rng, shape, 400):
+        cube.update(point, delta)
+        dense[point] += delta
+    retired = cube.retire_before(20)
+    return cube, dense, retired, rng
+
+
+class TestRetirement:
+    def test_retires_strictly_older_slices_keeping_boundary(self, aged_cube):
+        cube, _dense, retired, _rng = aged_cube
+        boundary_index = cube.directory.floor_index(19)
+        assert retired == boundary_index  # all but the boundary instance
+        assert cube.retired_instances == boundary_index
+
+    def test_empty_cube_noop(self):
+        cube = EvolvingDataCube((4,))
+        assert cube.retire_before(10) == 0
+
+    def test_idempotent(self, aged_cube):
+        cube, _dense, _retired, _rng = aged_cube
+        assert cube.retire_before(20) == 0
+        assert cube.retire_before(10) == 0  # cannot un-retire
+
+    def test_queries_after_boundary_unchanged(self, aged_cube):
+        cube, dense, _retired, rng = aged_cube
+        for _ in range(30):
+            box = random_box(rng, (40, 8, 8))
+            lower = (max(box.lower[0], 20),) + box.lower[1:]
+            upper = (max(box.upper[0], 20),) + box.upper[1:]
+            box = Box(lower, upper)
+            assert cube.query(box) == brute_box_sum(dense, box)
+
+    def test_full_history_prefix_still_answerable(self, aged_cube):
+        """Aggregates over all retired data are retained for free."""
+        cube, dense, _retired, _rng = aged_cube
+        box = Box((0, 0, 0), (39, 7, 7))
+        assert cube.query(box) == dense.sum()
+        box = Box((0, 2, 2), (25, 6, 6))
+        assert cube.query(box) == brute_box_sum(dense, box)
+
+    def test_queries_into_retired_region_rejected(self, aged_cube):
+        cube, _dense, _retired, _rng = aged_cube
+        with pytest.raises(AgedOutError):
+            cube.query(Box((5, 0, 0), (30, 7, 7)))
+        with pytest.raises(AgedOutError):
+            cube.query(Box((2, 0, 0), (10, 7, 7)))
+
+    def test_updates_continue_after_retirement(self, aged_cube):
+        cube, dense, _retired, rng = aged_cube
+        # keep appending; lazy copies must skip retired slices gracefully
+        for t in range(40, 60):
+            cell = (int(rng.integers(0, 8)), int(rng.integers(0, 8)))
+            cube.num_times = 60
+            cube.update((t,) + cell, 3)
+        box = Box((20, 0, 0), (59, 7, 7))
+        expected = int(dense[20:].sum()) + 20 * 3
+        assert cube.query(box) == expected
+
+    def test_progressive_aging(self):
+        cube = EvolvingDataCube((4,), num_times=30)
+        dense = np.zeros((30, 4), dtype=np.int64)
+        for t in range(30):
+            cube.update((t, t % 4), t + 1)
+            dense[t, t % 4] = t + 1
+        assert cube.retire_before(10) == 9
+        assert cube.retire_before(20) == 10
+        assert cube.query(Box((0, 0), (29, 3))) == dense.sum()
+        assert cube.query(Box((20, 0), (29, 3))) == dense[20:].sum()
+        with pytest.raises(AgedOutError):
+            cube.query(Box((15, 0), (29, 3)))

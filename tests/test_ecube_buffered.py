@@ -1,0 +1,153 @@
+"""Tests for out-of-order corrections into the eCube (Section 2.5 MOLAP)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import AgedOutError, AppendOrderError
+from repro.core.types import Box
+from repro.ecube.buffered import BufferedEvolvingDataCube
+from repro.ecube.ecube import EvolvingDataCube
+
+from tests.conftest import brute_box_sum, random_box
+from tests.test_ecube_cube import random_append_stream
+
+
+class TestApplyOutOfOrder:
+    def test_rejects_non_historic_times(self):
+        cube = EvolvingDataCube((4,))
+        cube.update((5, 0), 1)
+        with pytest.raises(AppendOrderError):
+            cube.apply_out_of_order((5, 0), 1)  # == latest: not historic
+        with pytest.raises(AppendOrderError):
+            cube.apply_out_of_order((9, 0), 1)
+
+    def test_rejects_non_occurring_times(self):
+        cube = EvolvingDataCube((4,))
+        cube.update((2, 0), 1)
+        cube.update((8, 0), 1)
+        with pytest.raises(AppendOrderError):
+            cube.apply_out_of_order((5, 0), 1)
+
+    def test_rejects_retired_region(self):
+        cube = EvolvingDataCube((4,))
+        for t in range(10):
+            cube.update((t, t % 4), 1)
+        cube.retire_before(6)
+        with pytest.raises(AgedOutError):
+            cube.apply_out_of_order((2, 0), 1)
+
+    def test_correction_reaches_all_later_instances(self):
+        cube = EvolvingDataCube((8,))
+        for t in range(6):
+            cube.update((t, t % 8), 10)
+        cube.apply_out_of_order((2, 3), 7)
+        assert cube.query(Box((0, 0), (1, 7))) == 20  # before: unaffected
+        assert cube.query(Box((0, 0), (2, 7))) == 37
+        assert cube.query(Box((0, 0), (5, 7))) == 67
+        assert cube.query(Box((2, 3), (2, 3))) == 7
+
+    def test_correction_after_conversions(self):
+        """PS-converted cells must absorb the correction too."""
+        rng = np.random.default_rng(110)
+        shape = (12, 8, 8)
+        cube = EvolvingDataCube(shape[1:], num_times=shape[0])
+        dense = np.zeros(shape, dtype=np.int64)
+        for point, delta in random_append_stream(rng, shape, 150):
+            cube.update(point, delta)
+            dense[point] += delta
+        # convert broadly by querying a lot
+        boxes = [random_box(rng, shape) for _ in range(40)]
+        for box in boxes:
+            assert cube.query(box) == brute_box_sum(dense, box)
+        # now apply corrections at occurring historic times
+        occurring = cube.occurring_times()
+        for time in occurring[: len(occurring) - 1 : 2]:
+            cell = (int(rng.integers(0, 8)), int(rng.integers(0, 8)))
+            cube.apply_out_of_order((int(time),) + cell, 5)
+            dense[(int(time),) + cell] += 5
+        for box in boxes:
+            assert cube.query(box) == brute_box_sum(dense, box), box
+
+    @settings(max_examples=20, deadline=None)
+    @given(data=st.data())
+    def test_interleaved_corrections_and_queries(self, data):
+        seed = data.draw(st.integers(0, 2**31))
+        rng = np.random.default_rng(seed)
+        shape = (10, 6, 6)
+        cube = EvolvingDataCube(shape[1:], num_times=shape[0])
+        dense = np.zeros(shape, dtype=np.int64)
+        for point, delta in random_append_stream(rng, shape, 60):
+            cube.update(point, delta)
+            dense[point] += delta
+        occurring = list(cube.occurring_times())
+        for _ in range(data.draw(st.integers(1, 10))):
+            if data.draw(st.booleans()) and len(occurring) > 1:
+                time = occurring[
+                    data.draw(st.integers(0, len(occurring) - 2))
+                ]
+                cell = tuple(
+                    data.draw(st.integers(0, 5)) for _ in range(2)
+                )
+                delta = data.draw(st.integers(-4, 6))
+                cube.apply_out_of_order((time,) + cell, delta)
+                dense[(time,) + cell] += delta
+            box = random_box(rng, shape)
+            assert cube.query(box) == brute_box_sum(dense, box)
+
+
+class TestBufferedCube:
+    def test_routes_late_arrivals_to_buffer(self):
+        cube = BufferedEvolvingDataCube((4, 4))
+        cube.update((0, 1, 1), 5)
+        cube.update((9, 2, 2), 3)
+        cube.update((4, 1, 1), 7)  # late
+        assert cube.buffered_updates == 1
+        assert cube.query(Box((0, 0, 0), (9, 3, 3))) == 15
+        assert cube.query(Box((3, 0, 0), (5, 3, 3))) == 7
+
+    def test_drain_applies_occurring_keeps_rest(self):
+        cube = BufferedEvolvingDataCube((4,))
+        for t in (0, 3, 6, 9):
+            cube.update((t, 1), 10)
+        cube.update((3, 2), 5)  # occurring historic time
+        cube.update((4, 2), 7)  # non-occurring historic time
+        total_before = cube.total()
+        applied, kept = cube.drain()
+        assert (applied, kept) == (1, 1)
+        assert cube.buffered_updates == 1
+        assert cube.total() == total_before
+        assert cube.query(Box((3, 0), (3, 3))) == 15
+        assert cube.query(Box((4, 0), (5, 3))) == 7  # via the buffer
+
+    def test_matches_reference_with_heavy_out_of_order(self):
+        from repro.workloads.streams import interleave_out_of_order
+
+        rng = np.random.default_rng(112)
+        shape = (20, 6, 6)
+        cube = BufferedEvolvingDataCube(shape[1:], num_times=shape[0])
+        dense = np.zeros(shape, dtype=np.int64)
+        updates = random_append_stream(rng, shape, 200)
+        for point, delta in interleave_out_of_order(updates, 0.3, seed=9):
+            cube.update(point, delta)
+            dense[point] += delta
+        boxes = [random_box(rng, shape) for _ in range(20)]
+        for box in boxes:
+            assert cube.query(box) == brute_box_sum(dense, box)
+        cube.drain()
+        for box in boxes:
+            assert cube.query(box) == brute_box_sum(dense, box)
+        # draining again is a no-op for the kept (non-occurring) updates
+        applied, _kept = cube.drain()
+        assert applied == 0
+
+    def test_arity_checked(self):
+        cube = BufferedEvolvingDataCube((4,))
+        with pytest.raises(Exception):
+            cube.update((0, 1, 2), 1)
+
+    def test_empty_total(self):
+        assert BufferedEvolvingDataCube((4,)).total() == 0

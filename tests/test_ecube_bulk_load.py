@@ -1,0 +1,80 @@
+"""Tests for the vectorized initial load (EvolvingDataCube.from_dense)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import DomainError
+from repro.core.types import Box
+from repro.ecube.ecube import EvolvingDataCube
+
+from tests.conftest import brute_box_sum, random_box
+
+
+class TestFromDense:
+    def test_needs_two_dimensions(self):
+        with pytest.raises(DomainError):
+            EvolvingDataCube.from_dense(np.zeros(8))
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_equivalent_to_streaming(self, data):
+        ndim = data.draw(st.integers(2, 4))
+        shape = tuple(data.draw(st.integers(2, 7)) for _ in range(ndim))
+        seed = data.draw(st.integers(0, 2**31))
+        rng = np.random.default_rng(seed)
+        dense = rng.integers(-3, 7, size=shape)
+        bulk = EvolvingDataCube.from_dense(dense)
+        for _ in range(8):
+            box = random_box(rng, shape)
+            assert bulk.query(box) == brute_box_sum(dense, box)
+
+    def test_fully_copied_state(self):
+        dense = np.ones((6, 4, 4), dtype=np.int64)
+        cube = EvolvingDataCube.from_dense(dense)
+        assert cube.incomplete_historic_instances() == 0
+        assert cube.num_slices == 6
+        assert cube.occurring_times() == tuple(range(6))
+
+    def test_appends_resume_after_bulk_load(self):
+        rng = np.random.default_rng(160)
+        dense = rng.integers(0, 5, size=(10, 6, 6))
+        cube = EvolvingDataCube.from_dense(dense)
+        extended = np.zeros((16, 6, 6), dtype=np.int64)
+        extended[:10] = dense
+        for t in range(9, 16):
+            cube.num_times = 16
+            cell = (int(rng.integers(0, 6)), int(rng.integers(0, 6)))
+            cube.update((t,) + cell, 4)
+            extended[(t,) + cell] += 4
+        for _ in range(20):
+            box = random_box(rng, (16, 6, 6))
+            assert cube.query(box) == brute_box_sum(extended, box)
+
+    def test_conversion_still_works_after_bulk_load(self):
+        rng = np.random.default_rng(161)
+        dense = rng.integers(0, 9, size=(8, 16, 16))
+        cube = EvolvingDataCube.from_dense(dense)
+        box = Box((1, 2, 2), (6, 13, 14))
+        expected = brute_box_sum(dense, box)
+        counter = cube.counter
+        counter.reset()
+        assert cube.query(box) == expected
+        first = counter.cell_reads
+        counter.reset()
+        assert cube.query(box) == expected
+        assert counter.cell_reads < first  # eCube conversion engaged
+
+    def test_bulk_load_much_cheaper_than_streaming(self):
+        rng = np.random.default_rng(162)
+        dense = rng.integers(0, 3, size=(16, 16, 16))
+        bulk = EvolvingDataCube.from_dense(dense)
+        bulk_cost = bulk.counter.snapshot().cell_accesses
+        streamed = EvolvingDataCube((16, 16), num_times=16)
+        for t, x, y in np.argwhere(dense):
+            streamed.update((int(t), int(x), int(y)), int(dense[t, x, y]))
+        stream_cost = streamed.counter.snapshot().cell_accesses
+        assert bulk_cost < stream_cost / 10

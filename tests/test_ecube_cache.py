@@ -1,0 +1,89 @@
+"""Tests for the slice cache (timestamps, histogram, roving pointer)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import DomainError
+from repro.ecube.cache import SliceCache
+
+
+@pytest.fixture
+def cache(counter):
+    return SliceCache((4, 4), counter)
+
+
+class TestBasics:
+    def test_initial_state(self, cache):
+        assert cache.last_index == 0
+        assert cache.pending == 0
+        assert cache.incomplete_instances() == 0
+        assert cache.read((0, 0)) == (0, 0)
+
+    def test_invalid_shape(self, counter):
+        with pytest.raises(DomainError):
+            SliceCache((0, 4), counter)
+
+    def test_reads_and_writes_counted(self, counter):
+        cache = SliceCache((4, 4), counter)
+        cache.read((1, 1))
+        cache.apply_delta((1, 1), 5)
+        assert counter.cell_reads == 1
+        assert counter.cell_writes == 1
+        assert cache.peek_value((1, 1)) == 5
+
+    def test_peek_does_not_count(self, counter):
+        cache = SliceCache((4, 4), counter)
+        cache.peek_stamp((0, 0))
+        cache.peek_value((0, 0))
+        assert counter.cell_reads == 0
+
+
+class TestStampHistogram:
+    def test_new_time_makes_cells_pending(self, cache):
+        cache.notice_new_time()
+        assert cache.last_index == 1
+        assert cache.pending == 16
+        assert cache.incomplete_instances() == 1
+
+    def test_restamp_reduces_pending(self, cache):
+        cache.notice_new_time()
+        for x in range(4):
+            for y in range(4):
+                cache.restamp((x, y), 1)
+        assert cache.pending == 0
+        assert cache.incomplete_instances() == 0
+
+    def test_stamp_cannot_regress(self, cache):
+        cache.notice_new_time()
+        cache.restamp((0, 0), 1)
+        with pytest.raises(DomainError):
+            cache.restamp((0, 0), 0)
+
+    def test_incomplete_counts_span_from_min_stamp(self, cache):
+        for _ in range(5):
+            cache.notice_new_time()
+        assert cache.incomplete_instances() == 5  # all cells at stamp 0
+        for x in range(4):
+            for y in range(4):
+                cache.restamp((x, y), 3)
+        assert cache.incomplete_instances() == 2  # stamps at 3, last at 5
+
+    def test_min_stamp_index_advances(self, cache):
+        cache.notice_new_time()
+        cache.notice_new_time()
+        assert cache.min_stamp_index() == 0
+        for x in range(4):
+            for y in range(4):
+                cache.restamp((x, y), 1)
+        assert cache.min_stamp_index() == 1
+
+
+class TestRover:
+    def test_rover_wraps(self, cache):
+        seen = set()
+        for _ in range(16):
+            seen.add(cache.rover_cell())
+            cache.rover_advance()
+        assert len(seen) == 16
+        assert cache.rover_cell() == (0, 0)  # wrapped around

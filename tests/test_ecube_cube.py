@@ -1,0 +1,242 @@
+"""Tests for the complete in-memory Evolving Data Cube."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import AppendOrderError, DomainError
+from repro.core.types import Box
+from repro.ecube.ecube import EvolvingDataCube
+from repro.metrics import CostCounter
+
+from tests.conftest import brute_box_sum, random_box
+
+
+def build_reference(shape, updates):
+    dense = np.zeros(shape, dtype=np.int64)
+    for point, delta in updates:
+        dense[point] += delta
+    return dense
+
+
+def random_append_stream(rng, shape, count):
+    """A random append-only stream over a cube of the given shape."""
+    times = np.sort(rng.integers(0, shape[0], size=count))
+    updates = []
+    for t in times:
+        cell = tuple(int(rng.integers(0, n)) for n in shape[1:])
+        updates.append(((int(t),) + cell, int(rng.integers(-5, 9))))
+    return updates
+
+
+class TestConstruction:
+    def test_invalid_slice_shape(self):
+        with pytest.raises(DomainError):
+            EvolvingDataCube((0, 4))
+
+    def test_invalid_min_density(self):
+        with pytest.raises(DomainError):
+            EvolvingDataCube((4,), min_density=0)
+
+    def test_empty_cube_queries_zero(self):
+        cube = EvolvingDataCube((4, 4))
+        assert cube.query(Box((0, 0, 0), (9, 3, 3))) == 0
+        assert cube.total() == 0
+        assert cube.latest_time is None
+
+
+class TestAppendDiscipline:
+    def test_time_must_not_regress(self):
+        cube = EvolvingDataCube((4,))
+        cube.update((5, 2), 1)
+        cube.update((5, 3), 1)  # same time fine
+        cube.update((9, 0), 1)
+        with pytest.raises(AppendOrderError):
+            cube.update((7, 0), 1)
+
+    def test_cell_bounds_checked(self):
+        cube = EvolvingDataCube((4,))
+        with pytest.raises(DomainError):
+            cube.update((0, 4), 1)
+
+    def test_time_domain_checked_when_declared(self):
+        cube = EvolvingDataCube((4,), num_times=10)
+        with pytest.raises(DomainError):
+            cube.update((10, 0), 1)
+
+    def test_point_arity_checked(self):
+        cube = EvolvingDataCube((4, 4))
+        with pytest.raises(DomainError):
+            cube.update((0, 1), 1)
+        with pytest.raises(DomainError):
+            cube.query(Box((0, 0), (1, 1)))
+
+
+class TestCorrectness:
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_random_streams_random_queries(self, data):
+        ndim = data.draw(st.integers(2, 4))
+        shape = tuple(data.draw(st.integers(2, 8)) for _ in range(ndim))
+        count = data.draw(st.integers(1, 60))
+        seed = data.draw(st.integers(0, 2**31))
+        rng = np.random.default_rng(seed)
+        updates = random_append_stream(rng, shape, count)
+        cube = EvolvingDataCube(shape[1:], num_times=shape[0])
+        dense = build_reference(shape, updates)
+        for point, delta in updates:
+            cube.update(point, delta)
+        for _ in range(10):
+            box = random_box(rng, shape)
+            assert cube.query(box) == brute_box_sum(dense, box)
+
+    def test_queries_interleaved_with_updates(self):
+        rng = np.random.default_rng(100)
+        shape = (20, 8, 8)
+        updates = random_append_stream(rng, shape, 300)
+        cube = EvolvingDataCube(shape[1:], num_times=shape[0])
+        dense = np.zeros(shape, dtype=np.int64)
+        for index, (point, delta) in enumerate(updates):
+            cube.update(point, delta)
+            dense[point] += delta
+            if index % 7 == 0:
+                box = random_box(rng, shape)
+                assert cube.query(box) == brute_box_sum(dense, box)
+
+    def test_repeated_queries_stable_under_conversion(self):
+        rng = np.random.default_rng(200)
+        shape = (16, 16, 16)
+        updates = random_append_stream(rng, shape, 400)
+        cube = EvolvingDataCube(shape[1:], num_times=shape[0])
+        dense = build_reference(shape, updates)
+        for point, delta in updates:
+            cube.update(point, delta)
+        boxes = [random_box(rng, shape) for _ in range(30)]
+        expected = [brute_box_sum(dense, box) for box in boxes]
+        for _ in range(3):  # conversion progresses between rounds
+            for box, want in zip(boxes, expected):
+                assert cube.query(box) == want
+
+    def test_sparse_occurring_times(self):
+        cube = EvolvingDataCube((4,), num_times=1000)
+        cube.update((10, 1), 5)
+        cube.update((500, 2), 7)
+        cube.update((999, 3), 9)
+        assert cube.query(Box((0, 0), (9, 3))) == 0
+        assert cube.query(Box((0, 0), (10, 3))) == 5
+        assert cube.query(Box((11, 0), (499, 3))) == 0
+        assert cube.query(Box((10, 0), (500, 3))) == 12
+        assert cube.query(Box((501, 0), (999, 3))) == 9
+        assert cube.occurring_times() == (10, 500, 999)
+
+    def test_updates_after_queries_still_correct(self):
+        # queries convert historic cells; later appends must not corrupt
+        rng = np.random.default_rng(300)
+        shape = (12, 8)
+        cube = EvolvingDataCube((8,), num_times=12)
+        dense = np.zeros(shape, dtype=np.int64)
+        for t in range(12):
+            for _ in range(6):
+                x = int(rng.integers(0, 8))
+                delta = int(rng.integers(1, 5))
+                cube.update((t, x), delta)
+                dense[t, x] += delta
+            for _ in range(4):
+                box = random_box(rng, shape)
+                assert cube.query(box) == brute_box_sum(dense, box)
+
+    def test_total(self):
+        cube = EvolvingDataCube((4, 4))
+        cube.update((0, 1, 1), 5)
+        cube.update((3, 2, 2), 7)
+        assert cube.total() == 12
+
+
+class TestTimeSemantics:
+    def test_upper_bound_uses_greatest_occurring_at_or_below(self):
+        # Section 2.2 semantics (the Section 2.3 prose is inconsistent;
+        # see the docstring of _prefix_time_query).
+        cube = EvolvingDataCube((2,))
+        cube.update((5, 0), 3)
+        cube.update((8, 0), 4)
+        # query up to time 7 must NOT include the value at time 8
+        assert cube.query(Box((0, 0), (7, 1))) == 3
+        assert cube.query(Box((6, 0), (7, 1))) == 0
+
+    def test_lower_bound_strictly_before(self):
+        cube = EvolvingDataCube((2,))
+        cube.update((5, 0), 3)
+        cube.update((8, 0), 4)
+        assert cube.query(Box((5, 0), (8, 1))) == 7
+        assert cube.query(Box((6, 0), (8, 1))) == 4
+
+
+class TestCostBehaviour:
+    def test_update_cost_bounded(self):
+        counter = CostCounter()
+        cube = EvolvingDataCube((32, 32), counter=counter, copy_budget=0)
+        rng = np.random.default_rng(7)
+        worst = 2 * cube.engine.worst_case_update_cells()
+        for t in range(20):
+            before = counter.snapshot()
+            cube.update((t, int(rng.integers(0, 32)), int(rng.integers(0, 32))), 1)
+            delta = counter.snapshot() - before
+            # forced copies add to this; with budget 0 and one update per
+            # slice, each update forces copies for its own cells only
+            assert delta.cost_without_copy <= worst + 1
+
+    def test_copy_cost_tagged_separately(self):
+        counter = CostCounter()
+        cube = EvolvingDataCube((8, 8), counter=counter)
+        for t in range(10):
+            cube.update((t, t % 8, (t * 3) % 8), 2)
+        snap = counter.snapshot()
+        assert snap.copy_cell_writes > 0
+        assert snap.cost_without_copy < snap.cell_accesses
+
+    def test_incomplete_instances_bounded_with_default_budget(self):
+        rng = np.random.default_rng(11)
+        cube = EvolvingDataCube((16, 16), num_times=64)
+        worst_seen = 0
+        for t in range(64):
+            for _ in range(12):
+                cube.update(
+                    (t, int(rng.integers(0, 16)), int(rng.integers(0, 16))), 1
+                )
+                worst_seen = max(worst_seen, cube.incomplete_historic_instances())
+        assert worst_seen <= 3
+
+    def test_zero_budget_lags_but_stays_correct(self):
+        rng = np.random.default_rng(12)
+        shape = (32, 8)
+        cube = EvolvingDataCube((8,), num_times=32, copy_budget=0)
+        dense = np.zeros(shape, dtype=np.int64)
+        for t in range(32):
+            x = int(rng.integers(0, 8))
+            cube.update((t, x), 1)
+            dense[t, x] += 1
+        assert cube.incomplete_historic_instances() > 0
+        for _ in range(20):
+            box = random_box(rng, shape)
+            assert cube.query(box) == brute_box_sum(dense, box)
+
+    def test_query_cost_converges_on_repeats(self):
+        rng = np.random.default_rng(13)
+        shape = (8, 32, 32)
+        counter = CostCounter()
+        cube = EvolvingDataCube((32, 32), num_times=8, counter=counter)
+        for point, delta in random_append_stream(rng, shape, 200):
+            cube.update(point, delta)
+        box = Box((0, 3, 3), (6, 29, 30))
+        counter.reset()
+        cube.query(box)
+        first = counter.cell_reads
+        counter.reset()
+        cube.query(box)
+        second = counter.cell_reads
+        assert second < first
+        # two instances x 2^(d-1) corners, one read each once converged
+        assert second <= 2 * 4

@@ -1,0 +1,200 @@
+"""Tests for the eCube slice engine (lazy DDC-to-PS conversion)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import DomainError
+from repro.core.types import Box
+from repro.ecube.slices import ECubeSliceEngine
+from repro.preagg.ddc import DDCTechnique
+
+from tests.conftest import brute_box_sum, random_box
+
+
+class _SliceHarness:
+    """A standalone eCube slice over a raw array, for engine testing."""
+
+    def __init__(self, raw: np.ndarray) -> None:
+        self.engine = ECubeSliceEngine(raw.shape)
+        values = raw.astype(np.int64)
+        for axis, technique in enumerate(self.engine.techniques):
+            values = technique.aggregate(values, axis=axis)
+        self.values = values
+        self.flags = np.zeros(raw.shape, dtype=bool)
+        self.reads = 0
+        self.marks = 0
+
+    def read(self, cell):
+        self.reads += 1
+        return int(self.values[cell]), bool(self.flags[cell])
+
+    def mark(self, cell, ps_value):
+        self.marks += 1
+        self.values[cell] = ps_value
+        self.flags[cell] = True
+
+    def prefix(self, corner, persist=True):
+        return self.engine.prefix(
+            corner, self.read, self.mark if persist else None
+        )
+
+    def query(self, box, persist=True):
+        return self.engine.range_query(
+            box, self.read, self.mark if persist else None
+        )
+
+
+class TestPaperWorkedExample:
+    """Figure 6: the 8x8 all-ones slice and PS(2, 6)."""
+
+    def test_ps_2_6_equals_21(self):
+        harness = _SliceHarness(np.ones((8, 8), dtype=np.int64))
+        assert harness.prefix((2, 6)) == 21  # 3 rows x 7 columns of ones
+
+    def test_conversion_marks_cells_as_ps(self):
+        harness = _SliceHarness(np.ones((8, 8), dtype=np.int64))
+        harness.prefix((2, 6))
+        # the worked example converts (1,3), (1,5), (1,6), (2,3), (2,5), (2,6)
+        for cell in [(1, 3), (1, 5), (1, 6), (2, 3), (2, 5), (2, 6)]:
+            assert harness.flags[cell], cell
+        assert harness.values[2, 6] == 21
+        assert harness.values[2, 5] == 18
+        assert harness.values[1, 6] == 14
+        assert harness.values[1, 5] == 12
+        assert harness.values[1, 3] == 8
+        assert harness.values[2, 3] == 12
+
+    def test_subsequent_query_hits_converted_value(self):
+        harness = _SliceHarness(np.ones((8, 8), dtype=np.int64))
+        harness.prefix((2, 6))
+        harness.reads = 0
+        # q((0,0),(2,3)) "returns after the first cell access"
+        assert harness.prefix((2, 3)) == 12
+        assert harness.reads == 1
+
+
+class TestPrefixCorrectness:
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_prefixes_match_numpy(self, data):
+        ndim = data.draw(st.integers(1, 3))
+        shape = tuple(data.draw(st.integers(1, 9)) for _ in range(ndim))
+        rng = np.random.default_rng(data.draw(st.integers(0, 2**31)))
+        raw = rng.integers(-9, 10, size=shape)
+        harness = _SliceHarness(raw)
+        for _ in range(6):
+            corner = tuple(int(rng.integers(-1, n)) for n in shape)
+            expected = int(
+                raw[tuple(slice(0, c + 1) for c in corner)].sum()
+            )
+            assert harness.prefix(corner) == expected
+
+    def test_prefix_empty_corner_is_zero(self):
+        harness = _SliceHarness(np.ones((4, 4), dtype=np.int64))
+        assert harness.prefix((-1, 3)) == 0
+        assert harness.prefix((3, -1)) == 0
+
+    def test_prefix_out_of_domain(self):
+        harness = _SliceHarness(np.ones((4, 4), dtype=np.int64))
+        with pytest.raises(DomainError):
+            harness.prefix((4, 0))
+
+    def test_conversion_preserves_later_answers(self):
+        rng = np.random.default_rng(8)
+        raw = rng.integers(0, 10, size=(16, 16))
+        harness = _SliceHarness(raw)
+        corners = [
+            tuple(int(rng.integers(0, 16)) for _ in range(2)) for _ in range(60)
+        ]
+        expected = {
+            corner: int(raw[: corner[0] + 1, : corner[1] + 1].sum())
+            for corner in corners
+        }
+        # interleave: every corner queried twice in scrambled order
+        for corner in corners + corners[::-1]:
+            assert harness.prefix(corner) == expected[corner]
+
+
+class TestRangeQueries:
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_range_matches_numpy_as_slice_converts(self, data):
+        shape = tuple(data.draw(st.integers(2, 8)) for _ in range(2))
+        rng = np.random.default_rng(data.draw(st.integers(0, 2**31)))
+        raw = rng.integers(-5, 15, size=shape)
+        harness = _SliceHarness(raw)
+        for _ in range(10):
+            box = random_box(rng, shape)
+            assert harness.query(box) == brute_box_sum(raw, box)
+
+    def test_without_persist_recursion_memoizes_per_query(self):
+        raw = np.ones((16, 16), dtype=np.int64)
+        harness = _SliceHarness(raw)
+        value = harness.query(Box((3, 3), (12, 12)), persist=False)
+        assert value == 100
+        assert not harness.flags.any()
+        assert harness.marks == 0
+        # repeated identical query costs the same (nothing persisted)
+        reads_first = harness.reads
+        harness.reads = 0
+        assert harness.query(Box((3, 3), (12, 12)), persist=False) == 100
+        assert harness.reads == reads_first
+
+
+class TestCostConvergence:
+    def test_query_cost_decreases_to_ps_bound(self):
+        rng = np.random.default_rng(17)
+        raw = rng.integers(0, 5, size=(64, 64))
+        harness = _SliceHarness(raw)
+        box = Box((5, 7), (50, 61))
+        harness.reads = 0
+        harness.query(box)
+        first = harness.reads
+        harness.reads = 0
+        harness.query(box)
+        second = harness.reads
+        assert second <= first
+        assert second <= 2 ** 2  # fully converged: <= 2^(d) prefix reads
+
+    def test_worst_case_never_exceeds_ddc_bound(self):
+        rng = np.random.default_rng(18)
+        raw = rng.integers(0, 5, size=(32, 32))
+        harness = _SliceHarness(raw)
+        bound = 4 * (32).bit_length() ** 2 * 4  # loose (2 log N)^2 x corners
+        for _ in range(30):
+            box = random_box(rng, (32, 32))
+            harness.reads = 0
+            harness.query(box)
+            assert harness.reads <= bound
+
+
+class TestUpdateCells:
+    def test_cross_product_of_bit_chains(self):
+        engine = ECubeSliceEngine((8, 8))
+        cells = engine.update_cells((0, 0))
+        d = DDCTechnique(8)
+        expected = [
+            (a, b)
+            for a in [i for i, _ in d.update_terms(0)]
+            for b in [i for i, _ in d.update_terms(0)]
+        ]
+        assert sorted(cells) == sorted(expected)
+
+    def test_bound(self):
+        engine = ECubeSliceEngine((16, 16))
+        for x in range(16):
+            for y in range(16):
+                assert len(engine.update_cells((x, y))) <= engine.worst_case_update_cells()
+
+    def test_arity_checked(self):
+        engine = ECubeSliceEngine((8, 8))
+        with pytest.raises(DomainError):
+            engine.update_cells((1,))
+
+    def test_empty_shape_rejected(self):
+        with pytest.raises(DomainError):
+            ECubeSliceEngine(())

@@ -1,0 +1,140 @@
+"""Tests for the sparse Evolving Data Cube (Section 7 future work)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import AppendOrderError, DomainError
+from repro.core.types import Box
+from repro.ecube.ecube import EvolvingDataCube
+from repro.ecube.sparse import SparseEvolvingDataCube
+from repro.metrics import CostCounter
+
+from tests.conftest import brute_box_sum, random_box
+from tests.test_ecube_cube import build_reference, random_append_stream
+
+
+class TestBasics:
+    def test_validation(self):
+        with pytest.raises(DomainError):
+            SparseEvolvingDataCube((0,))
+        cube = SparseEvolvingDataCube((4,), num_times=8)
+        with pytest.raises(DomainError):
+            cube.update((8, 0), 1)
+        with pytest.raises(DomainError):
+            cube.update((0, 4), 1)
+        cube.update((3, 1), 1)
+        with pytest.raises(AppendOrderError):
+            cube.update((2, 1), 1)
+
+    def test_empty(self):
+        cube = SparseEvolvingDataCube((4, 4))
+        assert cube.query(Box((0, 0, 0), (9, 3, 3))) == 0
+        assert cube.total() == 0
+        assert cube.materialized_cells == 0
+
+
+class TestEquivalenceWithDenseCube:
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_same_answers_as_dense(self, data):
+        ndim = data.draw(st.integers(2, 4))
+        shape = tuple(data.draw(st.integers(2, 8)) for _ in range(ndim))
+        count = data.draw(st.integers(1, 60))
+        seed = data.draw(st.integers(0, 2**31))
+        rng = np.random.default_rng(seed)
+        updates = random_append_stream(rng, shape, count)
+        dense_ref = build_reference(shape, updates)
+        sparse = SparseEvolvingDataCube(shape[1:], num_times=shape[0])
+        for point, delta in updates:
+            sparse.update(point, delta)
+        for _ in range(10):
+            box = random_box(rng, shape)
+            assert sparse.query(box) == brute_box_sum(dense_ref, box)
+
+    def test_same_counted_costs_as_dense(self):
+        """The representations differ; the cost model must not."""
+        rng = np.random.default_rng(180)
+        shape = (16, 8, 8)
+        updates = random_append_stream(rng, shape, 150)
+        queries = [random_box(rng, shape) for _ in range(40)]
+
+        def run(cube, counter):
+            for point, delta in updates:
+                cube.update(point, delta)
+            counter.reset()
+            for box in queries:
+                cube.query(box)
+            return counter.cell_reads
+
+        dense_counter = CostCounter()
+        dense_cube = EvolvingDataCube(
+            shape[1:], num_times=shape[0], counter=dense_counter,
+            copy_budget=0,
+        )
+        sparse_counter = CostCounter()
+        sparse_cube = SparseEvolvingDataCube(
+            shape[1:], num_times=shape[0], counter=sparse_counter,
+            copy_budget=0,
+        )
+        assert run(dense_cube, dense_counter) == run(
+            sparse_cube, sparse_counter
+        )
+
+    def test_interleaved_updates_and_queries(self):
+        rng = np.random.default_rng(181)
+        shape = (20, 6, 6)
+        sparse = SparseEvolvingDataCube(shape[1:], num_times=shape[0])
+        dense_ref = np.zeros(shape, dtype=np.int64)
+        for index, (point, delta) in enumerate(
+            random_append_stream(rng, shape, 200)
+        ):
+            sparse.update(point, delta)
+            dense_ref[point] += delta
+            if index % 6 == 0:
+                box = random_box(rng, shape)
+                assert sparse.query(box) == brute_box_sum(dense_ref, box)
+
+
+class TestSparsity:
+    def test_storage_proportional_to_update_chains_not_domain(self):
+        # a huge domain with a handful of updates stays tiny
+        cube = SparseEvolvingDataCube((1024, 1024), num_times=1000)
+        for t in range(20):
+            cube.update((t, t, t), 1)
+        worst_chain = cube.engine.worst_case_update_cells()
+        assert cube.materialized_cells <= 21 * worst_chain * 2
+        assert cube.materialized_cells < 1024 * 1024  # never densifies alone
+
+    def test_queries_densify_touched_regions_only(self):
+        rng = np.random.default_rng(182)
+        cube = SparseEvolvingDataCube((64, 64), num_times=8)
+        for t in range(8):
+            for _ in range(4):
+                cube.update(
+                    (t, int(rng.integers(0, 64)), int(rng.integers(0, 64))), 1
+                )
+        before = cube.materialized_cells
+        # repeated historic queries convert (materialize PS cells)
+        box = Box((0, 0, 0), (5, 40, 40))
+        expected = cube.query(box)
+        after_first = cube.materialized_cells
+        assert cube.query(box) == expected
+        after_second = cube.materialized_cells
+        assert after_first >= before  # conversion may add cells
+        assert after_second == after_first  # but only once per region
+
+    def test_incomplete_instances_bounded(self):
+        rng = np.random.default_rng(183)
+        cube = SparseEvolvingDataCube((16, 16), num_times=64)
+        worst = 0
+        for t in range(64):
+            for _ in range(6):
+                cube.update(
+                    (t, int(rng.integers(0, 16)), int(rng.integers(0, 16))), 1
+                )
+                worst = max(worst, cube.incomplete_historic_instances())
+        assert worst <= 3

@@ -1,0 +1,153 @@
+"""Edge-case robustness across modules.
+
+Degenerate domains (size-1 dimensions), extreme values, single-point
+data, and boundary query shapes -- the corners where off-by-ones live.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.framework import AppendOnlyAggregator
+from repro.core.types import Box, TimeInterval
+from repro.ecube.disk import DiskEvolvingDataCube
+from repro.ecube.ecube import EvolvingDataCube
+from repro.preagg.cube import PreAggregatedArray
+from repro.trees.mvbtree import MultiversionBTree
+from repro.trees.rtree import RTree
+from repro.trees.zorder import ZOrderSliceStructure
+
+
+class TestDegenerateDomains:
+    @pytest.mark.parametrize("tech", ["A", "PS", "RPS", "LPS", "DDC"])
+    def test_size_one_dimension(self, tech):
+        arr = PreAggregatedArray((1, 5), [tech, "DDC"], values=np.arange(5).reshape(1, 5))
+        assert arr.range_sum(Box((0, 0), (0, 4))) == 10
+        arr.update((0, 2), 3)
+        assert arr.range_sum(Box((0, 2), (0, 2))) == 5
+
+    def test_single_cell_cube(self):
+        cube = EvolvingDataCube((1,), num_times=4)
+        cube.update((0, 0), 7)
+        cube.update((3, 0), 5)
+        assert cube.query(Box((0, 0), (3, 0))) == 12
+        assert cube.query(Box((1, 0), (2, 0))) == 0
+
+    def test_one_time_slice_only(self):
+        cube = EvolvingDataCube((4, 4))
+        for _ in range(5):
+            cube.update((9, 1, 1), 2)
+        assert cube.query(Box((9, 0, 0), (9, 3, 3))) == 10
+        assert cube.query(Box((0, 0, 0), (8, 3, 3))) == 0
+        assert cube.incomplete_historic_instances() == 0
+
+    def test_zorder_single_cell_domain(self):
+        structure = ZOrderSliceStructure((1, 1))
+        structure.update((0, 0), 42)
+        assert structure.range_sum((0, 0), (0, 0)) == 42
+
+
+class TestExtremeValues:
+    def test_large_measures(self):
+        cube = EvolvingDataCube((4,))
+        big = 2**40
+        cube.update((0, 1), big)
+        cube.update((1, 1), -big)
+        assert cube.query(Box((0, 0), (0, 3))) == big
+        assert cube.query(Box((0, 0), (1, 3))) == 0
+
+    def test_negative_and_cancelling_deltas(self):
+        cube = DiskEvolvingDataCube((4, 4), page_size=64)
+        cube.update((0, 1, 1), 5)
+        cube.update((0, 1, 1), -5)
+        cube.update((2, 1, 1), 3)
+        assert cube.query(Box((0, 0, 0), (0, 3, 3))) == 0
+        assert cube.query(Box((0, 0, 0), (2, 3, 3))) == 3
+
+    def test_mvbt_cancelling_measures_consolidate(self):
+        tree = MultiversionBTree(capacity=8)
+        for version in range(64):
+            tree.update(5, 1, version=version)
+            tree.update(5, -1, version=version)
+        assert tree.get(5) == 0
+        assert list(tree.items_at(63)) == []
+
+    def test_sparse_time_values(self):
+        cube = EvolvingDataCube((2,))
+        cube.update((1_000_000, 0), 1)
+        cube.update((2_000_000, 1), 2)
+        assert cube.query(Box((0, 0), (1_500_000, 1))) == 1
+        assert cube.query(Box((1_000_001, 0), (2_000_000, 1))) == 2
+
+
+class TestBoundaryQueries:
+    def test_point_query_every_corner(self):
+        rng = np.random.default_rng(170)
+        dense = rng.integers(0, 9, size=(6, 5, 4))
+        cube = EvolvingDataCube.from_dense(dense)
+        for corner in [(0, 0, 0), (5, 4, 3), (0, 4, 0), (5, 0, 3)]:
+            assert cube.query(Box(corner, corner)) == dense[corner]
+
+    def test_query_entirely_before_history(self):
+        agg = AppendOnlyAggregator(ndim=2)
+        agg.update((100, 5), 7)
+        assert agg.query(Box((0, 0), (99, 9))) == 0
+
+    def test_query_entirely_after_history(self):
+        agg = AppendOnlyAggregator(ndim=2)
+        agg.update((5, 5), 7)
+        assert agg.query(Box((6, 0), (1000, 9))) == 0
+
+    def test_full_domain_box_clips(self):
+        cube = EvolvingDataCube((4, 4), num_times=8)
+        cube.update((2, 3, 3), 9)
+        huge = Box((0, 0, 0), (10**9, 10**9, 10**9))
+        assert cube.query(huge) == 9
+
+
+class TestStructuralEdges:
+    def test_rtree_all_identical_points(self):
+        tree = RTree(2, leaf_capacity=4, fanout=4)
+        for _ in range(50):
+            tree.insert((7, 7), 1)
+        assert tree.range_sum(Box((7, 7), (7, 7))) == 50
+        assert tree.range_sum(Box((0, 0), (6, 6))) == 0
+
+    def test_rtree_collinear_points(self):
+        points = [(i, 0) for i in range(100)]
+        tree = RTree.bulk_load(points, [1] * 100, leaf_capacity=8)
+        assert tree.range_sum(Box((25, 0), (74, 0))) == 50
+
+    def test_interval_zero_length(self):
+        from repro.core.extent import IntervalAggregator
+
+        agg = IntervalAggregator()
+        agg.insert(TimeInterval(5, 5), key=1)
+        assert agg.intersecting(TimeInterval(5, 5), 0, 9) == 1
+        assert agg.intersecting(TimeInterval(6, 9), 0, 9) == 0
+        assert agg.containment(TimeInterval(5, 5)) == 1
+
+    def test_mvbt_single_key_heavy(self):
+        tree = MultiversionBTree(capacity=8)
+        for version in range(200):
+            tree.update(42, 1, version=version)
+        for probe in (0, 99, 199):
+            assert tree.range_sum(42, 42, version=probe) == probe + 1
+        tree.check_invariants()
+
+    def test_ecube_every_cell_touched(self):
+        # dense stream: every cell of every slice updated
+        cube = EvolvingDataCube((3, 3), num_times=4)
+        dense = np.zeros((4, 3, 3), dtype=np.int64)
+        value = 1
+        for t in range(4):
+            for x in range(3):
+                for y in range(3):
+                    cube.update((t, x, y), value)
+                    dense[t, x, y] = value
+                    value += 1
+        for t_low in range(4):
+            for t_up in range(t_low, 4):
+                box = Box((t_low, 0, 0), (t_up, 2, 2))
+                assert cube.query(box) == dense[t_low : t_up + 1].sum()

@@ -1,0 +1,41 @@
+"""Smoke tests: every shipped example must run end to end.
+
+The examples are part of the public deliverable; importing them as modules
+and running ``main()`` keeps them from rotting.  Output is captured (the
+examples print their own narration).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(path.stem for path in EXAMPLES_DIR.glob("*.py"))
+
+
+def _load(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"examples_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_present():
+    # the deliverable promises a quickstart plus domain scenarios
+    assert "quickstart" in EXAMPLES
+    assert len(EXAMPLES) >= 4
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys):
+    module = _load(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"example {name} printed nothing"

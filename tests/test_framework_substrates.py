@@ -1,0 +1,136 @@
+"""The framework over every slice substrate, plus protocol edge cases.
+
+One parametrized battery: the same append-only stream and query set must
+produce identical answers whichever Table 1 structure instantiates
+``R_{d-1}`` -- persistent tree, MVBT, ROLAP fact table, Z-order (1-D), or
+naive deep copies.  This is the framework's portability claim made
+executable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import DomainError
+from repro.core.framework import (
+    AppendOnlyAggregator,
+    CopySnapshotStructure,
+    MVBTSliceStructure,
+    TreeSliceStructure,
+)
+from repro.core.types import Box
+from repro.rolap.slices import ROLAPSliceStructure
+from repro.trees.zorder import ZOrderSliceStructure
+
+from tests.conftest import brute_box_sum, random_box
+
+SHAPE = (40, 24)
+
+FACTORIES = {
+    "persistent-tree": TreeSliceStructure,
+    "mvbt": MVBTSliceStructure,
+    "rolap": lambda: ROLAPSliceStructure(1),
+    "zorder": lambda: ZOrderSliceStructure((SHAPE[1],)),
+}
+
+
+def stream(seed=210, count=180):
+    rng = np.random.default_rng(seed)
+    updates = []
+    for t in np.sort(rng.integers(0, SHAPE[0], size=count)):
+        updates.append(
+            ((int(t), int(rng.integers(0, SHAPE[1]))), int(rng.integers(-4, 8)))
+        )
+    return updates, rng
+
+
+@pytest.mark.parametrize("name", sorted(FACTORIES))
+class TestEverySubstrateAgrees:
+    def test_matches_dense_reference(self, name):
+        factory = FACTORIES[name]
+        agg = AppendOnlyAggregator(slice_factory=factory, ndim=2)
+        dense = np.zeros(SHAPE, dtype=np.int64)
+        updates, rng = stream()
+        for point, delta in updates:
+            agg.update(point, delta)
+            dense[point] += delta
+        for _ in range(25):
+            box = random_box(rng, SHAPE)
+            assert agg.query(box) == brute_box_sum(dense, box), (name, box)
+
+    def test_interleaved(self, name):
+        factory = FACTORIES[name]
+        agg = AppendOnlyAggregator(slice_factory=factory, ndim=2)
+        dense = np.zeros(SHAPE, dtype=np.int64)
+        updates, rng = stream(seed=211, count=100)
+        for index, (point, delta) in enumerate(updates):
+            agg.update(point, delta)
+            dense[point] += delta
+            if index % 5 == 0:
+                box = random_box(rng, SHAPE)
+                assert agg.query(box) == brute_box_sum(dense, box)
+
+
+class TestNaiveCopyAgrees:
+    def test_deep_copy_of_fact_table(self):
+        agg = AppendOnlyAggregator(
+            slice_factory=lambda: CopySnapshotStructure(
+                ROLAPSliceStructure(1)
+            ),
+            ndim=2,
+        )
+        dense = np.zeros(SHAPE, dtype=np.int64)
+        updates, rng = stream(seed=212, count=60)
+        for point, delta in updates:
+            agg.update(point, delta)
+            dense[point] += delta
+        for _ in range(10):
+            box = random_box(rng, SHAPE)
+            assert agg.query(box) == brute_box_sum(dense, box)
+
+
+class TestProtocolEdges:
+    def test_copy_snapshot_cannot_drain(self):
+        class Plain:
+            def __init__(self):
+                self.data = {}
+
+            def update(self, cell, delta):
+                key = cell[0] if isinstance(cell, tuple) else cell
+                self.data[key] = self.data.get(key, 0) + delta
+
+            def range_sum(self, lower, upper):
+                low = lower[0] if isinstance(lower, tuple) else lower
+                up = upper[0] if isinstance(upper, tuple) else upper
+                return sum(v for k, v in self.data.items() if low <= k <= up)
+
+        agg = AppendOnlyAggregator(
+            slice_factory=lambda: CopySnapshotStructure(Plain()),
+            ndim=2,
+            out_of_order=True,
+        )
+        agg.update((0, 1), 1)
+        agg.update((5, 1), 1)
+        agg.update((2, 1), 1)  # buffered
+        with pytest.raises(DomainError, match="with_update"):
+            agg.drain()
+
+    def test_query_arity_checked(self):
+        agg = AppendOnlyAggregator(ndim=2)
+        agg.update((0, 0), 1)
+        with pytest.raises(DomainError):
+            agg.query(Box((0, 0, 0), (1, 1, 1)))
+
+    def test_mvbt_snapshots_are_integers_under_the_hood(self):
+        structure = MVBTSliceStructure()
+        structure.update(3, 5)
+        old = structure.snapshot()
+        structure.update(3, 2)
+        assert old.range_sum(0, 9) == 5
+        assert structure.range_sum(0, 9) == 7
+        # a second snapshot freezes the new state independently
+        newer = structure.snapshot()
+        structure.update(4, 10)
+        assert newer.range_sum(0, 9) == 7
+        assert old.range_sum(0, 9) == 5

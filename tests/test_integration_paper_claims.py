@@ -1,0 +1,174 @@
+"""Integration tests asserting the paper's analytical claims end to end.
+
+Each test corresponds to a quantitative statement in the paper:
+
+* Section 3.2: historic-slice queries cost at most ``(2 log2 N)^(d-1)``
+  cell accesses and converge toward ``2^(d-1)``;
+* Section 3.4: the total query cost is at most ``2^d (log2 N)^(d-1)``
+  and the cache update cost at most ``(log2 N)^(d-1)`` affected cells;
+* Section 2.3: the d-dimensional query is exactly two (d-1)-dimensional
+  queries plus directory lookups;
+* Section 5: all structures answering the same workload agree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.framework import AppendOnlyAggregator
+from repro.core.types import Box
+from repro.ecube.disk import DiskEvolvingDataCube
+from repro.ecube.ecube import EvolvingDataCube
+from repro.metrics import CostCounter
+from repro.preagg.cube import PreAggregatedArray
+from repro.workloads.datasets import uniform
+from repro.workloads.queries import uni_queries
+
+from tests.conftest import brute_box_sum
+
+
+@pytest.fixture(scope="module")
+def workload():
+    shape = (32, 16, 16)
+    data = uniform(shape, density=0.08, seed=77)
+    dense = data.dense()
+    queries = uni_queries(shape, 120, seed=78)
+    return data, dense, queries
+
+
+class TestAllStructuresAgree:
+    def test_cross_validation(self, workload):
+        data, dense, queries = workload
+        counter = CostCounter()
+        ecube = EvolvingDataCube(data.slice_shape, counter=counter)
+        disk = DiskEvolvingDataCube(data.slice_shape, page_size=256)
+        for point, delta in data.updates():
+            ecube.update(point, delta)
+            disk.update(point, delta)
+        ddc = PreAggregatedArray(
+            data.shape, ["PS", "DDC", "DDC"], values=dense
+        )
+        ps = PreAggregatedArray(data.shape, ["PS", "PS", "PS"], values=dense)
+        for box in queries:
+            expected = brute_box_sum(dense, box)
+            assert ecube.query(box) == expected
+            assert disk.query(box) == expected
+            assert ddc.range_sum(box) == expected
+            assert ps.range_sum(box) == expected
+
+
+class TestCostBounds:
+    def test_query_cost_bound_2d_logd(self, workload):
+        """Worst case 2^d (log2 N)^(d-1) of Section 3.4."""
+        data, _dense, queries = workload
+        counter = CostCounter()
+        ecube = EvolvingDataCube(data.slice_shape, counter=counter)
+        for point, delta in data.updates():
+            ecube.update(point, delta)
+        d = data.ndim
+        log_n = max(n.bit_length() for n in data.slice_shape)
+        bound = (2**d) * (log_n ** (d - 1))
+        for box in queries:
+            counter.reset()
+            ecube.query(box)
+            assert counter.cell_reads <= bound
+
+    def test_update_cache_cost_bound(self, workload):
+        """Updates touch at most (log2 N)^(d-1) cache cells."""
+        data, _dense, _queries = workload
+        counter = CostCounter()
+        ecube = EvolvingDataCube(
+            data.slice_shape, counter=counter, copy_budget=0
+        )
+        bound = 1
+        for n in data.slice_shape:
+            bound *= n.bit_length()
+        for point, delta in data.updates():
+            before = counter.snapshot()
+            ecube.update(point, delta)
+            delta_cost = counter.snapshot() - before
+            # each affected cache cell costs a read and a write; forced
+            # copies are tagged separately
+            assert delta_cost.cost_without_copy <= 2 * bound
+
+    def test_converged_query_cost_approaches_ps(self, workload):
+        data, _dense, queries = workload
+        counter = CostCounter()
+        ecube = EvolvingDataCube(data.slice_shape, counter=counter)
+        for point, delta in data.updates():
+            ecube.update(point, delta)
+        # drive conversion hard with the workload, then measure re-runs
+        for _ in range(2):
+            for box in queries:
+                ecube.query(box)
+        d_minus_1 = data.ndim - 1
+        ps_like = 0
+        for box in queries:
+            counter.reset()
+            ecube.query(box)
+            if counter.cell_reads <= 2 * (2**d_minus_1):
+                ps_like += 1
+        # the vast majority of repeated queries run at (converged) PS cost;
+        # queries whose upper time bound hits the latest instance keep DDC
+        # cost (conversions are never persisted there), hence not 100 %
+        assert ps_like >= int(0.85 * len(queries))
+
+
+class TestFrameworkReduction:
+    def test_two_slice_queries_per_cube_query(self):
+        """Section 2.3: a d-dim query = two (d-1)-dim prefix-time queries."""
+        agg = AppendOnlyAggregator(ndim=2)
+        rng = np.random.default_rng(79)
+        for t in range(50):
+            agg.update((t, int(rng.integers(0, 100))), 1)
+        tree = agg._live
+        lookups_before = agg.directory.lookups
+        agg.query(Box((10, 0), (40, 99)))
+        # exactly two directory lookups (floor for upper, floor for lower)
+        assert agg.directory.lookups - lookups_before == 2
+
+    def test_query_cost_independent_of_history_length(self):
+        """The headline claim: cost does not grow with the TT extent."""
+        def mean_query_cost(num_times: int) -> float:
+            counter = CostCounter()
+            cube = EvolvingDataCube((16, 16), counter=counter)
+            rng = np.random.default_rng(80)
+            for t in range(num_times):
+                cube.update(
+                    (t, int(rng.integers(0, 16)), int(rng.integers(0, 16))), 1
+                )
+            boxes = [
+                Box(
+                    (num_times // 4, 2, 2),
+                    (num_times // 2, 13, 13),
+                )
+                for _ in range(20)
+            ]
+            # converge, then measure
+            for box in boxes:
+                cube.query(box)
+            counter.reset()
+            for box in boxes:
+                cube.query(box)
+            return counter.cell_reads / len(boxes)
+
+        short = mean_query_cost(32)
+        long = mean_query_cost(512)
+        # 16x more history must not make queries meaningfully dearer
+        assert long <= short * 1.5 + 4
+
+
+class TestDataAging:
+    def test_historic_slices_cluster_by_time(self):
+        """Section 7: the technique clusters data by time coordinate,
+        simplifying data aging -- a historic slice is self-contained."""
+        cube = EvolvingDataCube((8,))
+        for t in range(10):
+            cube.update((t, t % 8), t + 1)
+        # query the full history, forcing conversion/copies
+        total = cube.query(Box((0, 0), (9, 7)))
+        assert total == sum(range(1, 11))
+        # every historic slice payload is an independent array: retiring
+        # (dropping) the oldest slices cannot affect newer queries
+        assert cube.query(Box((5, 0), (9, 7))) == 6 + 7 + 8 + 9 + 10

@@ -1,0 +1,127 @@
+"""Tests for the cost counters and statistics helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    CostCounter,
+    Quantiles,
+    RollingAverage,
+    frequency_table,
+    measured,
+    most_frequent,
+    rolling_average,
+    sorted_costs,
+)
+
+
+class TestCostCounter:
+    def test_basic_tallies(self):
+        counter = CostCounter()
+        counter.read_cells(3)
+        counter.write_cells()
+        counter.read_pages(2)
+        counter.write_pages()
+        snap = counter.snapshot()
+        assert snap.cell_reads == 3
+        assert snap.cell_writes == 1
+        assert snap.cell_accesses == 4
+        assert snap.page_accesses == 3
+
+    def test_copy_context_tags_writes(self):
+        counter = CostCounter()
+        counter.write_cells(2)
+        with counter.copying():
+            counter.write_cells(5)
+            counter.write_pages(1)
+        counter.write_cells()
+        snap = counter.snapshot()
+        assert snap.copy_cell_writes == 5
+        assert snap.copy_page_writes == 1
+        assert snap.cost_without_copy == snap.cell_accesses - 5
+
+    def test_copy_context_nests(self):
+        counter = CostCounter()
+        with counter.copying():
+            with counter.copying():
+                counter.write_cells()
+            counter.write_cells()
+        counter.write_cells()
+        assert counter.snapshot().copy_cell_writes == 2
+
+    def test_snapshot_delta(self):
+        counter = CostCounter()
+        counter.read_cells(10)
+        before = counter.snapshot()
+        counter.read_cells(7)
+        delta = counter.snapshot() - before
+        assert delta.cell_reads == 7
+
+    def test_measured_context(self):
+        counter = CostCounter()
+        with measured(counter) as delta:
+            counter.read_cells(4)
+        assert delta().cell_reads == 4
+
+    def test_reset(self):
+        counter = CostCounter()
+        counter.read_cells(5)
+        counter.reset()
+        assert counter.snapshot().cell_accesses == 0
+
+
+class TestRollingAverage:
+    def test_grouped_means(self):
+        assert rolling_average([1, 2, 3, 4, 5, 6], group_size=2) == [1.5, 3.5, 5.5]
+
+    def test_partial_trailing_group(self):
+        assert rolling_average([2, 4, 6], group_size=2) == [3.0, 6.0]
+
+    def test_streaming_matches_batch(self):
+        averager = RollingAverage(3)
+        averager.extend(range(10))
+        assert averager.finish() == rolling_average(list(range(10)), 3)
+
+    def test_rejects_bad_group_size(self):
+        with pytest.raises(ValueError):
+            RollingAverage(0)
+
+
+class TestSortedCostsAndQuantiles:
+    def test_sorted(self):
+        assert sorted_costs([3, 1, 2]).tolist() == [1.0, 2.0, 3.0]
+
+    def test_quantiles(self):
+        q = Quantiles.of(list(range(1, 101)))
+        assert q.minimum == 1
+        assert q.maximum == 100
+        assert q.p50 == pytest.approx(50.5)
+        assert q.mean == pytest.approx(50.5)
+
+    def test_quantiles_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Quantiles.of([])
+
+
+class TestMode:
+    def test_most_frequent(self):
+        assert most_frequent([1, 2, 2, 3]) == 2
+
+    def test_tie_breaks_small(self):
+        assert most_frequent([2, 2, 1, 1]) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            most_frequent([])
+
+    def test_frequency_table(self):
+        assert frequency_table([1, 1, 2]) == {1: 2, 2: 1}
+
+    @given(st.lists(st.integers(0, 5), min_size=1, max_size=50))
+    def test_mode_is_a_maximal_value(self, values):
+        table = frequency_table(values)
+        mode = most_frequent(values)
+        assert table[mode] == max(table.values())

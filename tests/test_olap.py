@@ -1,0 +1,152 @@
+"""Tests for the OLAP layer (hierarchies, roll-up, data cube operator)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import DomainError
+from repro.ecube.ecube import EvolvingDataCube
+from repro.olap import CubeView, Dimension, Hierarchy, uniform_hierarchy
+
+
+class TestHierarchy:
+    def test_contiguity_enforced(self):
+        with pytest.raises(DomainError):
+            Hierarchy("bad", ((0, 2), (4, 5)))
+        with pytest.raises(DomainError):
+            Hierarchy("bad", ((1, 2),))
+        with pytest.raises(DomainError):
+            Hierarchy("bad", ((0, 2), (3, 1)))
+        with pytest.raises(DomainError):
+            Hierarchy("empty", ())
+
+    def test_uniform(self):
+        weeks = uniform_hierarchy("week", 30, 7)
+        assert len(weeks) == 5
+        assert weeks.buckets[0] == (0, 6)
+        assert weeks.buckets[-1] == (28, 29)
+        assert weeks.size == 30
+
+    def test_labels(self):
+        quarters = Hierarchy(
+            "quarter", ((0, 2), (3, 5)), ("Q1", "Q2")
+        )
+        assert quarters.label(1) == "Q2"
+        with pytest.raises(DomainError):
+            Hierarchy("quarter", ((0, 2), (3, 5)), ("Q1",))
+
+    def test_bucket_of(self):
+        weeks = uniform_hierarchy("week", 30, 7)
+        assert weeks.bucket_of(0) == 0
+        assert weeks.bucket_of(13) == 1
+        assert weeks.bucket_of(29) == 4
+        with pytest.raises(DomainError):
+            weeks.bucket_of(30)
+
+
+class TestDimension:
+    def test_builtin_levels(self):
+        dim = Dimension("day", 10)
+        assert len(dim.level("detail")) == 10
+        assert len(dim.level("all")) == 1
+        with pytest.raises(DomainError):
+            dim.level("week")
+
+    def test_level_size_must_match(self):
+        with pytest.raises(DomainError):
+            Dimension("day", 10, {"week": uniform_hierarchy("week", 14, 7)})
+
+    def test_with_level(self):
+        dim = Dimension("day", 14).with_level(uniform_hierarchy("week", 14, 7))
+        assert len(dim.level("week")) == 2
+
+
+@pytest.fixture
+def sales_view():
+    # 12 days x 4 stores x 6 products
+    cube = EvolvingDataCube((4, 6), num_times=12)
+    rng = np.random.default_rng(90)
+    dense = np.zeros((12, 4, 6), dtype=np.int64)
+    for day in range(12):
+        for _ in range(8):
+            store = int(rng.integers(0, 4))
+            product = int(rng.integers(0, 6))
+            amount = int(rng.integers(1, 50))
+            cube.update((day, store, product), amount)
+            dense[day, store, product] += amount
+    day = Dimension("day", 12).with_level(uniform_hierarchy("week", 12, 4))
+    store = Dimension("store", 4).with_level(
+        Hierarchy("region", ((0, 1), (2, 3)), ("north", "south"))
+    )
+    product = Dimension("product", 6).with_level(
+        uniform_hierarchy("category", 6, 3)
+    )
+    return CubeView(cube, [day, store, product]), dense
+
+
+class TestCubeView:
+    def test_duplicate_names_rejected(self):
+        cube = EvolvingDataCube((4,))
+        with pytest.raises(DomainError):
+            CubeView(cube, [Dimension("x", 10), Dimension("x", 4)])
+
+    def test_aggregate_named_ranges(self, sales_view):
+        view, dense = sales_view
+        assert view.aggregate() == dense.sum()
+        assert view.aggregate(day=(0, 3)) == dense[:4].sum()
+        assert view.aggregate(store=2) == dense[:, 2].sum()
+        assert view.aggregate(day=(4, 7), product=(0, 2)) == dense[4:8, :, :3].sum()
+        with pytest.raises(DomainError):
+            view.aggregate(color=(0, 1))
+
+    def test_rollup_week_by_region(self, sales_view):
+        view, dense = sales_view
+        result = view.rollup({"day": "week", "store": "region"})
+        assert result.values.shape == (3, 2, 1)
+        for week in range(3):
+            for region, stores in enumerate([slice(0, 2), slice(2, 4)]):
+                expected = dense[week * 4 : week * 4 + 4, stores].sum()
+                assert result.cell(week, region, 0) == expected
+
+    def test_rollup_detail_matches_dense(self, sales_view):
+        view, dense = sales_view
+        result = view.rollup({"store": "detail", "product": "detail"})
+        assert result.values.shape == (1, 4, 6)
+        assert (result.values[0] == dense.sum(axis=0)).all()
+
+    def test_rollup_rows_have_labels(self, sales_view):
+        view, _dense = sales_view
+        result = view.rollup({"store": "region"})
+        rows = list(result.to_rows())
+        assert len(rows) == 2
+        assert rows[0][1] == "north"
+
+    def test_drill_down_fixed_dimension(self, sales_view):
+        view, dense = sales_view
+        result = view.drill_down(
+            {"day": "week"}, into="day", finer_level="detail", store=1
+        )
+        assert result.values.shape == (12, 1, 1)
+        for day in range(12):
+            assert result.cell(day, 0, 0) == dense[day, 1].sum()
+
+    def test_data_cube_operator(self, sales_view):
+        view, dense = sales_view
+        cube = view.data_cube(levels={"day": "week", "product": "category"})
+        assert len(cube) == 8  # 2^3 group-bys
+        assert cube[()].values.shape == (1, 1, 1)
+        assert cube[()].cell(0, 0, 0) == dense.sum()
+        by_store = cube[("store",)]
+        assert by_store.values.shape == (1, 4, 1)
+        assert by_store.cell(0, 3, 0) == dense[:, 3].sum()
+        full = cube[("day", "store", "product")]
+        assert full.values.shape == (3, 4, 2)
+        assert full.cell(1, 2, 0) == dense[4:8, 2, :3].sum()
+
+    def test_rollup_unknown_dimension(self, sales_view):
+        view, _dense = sales_view
+        with pytest.raises(DomainError):
+            view.rollup({"color": "detail"})
+        with pytest.raises(DomainError):
+            view.drill_down({}, into="color", finer_level="detail")

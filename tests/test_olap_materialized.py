@@ -1,0 +1,125 @@
+"""Tests for incrementally maintained roll-up views."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import DomainError
+from repro.core.types import Box
+from repro.olap import Dimension, uniform_hierarchy
+from repro.olap.materialized import MaterializedRollups
+
+from tests.conftest import brute_box_sum, random_box
+
+
+def make_schema():
+    day = Dimension("day", 28).with_level(uniform_hierarchy("week", 28, 7))
+    store = Dimension("store", 8).with_level(
+        uniform_hierarchy("region", 8, 4)
+    )
+    product = Dimension("product", 6).with_level(
+        uniform_hierarchy("category", 6, 3)
+    )
+    return [day, store, product]
+
+
+@pytest.fixture
+def loaded():
+    rollups = MaterializedRollups(make_schema())
+    rollups.add_view("weekly_by_region", {"day": "week", "store": "region"})
+    rollups.add_view(
+        "weekly_full",
+        {"day": "week", "store": "region", "product": "category"},
+    )
+    rng = np.random.default_rng(190)
+    dense = np.zeros((28, 8, 6), dtype=np.int64)
+    for day in range(28):
+        for _ in range(8):
+            point = (
+                day,
+                int(rng.integers(0, 8)),
+                int(rng.integers(0, 6)),
+            )
+            value = int(rng.integers(1, 30))
+            rollups.update(point, value)
+            dense[point] += value
+    return rollups, dense, rng
+
+
+class TestViewManagement:
+    def test_needs_tt_plus_one(self):
+        with pytest.raises(DomainError):
+            MaterializedRollups([Dimension("day", 10)])
+
+    def test_duplicate_view_rejected(self):
+        rollups = MaterializedRollups(make_schema())
+        rollups.add_view("v", {"day": "week"})
+        with pytest.raises(DomainError):
+            rollups.add_view("v", {"day": "week"})
+
+    def test_unknown_dimension_rejected(self):
+        rollups = MaterializedRollups(make_schema())
+        with pytest.raises(DomainError):
+            rollups.add_view("v", {"color": "week"})
+
+    def test_views_frozen_after_first_update(self):
+        rollups = MaterializedRollups(make_schema())
+        rollups.update((0, 0, 0), 1)
+        with pytest.raises(DomainError):
+            rollups.add_view("late", {"day": "week"})
+
+    def test_views_ordered_coarsest_first(self, loaded):
+        rollups, _dense, _rng = loaded
+        assert rollups.view_names == ("weekly_full", "weekly_by_region")
+
+
+class TestRouting:
+    def test_aligned_queries_hit_the_coarsest_view(self, loaded):
+        rollups, dense, _rng = loaded
+        # weeks 1-2, region 1, all categories: aligned for weekly_full
+        box = Box((7, 4, 0), (20, 7, 5))
+        assert rollups.query(box) == dense[7:21, 4:8].sum()
+        stats = {name: answered for name, _c, _u, answered in rollups.view_stats()}
+        assert stats["weekly_full"] == 1
+        assert stats["weekly_by_region"] == 0
+
+    def test_partially_aligned_falls_to_finer_view(self, loaded):
+        rollups, dense, _rng = loaded
+        # product range not category-aligned -> weekly_by_region (detail
+        # product) answers
+        box = Box((0, 0, 1), (13, 3, 4))
+        assert rollups.query(box) == dense[0:14, 0:4, 1:5].sum()
+        stats = {name: answered for name, _c, _u, answered in rollups.view_stats()}
+        assert stats["weekly_by_region"] == 1
+
+    def test_unaligned_falls_to_base(self, loaded):
+        rollups, dense, _rng = loaded
+        box = Box((3, 2, 1), (17, 5, 4))  # nothing aligned
+        assert rollups.query(box) == dense[3:18, 2:6, 1:5].sum()
+        stats = {name: answered for name, _c, _u, answered in rollups.view_stats()}
+        assert sum(stats.values()) == 0
+
+    def test_all_routes_agree_with_base(self, loaded):
+        rollups, dense, rng = loaded
+        for _ in range(60):
+            box = random_box(rng, (28, 8, 6))
+            expected = brute_box_sum(dense, box)
+            assert rollups.query(box) == expected
+            assert rollups.query_base(box) == expected
+
+    def test_every_view_received_every_update(self, loaded):
+        rollups, _dense, _rng = loaded
+        for _name, _cells, routed, _answered in rollups.view_stats():
+            assert routed == rollups.updates_applied
+
+    def test_view_queries_cheaper_than_base(self, loaded):
+        rollups, _dense, _rng = loaded
+        box = Box((0, 0, 0), (27, 7, 5))  # fully aligned everywhere
+        counter_view = rollups._views[0].cube.counter
+        counter_base = rollups.base.counter
+        counter_view.reset()
+        counter_base.reset()
+        rollups.query(box)
+        rollups.query_base(box)
+        assert counter_view.cell_reads <= counter_base.cell_reads

@@ -1,0 +1,96 @@
+"""Tests for the pre-aggregation technique advisor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import DomainError
+from repro.metrics import CostCounter
+from repro.preagg.advisor import (
+    DEFAULT_CANDIDATES,
+    profile_technique,
+    recommend_techniques,
+)
+from repro.preagg.cube import PreAggregatedArray
+from repro.workloads.queries import uni_queries
+
+
+class TestProfiles:
+    def test_ps_profile(self):
+        profile = profile_technique("PS", 256)
+        assert profile.avg_query_terms <= 2.0
+        assert profile.avg_update_terms > 50  # O(N) updates
+
+    def test_identity_profile(self):
+        profile = profile_technique("A", 256)
+        assert profile.avg_update_terms == 1.0
+        assert profile.avg_query_terms > 10  # O(N) queries
+
+    def test_ddc_profile_logarithmic_both_ways(self):
+        profile = profile_technique("DDC", 256)
+        assert profile.avg_query_terms <= 2 * 9
+        assert profile.avg_update_terms <= 9 + 1
+
+
+class TestRecommendations:
+    def test_query_only_picks_ps(self):
+        rec = recommend_techniques((64, 64), query_weight=1.0)
+        assert rec.techniques == ("PS", "PS")
+
+    def test_update_only_picks_raw_array(self):
+        rec = recommend_techniques((64, 64), query_weight=0.0)
+        assert rec.techniques == ("A", "A")
+
+    def test_balanced_picks_bounded_both_ways(self):
+        rec = recommend_techniques((256, 256), query_weight=0.5)
+        for name in rec.techniques:
+            assert name in ("DDC", "RPS", "LPS")
+
+    def test_tt_dimension_pinned_to_ps(self):
+        rec = recommend_techniques(
+            (64, 64), query_weight=0.0, tt_dimension=0
+        )
+        assert rec.techniques[0] == "PS"
+        assert rec.techniques[1] == "A"
+
+    def test_validation(self):
+        with pytest.raises(DomainError):
+            recommend_techniques((), query_weight=0.5)
+        with pytest.raises(DomainError):
+            recommend_techniques((4,), query_weight=1.5)
+        with pytest.raises(DomainError):
+            recommend_techniques((4,), tt_dimension=3)
+
+    def test_monotone_in_weight(self):
+        # more query-heavy workloads never get worse query cost
+        previous = None
+        for weight in (0.0, 0.25, 0.5, 0.75, 1.0):
+            rec = recommend_techniques((128, 128), query_weight=weight)
+            if previous is not None:
+                assert rec.expected_query_cost <= previous.expected_query_cost + 1e-9
+            previous = rec
+
+
+class TestPredictionsAgainstMeasurement:
+    def test_predicted_query_cost_tracks_measured(self):
+        shape = (64, 64)
+        rec = recommend_techniques(shape, query_weight=0.8)
+        rng = np.random.default_rng(140)
+        raw = rng.integers(0, 10, size=shape)
+        counter = CostCounter()
+        array = PreAggregatedArray(
+            shape, list(rec.techniques), values=raw, counter=counter
+        )
+        queries = uni_queries(shape, 300, seed=141)
+        counter.reset()
+        for box in queries:
+            array.range_sum(box)
+        measured = counter.cell_reads / len(queries)
+        # the profile samples general ranges uniformly; the uni workload
+        # differs (prefix/point/full mixes), so allow a loose factor
+        assert measured <= 4 * rec.expected_query_cost + 8
+        assert rec.expected_query_cost <= 6 * measured + 8
+
+    def test_candidates_cover_spectrum(self):
+        assert set(DEFAULT_CANDIDATES) == {"A", "PS", "RPS", "LPS", "DDC"}

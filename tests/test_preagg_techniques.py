@@ -1,0 +1,269 @@
+"""Unit and property tests for the one-dimensional techniques."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import DomainError
+from repro.preagg.base import evaluate_terms, technique_by_name
+from repro.preagg.ddc import DDCTechnique, lowbit
+from repro.preagg.identity import IdentityTechnique
+from repro.preagg.prefix_sum import PrefixSumTechnique
+from repro.preagg.local_prefix import LocalPrefixSumTechnique
+from repro.preagg.relative_prefix import RelativePrefixSumTechnique
+
+TECHNIQUE_CLASSES = [
+    IdentityTechnique,
+    PrefixSumTechnique,
+    DDCTechnique,
+    RelativePrefixSumTechnique,
+    LocalPrefixSumTechnique,
+]
+
+
+def _arrays(min_size=1, max_size=64):
+    return st.lists(
+        st.integers(min_value=-100, max_value=100),
+        min_size=min_size,
+        max_size=max_size,
+    )
+
+
+class TestLowbit:
+    def test_powers_of_two(self):
+        for k in range(10):
+            assert lowbit(1 << k) == 1 << k
+
+    def test_odd_numbers(self):
+        for j in (1, 3, 5, 99, 1001):
+            assert lowbit(j) == 1
+
+    def test_general(self):
+        assert lowbit(12) == 4
+        assert lowbit(40) == 8
+
+
+class TestPaperExample:
+    """Figure 4: the all-ones array of size 8 and q(2, 6)."""
+
+    def test_ddc_layout_matches_figure4(self):
+        technique = DDCTechnique(8)
+        aggregated = technique.aggregate(np.ones(8, dtype=np.int64))
+        assert aggregated.tolist() == [1, 2, 1, 4, 1, 2, 1, 8]
+
+    def test_query_2_6_touches_the_figure4_cells(self):
+        technique = DDCTechnique(8)
+        terms = technique.range_terms(2, 6)
+        # q(2,6) = (D[3] + D[5] + D[6]) - D[1]
+        assert sorted(terms) == [(1, -1), (3, 1), (5, 1), (6, 1)]
+
+    def test_prefix_6_descends_d6_d5_d3(self):
+        technique = DDCTechnique(8)
+        assert sorted(technique.prefix_terms(6)) == [(3, 1), (5, 1), (6, 1)]
+
+    def test_prefix_sum_figure3(self):
+        technique = PrefixSumTechnique(8)
+        raw = np.array([3, 1, 4, 1, 5, 9, 2, 6])
+        assert technique.aggregate(raw).tolist() == [3, 4, 8, 9, 14, 23, 25, 31]
+
+
+@pytest.mark.parametrize("cls", TECHNIQUE_CLASSES)
+class TestTechniqueContract:
+    def test_rejects_nonpositive_size(self, cls):
+        with pytest.raises(DomainError):
+            cls(0)
+
+    def test_prefix_of_minus_one_is_empty_or_noop(self, cls):
+        technique = cls(8)
+        assert evaluate_terms([1] * 8, technique.prefix_terms(-1)) == 0
+
+    def test_prefix_bound_checked(self, cls):
+        technique = cls(8)
+        with pytest.raises(DomainError):
+            technique.prefix_terms(8)
+        with pytest.raises(DomainError):
+            technique.prefix_terms(-2)
+
+    def test_update_bound_checked(self, cls):
+        technique = cls(8)
+        with pytest.raises(DomainError):
+            technique.update_terms(8)
+        with pytest.raises(DomainError):
+            technique.update_terms(-1)
+
+    def test_inverted_range_rejected(self, cls):
+        technique = cls(8)
+        with pytest.raises(DomainError):
+            technique.range_terms(5, 3)
+
+    def test_aggregate_roundtrip(self, cls):
+        technique = cls(13)
+        raw = np.arange(13, dtype=np.int64) * 3 - 7
+        assert (technique.deaggregate(technique.aggregate(raw)) == raw).all()
+
+    def test_aggregate_does_not_mutate_input(self, cls):
+        technique = cls(8)
+        raw = np.ones(8, dtype=np.int64)
+        technique.aggregate(raw)
+        assert raw.tolist() == [1] * 8
+
+    @settings(max_examples=60, deadline=None)
+    @given(values=_arrays())
+    def test_prefix_terms_evaluate_to_prefix_sums(self, cls, values):
+        technique = cls(len(values))
+        aggregated = technique.aggregate(np.array(values, dtype=np.int64))
+        for k in range(len(values)):
+            expected = sum(values[: k + 1])
+            assert evaluate_terms(aggregated, technique.prefix_terms(k)) == expected
+
+    @settings(max_examples=60, deadline=None)
+    @given(values=_arrays(min_size=2), data=st.data())
+    def test_range_terms_evaluate_to_range_sums(self, cls, values, data):
+        technique = cls(len(values))
+        aggregated = technique.aggregate(np.array(values, dtype=np.int64))
+        low = data.draw(st.integers(0, len(values) - 1))
+        up = data.draw(st.integers(low, len(values) - 1))
+        expected = sum(values[low : up + 1])
+        assert evaluate_terms(aggregated, technique.range_terms(low, up)) == expected
+
+    @settings(max_examples=60, deadline=None)
+    @given(values=_arrays(), data=st.data())
+    def test_update_terms_keep_queries_consistent(self, cls, values, data):
+        technique = cls(len(values))
+        aggregated = np.array(
+            technique.aggregate(np.array(values, dtype=np.int64))
+        )
+        index = data.draw(st.integers(0, len(values) - 1))
+        delta = data.draw(st.integers(-50, 50))
+        for cell, coeff in technique.update_terms(index):
+            aggregated[cell] += coeff * delta
+        raw = list(values)
+        raw[index] += delta
+        for k in range(len(values)):
+            assert evaluate_terms(aggregated, technique.prefix_terms(k)) == sum(
+                raw[: k + 1]
+            )
+
+
+class TestCostBounds:
+    """The complexity guarantees of Section 3.1."""
+
+    @pytest.mark.parametrize("size", [1, 2, 7, 8, 9, 64, 100, 255, 256])
+    def test_ddc_prefix_cost_logarithmic(self, size):
+        technique = DDCTechnique(size)
+        bound = size.bit_length()
+        for k in range(-1, size):
+            assert len(technique.prefix_terms(k)) <= bound
+
+    @pytest.mark.parametrize("size", [1, 2, 7, 8, 9, 64, 100, 255, 256])
+    def test_ddc_update_cost_logarithmic(self, size):
+        technique = DDCTechnique(size)
+        bound = size.bit_length() + 1
+        for i in range(size):
+            assert len(technique.update_terms(i)) <= bound
+
+    def test_ddc_direct_range_never_worse_than_prefix_difference(self):
+        technique = DDCTechnique(64)
+        for low in range(0, 64, 7):
+            for up in range(low, 64, 5):
+                direct = len(technique.range_terms(low, up))
+                via_prefix = len(technique.prefix_terms(up)) + len(
+                    technique.prefix_terms(low - 1)
+                )
+                assert direct <= via_prefix
+
+    def test_ps_query_cost_constant(self):
+        technique = PrefixSumTechnique(1000)
+        assert len(technique.range_terms(123, 456)) == 2
+        assert len(technique.range_terms(0, 456)) == 1
+        assert len(technique.prefix_terms(999)) == 1
+
+    def test_ps_update_cost_linear_tail(self):
+        technique = PrefixSumTechnique(100)
+        assert len(technique.update_terms(0)) == 100
+        assert len(technique.update_terms(99)) == 1
+
+    def test_identity_query_cost_linear(self):
+        technique = IdentityTechnique(100)
+        assert len(technique.range_terms(10, 59)) == 50
+        assert len(technique.update_terms(42)) == 1
+
+    @pytest.mark.parametrize("size", [1, 2, 16, 100, 256, 1000])
+    def test_rps_query_cost_constant(self, size):
+        technique = RelativePrefixSumTechnique(size)
+        for k in range(-1, size):
+            assert len(technique.prefix_terms(k)) <= 2
+        if size >= 2:
+            assert len(technique.range_terms(0, size - 1)) <= 4
+
+    @pytest.mark.parametrize("size", [1, 2, 16, 100, 256, 1000])
+    def test_rps_update_cost_sqrt(self, size):
+        technique = RelativePrefixSumTechnique(size)
+        import math
+
+        bound = 2 * (int(math.isqrt(size)) + 2)
+        for i in range(size):
+            assert len(technique.update_terms(i)) <= bound
+
+    @pytest.mark.parametrize("size", [1, 2, 16, 100, 256, 1000])
+    def test_lps_balanced_sqrt_costs(self, size):
+        import math
+
+        technique = LocalPrefixSumTechnique(size)
+        bound = 2 * (int(math.isqrt(size)) + 2)
+        for k in range(-1, size, max(1, size // 20)):
+            assert len(technique.prefix_terms(k)) <= bound
+        for i in range(0, size, max(1, size // 20)):
+            assert len(technique.update_terms(i)) <= bound
+
+    def test_rps_sits_between_ps_and_ddc(self):
+        size = 4096
+        rps = RelativePrefixSumTechnique(size)
+        ps = PrefixSumTechnique(size)
+        worst_rps = max(len(rps.update_terms(i)) for i in range(0, size, 37))
+        worst_ps = max(len(ps.update_terms(i)) for i in range(0, size, 37))
+        assert worst_rps < worst_ps  # updates far cheaper than PS
+        assert max(len(rps.prefix_terms(k)) for k in range(size)) == 2
+
+
+class TestDDCStructure:
+    def test_prev_drops_lowest_bit(self):
+        technique = DDCTechnique(16)
+        assert technique.prev(6) == 5  # D[6] covers only A[6]
+        assert technique.prev(5) == 3  # D[5] covers A[4..5]
+        assert technique.prev(7) == -1  # D[7] covers A[0..7]
+
+    def test_covers_partition_recovers_prefix(self):
+        technique = DDCTechnique(32)
+        for k in range(32):
+            # following prev links from k partitions [0, k]
+            spans = []
+            j = k
+            while j >= 0:
+                spans.append(technique.covers(j))
+                j = technique.prev(j)
+            spans.reverse()
+            assert spans[0][0] == 0
+            assert spans[-1][1] == k
+            for (_, end), (start, _) in zip(spans, spans[1:]):
+                assert start == end + 1
+
+
+class TestFactory:
+    def test_by_name(self):
+        assert isinstance(technique_by_name("ps", 4), PrefixSumTechnique)
+        assert isinstance(technique_by_name("DDC", 4), DDCTechnique)
+        assert isinstance(technique_by_name("a", 4), IdentityTechnique)
+        assert isinstance(technique_by_name("identity", 4), IdentityTechnique)
+
+    def test_rps(self):
+        assert isinstance(
+            technique_by_name("rps", 16), RelativePrefixSumTechnique
+        )
+
+    def test_unknown_name(self):
+        with pytest.raises(DomainError):
+            technique_by_name("btree", 4)

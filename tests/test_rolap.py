@@ -1,0 +1,185 @@
+"""Tests for the ROLAP instantiation (fact table + slice protocol)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import DomainError
+from repro.core.framework import AppendOnlyAggregator
+from repro.core.types import Box
+from repro.metrics import CostCounter
+from repro.rolap.facttable import FactTable
+from repro.rolap.slices import ROLAPSliceStructure
+
+from tests.conftest import brute_box_sum, random_box
+
+
+class TestFactTable:
+    def test_column_names_validated(self):
+        with pytest.raises(DomainError):
+            FactTable(())
+        with pytest.raises(DomainError):
+            FactTable(("a", "a"))
+
+    def test_append_and_columns(self):
+        table = FactTable(("time", "store"))
+        table.append((0, 3), 10)
+        table.append((1, 5), 20)
+        assert len(table) == 2
+        assert table.column("time").tolist() == [0, 1]
+        assert table.column("store").tolist() == [3, 5]
+        assert table.measures.tolist() == [10, 20]
+        with pytest.raises(DomainError):
+            table.column("nope")
+
+    def test_arity_checked(self):
+        table = FactTable(("time", "store"))
+        with pytest.raises(DomainError):
+            table.append((1,), 5)
+
+    def test_sorted_discipline(self):
+        table = FactTable(("time", "store"))
+        table.append((5, 0), 1)
+        with pytest.raises(DomainError):
+            table.append((4, 0), 1)
+        unordered = FactTable(("a", "b"), sorted_by_first=False)
+        unordered.append((5, 0), 1)
+        unordered.append((4, 0), 1)  # fine
+        assert len(unordered) == 2
+
+    def test_growth_beyond_initial_capacity(self):
+        table = FactTable(("t", "x"))
+        for i in range(3000):
+            table.append((i, i % 7), 1)
+        assert len(table) == 3000
+        assert table.range_sum(Box((0, 0), (2999, 6))) == 3000
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_range_sum_matches_dense(self, data):
+        shape = (data.draw(st.integers(2, 20)), data.draw(st.integers(2, 20)))
+        count = data.draw(st.integers(1, 120))
+        seed = data.draw(st.integers(0, 2**31))
+        rng = np.random.default_rng(seed)
+        table = FactTable(("t", "x"))
+        dense = np.zeros(shape, dtype=np.int64)
+        for t in np.sort(rng.integers(0, shape[0], size=count)):
+            x = int(rng.integers(0, shape[1]))
+            v = int(rng.integers(-5, 9))
+            table.append((int(t), x), v)
+            dense[int(t), x] += v
+        for _ in range(10):
+            box = random_box(rng, shape)
+            assert table.range_sum(box) == brute_box_sum(dense, box)
+
+    def test_sorted_scan_band_narrows_cost(self):
+        counter = CostCounter()
+        table = FactTable(("t", "x"), counter=counter)
+        for t in range(1000):
+            table.append((t, t % 10), 1)
+        counter.reset()
+        table.range_sum(Box((100, 0), (110, 9)))
+        narrow = counter.cell_reads
+        counter.reset()
+        table.range_sum(Box((0, 0), (999, 9)))
+        full = counter.cell_reads
+        assert narrow == 11
+        assert full == 1000
+        assert table.scan_cost(Box((100, 0), (110, 9))) == 11
+
+
+class TestROLAPSlices:
+    def test_snapshot_is_watermark(self):
+        structure = ROLAPSliceStructure(1)
+        structure.update(3, 10)
+        old = structure.snapshot()
+        structure.update(3, 5)
+        assert old.range_sum(0, 9) == 10
+        assert structure.range_sum(0, 9) == 15
+
+    def test_scalar_and_tuple_cells(self):
+        structure = ROLAPSliceStructure(1)
+        structure.update((4,), 2)
+        structure.update(4, 3)
+        assert structure.range_sum((4,), (4,)) == 5
+        with pytest.raises(DomainError):
+            structure.update((1, 2), 1)
+
+    def test_multidimensional_slices(self):
+        structure = ROLAPSliceStructure(2)
+        structure.update((1, 2), 7)
+        structure.update((3, 4), 5)
+        assert structure.range_sum((0, 0), (9, 9)) == 12
+        assert structure.range_sum((1, 2), (1, 2)) == 7
+
+    def test_with_update_overlay(self):
+        structure = ROLAPSliceStructure(1)
+        structure.update(2, 10)
+        snapshot = structure.snapshot().with_update((5,), 3)
+        assert snapshot.range_sum(0, 9) == 13
+        assert snapshot.range_sum(5, 5) == 3
+        assert structure.range_sum(0, 9) == 10
+        chained = snapshot.with_update((5,), 4)
+        assert chained.range_sum(5, 5) == 7
+        assert snapshot.range_sum(5, 5) == 3
+
+
+class TestFrameworkOverROLAP:
+    def test_matches_dense_reference(self):
+        shape = (30, 15)
+        agg = AppendOnlyAggregator(
+            slice_factory=lambda: ROLAPSliceStructure(1), ndim=2
+        )
+        rng = np.random.default_rng(130)
+        dense = np.zeros(shape, dtype=np.int64)
+        for t in np.sort(rng.integers(0, shape[0], size=150)):
+            x = int(rng.integers(0, shape[1]))
+            v = int(rng.integers(-4, 8))
+            agg.update((int(t), x), v)
+            dense[int(t), x] += v
+        for _ in range(25):
+            box = random_box(rng, shape)
+            assert agg.query(box) == brute_box_sum(dense, box)
+
+    def test_out_of_order_and_drain(self):
+        from repro.workloads.streams import interleave_out_of_order
+
+        shape = (20, 8)
+        agg = AppendOnlyAggregator(
+            slice_factory=lambda: ROLAPSliceStructure(1),
+            ndim=2,
+            out_of_order=True,
+        )
+        rng = np.random.default_rng(131)
+        dense = np.zeros(shape, dtype=np.int64)
+        updates = []
+        for t in np.sort(rng.integers(0, shape[0], size=80)):
+            x = int(rng.integers(0, shape[1]))
+            updates.append(((int(t), x), int(rng.integers(1, 6))))
+        for point, delta in interleave_out_of_order(updates, 0.25, seed=3):
+            agg.update(point, delta)
+            dense[point] += delta
+        boxes = [random_box(rng, shape) for _ in range(10)]
+        for box in boxes:
+            assert agg.query(box) == brute_box_sum(dense, box)
+        agg.drain()
+        for box in boxes:
+            assert agg.query(box) == brute_box_sum(dense, box)
+
+    def test_multidim_rolap_slices_in_framework(self):
+        shape = (12, 6, 6)
+        agg = AppendOnlyAggregator(
+            slice_factory=lambda: ROLAPSliceStructure(2), ndim=3
+        )
+        rng = np.random.default_rng(132)
+        dense = np.zeros(shape, dtype=np.int64)
+        for t in np.sort(rng.integers(0, shape[0], size=90)):
+            cell = (int(rng.integers(0, 6)), int(rng.integers(0, 6)))
+            agg.update((int(t),) + cell, 2)
+            dense[(int(t),) + cell] += 2
+        for _ in range(15):
+            box = random_box(rng, shape)
+            assert agg.query(box) == brute_box_sum(dense, box)

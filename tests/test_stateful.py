@@ -1,0 +1,128 @@
+"""Hypothesis stateful tests: the cubes against a dense numpy model.
+
+A single rule-based machine drives the in-memory eCube, the disk eCube and
+the general framework through interleaved appends, queries, conversions
+and (for the framework) out-of-order updates and drains, checking every
+answer against a dense reference after every step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core.framework import AppendOnlyAggregator
+from repro.core.types import Box
+from repro.ecube.disk import DiskEvolvingDataCube
+from repro.ecube.ecube import EvolvingDataCube
+
+TIME_DOMAIN = 24
+CELL_DOMAIN = 6
+
+
+class CubeMachine(RuleBasedStateMachine):
+    """Drives both eCube variants in lockstep with a dense model."""
+
+    @initialize(copy_budget=st.sampled_from([0, 4, None]))
+    def setup(self, copy_budget):
+        self.memory = EvolvingDataCube(
+            (CELL_DOMAIN, CELL_DOMAIN),
+            num_times=TIME_DOMAIN,
+            copy_budget=copy_budget,
+        )
+        self.disk = DiskEvolvingDataCube(
+            (CELL_DOMAIN, CELL_DOMAIN), num_times=TIME_DOMAIN, page_size=64
+        )
+        self.dense = np.zeros(
+            (TIME_DOMAIN, CELL_DOMAIN, CELL_DOMAIN), dtype=np.int64
+        )
+        self.clock = 0
+
+    @rule(
+        advance=st.integers(0, 3),
+        x=st.integers(0, CELL_DOMAIN - 1),
+        y=st.integers(0, CELL_DOMAIN - 1),
+        delta=st.integers(-5, 9),
+    )
+    def append(self, advance, x, y, delta):
+        self.clock = min(TIME_DOMAIN - 1, self.clock + advance)
+        point = (self.clock, x, y)
+        self.memory.update(point, delta)
+        self.disk.update(point, delta)
+        self.dense[point] += delta
+
+    @precondition(lambda self: self.memory.num_slices > 0)
+    @rule(data=st.data())
+    def query(self, data):
+        lows = [
+            data.draw(st.integers(0, n - 1))
+            for n in (TIME_DOMAIN, CELL_DOMAIN, CELL_DOMAIN)
+        ]
+        highs = [
+            data.draw(st.integers(low, n - 1))
+            for low, n in zip(lows, (TIME_DOMAIN, CELL_DOMAIN, CELL_DOMAIN))
+        ]
+        box = Box(tuple(lows), tuple(highs))
+        expected = int(
+            self.dense[
+                box.lower[0] : box.upper[0] + 1,
+                box.lower[1] : box.upper[1] + 1,
+                box.lower[2] : box.upper[2] + 1,
+            ].sum()
+        )
+        assert self.memory.query(box) == expected
+        assert self.disk.query(box) == expected
+
+    @invariant()
+    def totals_agree(self):
+        if self.memory.num_slices:
+            assert self.memory.total() == int(self.dense.sum())
+
+
+class FrameworkMachine(RuleBasedStateMachine):
+    """Drives the general framework with out-of-order updates and drains."""
+
+    def __init__(self):
+        super().__init__()
+        self.agg = AppendOnlyAggregator(ndim=2, out_of_order=True)
+        self.dense = np.zeros((32, 16), dtype=np.int64)
+
+    @rule(t=st.integers(0, 31), x=st.integers(0, 15), delta=st.integers(-4, 8))
+    def update(self, t, x, delta):
+        self.agg.update((t, x), delta)
+        self.dense[t, x] += delta
+
+    @rule(limit=st.one_of(st.none(), st.integers(1, 5)))
+    def drain(self, limit):
+        self.agg.drain(limit)
+
+    @rule(data=st.data())
+    def query(self, data):
+        t_low = data.draw(st.integers(0, 31))
+        t_up = data.draw(st.integers(t_low, 31))
+        x_low = data.draw(st.integers(0, 15))
+        x_up = data.draw(st.integers(x_low, 15))
+        expected = int(self.dense[t_low : t_up + 1, x_low : x_up + 1].sum())
+        assert self.agg.query(Box((t_low, x_low), (t_up, x_up))) == expected
+
+    @invariant()
+    def total_matches(self):
+        assert self.agg.query(Box((0, 0), (31, 15))) == int(self.dense.sum())
+
+
+TestCubeMachine = CubeMachine.TestCase
+TestCubeMachine.settings = settings(
+    max_examples=20, stateful_step_count=30, deadline=None
+)
+TestFrameworkMachine = FrameworkMachine.TestCase
+TestFrameworkMachine.settings = settings(
+    max_examples=25, stateful_step_count=40, deadline=None
+)

@@ -1,0 +1,110 @@
+"""Tests for the simulated external-memory layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import StorageError
+from repro.metrics import CostCounter
+from repro.storage.layout import cells_per_page, pages_for_cells, rtree_leaf_capacity
+from repro.storage.pages import PageAccessTracker, PagedArray
+
+
+class TestLayout:
+    def test_paper_constants(self):
+        # "a page fits 2048 cells (since only the measure values of 4 bytes
+        # size each are stored)"
+        assert cells_per_page(8192, 4) == 2048
+
+    def test_pages_for_cells(self):
+        assert pages_for_cells(0) == 0
+        assert pages_for_cells(1) == 1
+        assert pages_for_cells(2048) == 1
+        assert pages_for_cells(2049) == 2
+
+    def test_rtree_leaf_capacity_smaller_than_cell_capacity(self):
+        for ndim in (2, 4, 6):
+            assert rtree_leaf_capacity(ndim) < cells_per_page()
+
+    def test_rtree_leaf_capacity_paper_numbers(self):
+        # 6 dims x 2 bytes + 4-byte measure = 16 bytes -> 512 entries
+        assert rtree_leaf_capacity(6, 8192) == 512
+
+    def test_errors(self):
+        with pytest.raises(StorageError):
+            cells_per_page(2, 4)
+        with pytest.raises(StorageError):
+            pages_for_cells(-1)
+        with pytest.raises(StorageError):
+            rtree_leaf_capacity(0)
+        with pytest.raises(StorageError):
+            rtree_leaf_capacity(10_000, page_size=8)
+
+
+class TestPagedArray:
+    def test_row_major_addressing(self):
+        array = PagedArray((3, 4), page_size=16, cell_size=4)  # 4 cells/page
+        assert array.linear_index((0, 0)) == 0
+        assert array.linear_index((1, 0)) == 4
+        assert array.linear_index((2, 3)) == 11
+        assert array.page_of((0, 3)) == 0
+        assert array.page_of((1, 0)) == 1
+        assert array.num_pages == 3
+
+    def test_read_write_through_tracker(self):
+        array = PagedArray((2, 4), page_size=16, cell_size=4)
+        tracker = PageAccessTracker()
+        array.write((0, 1), 42, tracker)
+        assert array.read((0, 1), tracker) == 42
+        # same page: one distinct page overall
+        assert tracker.page_accesses == 1
+
+    def test_tracker_dedupes_within_operation(self):
+        array = PagedArray((2, 8), page_size=16, cell_size=4)
+        tracker = PageAccessTracker()
+        for y in range(8):
+            array.read((0, y), tracker)  # spans pages 0 and 1
+        assert tracker.page_accesses == 2
+
+    def test_flush_to_counter(self):
+        array = PagedArray((2, 8), page_size=16, cell_size=4)
+        tracker = PageAccessTracker()
+        counter = CostCounter()
+        array.read((0, 0), tracker)
+        array.write((1, 0), 9, tracker)
+        flushed = tracker.flush_to(counter)
+        assert flushed == 2
+        assert counter.page_reads == 1
+        assert counter.page_writes == 1
+        assert tracker.page_accesses == 0  # reset
+
+    def test_write_page_bulk(self):
+        array = PagedArray((16,), page_size=16, cell_size=4)
+        tracker = PageAccessTracker()
+        written = array.write_page(1, [4, 5, 6, 7], [1, 2, 3, 4], tracker)
+        assert written == 4
+        assert array.cells[4:8].tolist() == [1, 2, 3, 4]
+        assert tracker.page_accesses == 1
+
+    def test_write_page_rejects_foreign_cells(self):
+        array = PagedArray((16,), page_size=16, cell_size=4)
+        tracker = PageAccessTracker()
+        with pytest.raises(StorageError):
+            array.write_page(1, [0], [9], tracker)
+
+    def test_distinct_arrays_have_distinct_page_spaces(self):
+        a = PagedArray((4,), page_size=16, cell_size=4)
+        b = PagedArray((4,), page_size=16, cell_size=4)
+        tracker = PageAccessTracker()
+        a.read((0,), tracker)
+        b.read((0,), tracker)
+        assert tracker.page_accesses == 2  # page 0 of two different stores
+
+    def test_invalid_shape(self):
+        with pytest.raises(StorageError):
+            PagedArray((0, 2))
+
+    def test_arity_checked(self):
+        array = PagedArray((4, 4))
+        with pytest.raises(StorageError):
+            array.linear_index((1,))

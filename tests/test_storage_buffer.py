@@ -1,0 +1,74 @@
+"""Tests for the LRU buffer pool."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import StorageError
+from repro.storage.buffer import LRUBufferPool
+
+
+class TestLRUBufferPool:
+    def test_capacity_validated(self):
+        with pytest.raises(StorageError):
+            LRUBufferPool(-1)
+
+    def test_zero_capacity_always_misses(self):
+        pool = LRUBufferPool(0)
+        assert not pool.access((0, 1))
+        assert not pool.access((0, 1))
+        assert pool.misses == 2
+        assert pool.hits == 0
+        assert len(pool) == 0
+
+    def test_hits_after_first_access(self):
+        pool = LRUBufferPool(4)
+        assert not pool.access((0, 1))
+        assert pool.access((0, 1))
+        assert pool.hits == 1
+        assert pool.misses == 1
+        assert pool.hit_rate == 0.5
+
+    def test_lru_eviction_order(self):
+        pool = LRUBufferPool(2)
+        pool.access((0, 1))
+        pool.access((0, 2))
+        pool.access((0, 1))  # refresh page 1
+        pool.access((0, 3))  # evicts page 2
+        assert pool.access((0, 1))  # still resident
+        assert not pool.access((0, 2))  # was evicted
+        assert pool.evictions >= 1
+
+    def test_charge_counts_misses(self):
+        pool = LRUBufferPool(8)
+        assert pool.charge([(0, 1), (0, 2), (0, 3)]) == 3
+        assert pool.charge([(0, 2), (0, 3), (0, 4)]) == 1
+
+    def test_distinct_stores_do_not_collide(self):
+        pool = LRUBufferPool(8)
+        pool.access((0, 7))
+        assert not pool.access((1, 7))
+
+    def test_invalidate_and_clear(self):
+        pool = LRUBufferPool(8)
+        pool.access((0, 1))
+        pool.invalidate((0, 1))
+        assert not pool.access((0, 1))
+        pool.clear()
+        assert len(pool) == 0
+
+    def test_empty_hit_rate(self):
+        assert LRUBufferPool(2).hit_rate == 0.0
+
+    def test_working_set_behaviour(self):
+        # a working set within capacity converges to 100% hits
+        pool = LRUBufferPool(4)
+        working_set = [(0, p) for p in range(4)]
+        pool.charge(working_set)
+        for _ in range(10):
+            assert pool.charge(working_set) == 0
+        # a working set beyond capacity thrashes under LRU
+        pool = LRUBufferPool(3)
+        working_set = [(0, p) for p in range(4)]
+        for _ in range(5):
+            assert pool.charge(working_set) == 4

@@ -1,0 +1,85 @@
+"""Tests for the disk-resident pre-aggregated array."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.types import Box
+from repro.preagg.cube import PreAggregatedArray
+from repro.storage.buffer import LRUBufferPool
+from repro.storage.paged_cube import PagedPreAggregatedArray
+
+from tests.conftest import brute_box_sum, random_box
+
+
+@pytest.fixture
+def paged(rng):
+    raw = rng.integers(0, 10, size=(16, 32))
+    array = PreAggregatedArray(raw.shape, ["PS", "DDC"], values=raw)
+    return (
+        PagedPreAggregatedArray(array, page_size=64, cell_size=4),
+        raw,
+    )
+
+
+class TestQueries:
+    def test_results_exact(self, paged, rng):
+        disk, raw = paged
+        for _ in range(30):
+            box = random_box(rng, raw.shape)
+            assert disk.range_sum(box) == brute_box_sum(raw, box)
+
+    def test_page_cost_bounded_by_cells(self, paged, rng):
+        disk, raw = paged
+        for _ in range(20):
+            box = random_box(rng, raw.shape)
+            terms = disk.array.range_term_cells(box)
+            assert disk.query_page_cost(box) <= max(1, len(terms))
+
+    def test_sequential_cells_share_pages(self, paged):
+        disk, _raw = paged
+        # PS terms on the last axis are 2 cells in the same row: with 16
+        # cells per page they often share one page
+        cost = disk.query_page_cost(Box((3, 4), (3, 8)))
+        assert cost <= 2
+
+    def test_counter_charged(self, paged):
+        disk, _raw = paged
+        disk.range_sum(Box((0, 0), (15, 31)))
+        assert disk.counter.page_reads >= 1
+        assert disk.last_op_page_accesses == disk.counter.page_reads
+
+
+class TestUpdates:
+    def test_update_keeps_answers_exact(self, paged, rng):
+        disk, raw = paged
+        for _ in range(15):
+            point = (int(rng.integers(0, 16)), int(rng.integers(0, 32)))
+            delta = int(rng.integers(-5, 9))
+            disk.update(point, delta)
+            raw[point] += delta
+        for _ in range(15):
+            box = random_box(rng, raw.shape)
+            assert disk.range_sum(box) == brute_box_sum(raw, box)
+
+    def test_update_charges_write_pages(self, paged):
+        disk, _raw = paged
+        before = disk.counter.page_writes
+        disk.update((0, 0), 5)
+        assert disk.counter.page_writes > before
+
+
+class TestBufferPool:
+    def test_warm_pool_reduces_io(self, rng):
+        raw = rng.integers(0, 10, size=(16, 32))
+        array = PreAggregatedArray(raw.shape, ["PS", "DDC"], values=raw)
+        pool = LRUBufferPool(capacity=1024)
+        disk = PagedPreAggregatedArray(
+            array, page_size=64, cell_size=4, buffer_pool=pool
+        )
+        box = Box((2, 3), (13, 29))
+        first = disk.range_sum(box)
+        cold = disk.last_op_page_accesses
+        assert disk.range_sum(box) == first
+        assert disk.last_op_page_accesses == 0  # fully cached
+        assert cold > 0

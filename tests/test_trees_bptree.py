@@ -1,0 +1,107 @@
+"""Tests for the aggregate B+tree."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import DomainError
+from repro.trees.bptree import BPlusTree
+
+
+class TestBasics:
+    def test_empty_tree(self):
+        tree = BPlusTree()
+        assert len(tree) == 0
+        assert tree.get(5) == 0
+        assert tree.range_sum(0, 100) == 0
+        assert tree.total() == 0
+
+    def test_single_key_accumulates(self):
+        tree = BPlusTree()
+        tree.update(7, 3)
+        tree.update(7, 4)
+        assert tree.get(7) == 7
+        assert len(tree) == 1
+
+    def test_rejects_small_fanout(self):
+        with pytest.raises(DomainError):
+            BPlusTree(fanout=2)
+
+    def test_inverted_range_rejected(self):
+        tree = BPlusTree()
+        with pytest.raises(DomainError):
+            tree.range_sum(5, 3)
+
+    def test_items_in_key_order(self):
+        tree = BPlusTree(fanout=4)
+        for key in [5, 1, 9, 3, 7]:
+            tree.update(key, key)
+        assert list(tree.items()) == [(1, 1), (3, 3), (5, 5), (7, 7), (9, 9)]
+
+
+class TestAgainstDictModel:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        updates=st.lists(
+            st.tuples(st.integers(0, 300), st.integers(-10, 10)),
+            min_size=1,
+            max_size=300,
+        ),
+        queries=st.lists(
+            st.tuples(st.integers(0, 300), st.integers(0, 300)),
+            min_size=1,
+            max_size=30,
+        ),
+        fanout=st.sampled_from([4, 5, 8, 32]),
+    )
+    def test_range_sums_match_model(self, updates, queries, fanout):
+        tree = BPlusTree(fanout=fanout)
+        model: dict[int, int] = {}
+        for key, delta in updates:
+            tree.update(key, delta)
+            model[key] = model.get(key, 0) + delta
+        for a, b in queries:
+            low, up = min(a, b), max(a, b)
+            expected = sum(v for k, v in model.items() if low <= k <= up)
+            assert tree.range_sum(low, up) == expected
+            assert tree.prefix_sum(up) == sum(
+                v for k, v in model.items() if k <= up
+            )
+
+    def test_large_sequential_and_random(self):
+        rng = np.random.default_rng(5)
+        tree = BPlusTree(fanout=8)
+        model: dict[int, int] = {}
+        for key in range(2000):
+            tree.update(key, 1)
+            model[key] = 1
+        for key in rng.integers(0, 2000, size=1000):
+            tree.update(int(key), 2)
+            model[int(key)] += 2
+        assert tree.total() == sum(model.values())
+        for _ in range(50):
+            a, b = sorted(int(v) for v in rng.integers(0, 2000, size=2))
+            assert tree.range_sum(a, b) == sum(
+                model[k] for k in range(a, b + 1)
+            )
+
+
+class TestComplexity:
+    def test_height_logarithmic(self):
+        tree = BPlusTree(fanout=8)
+        for key in range(10_000):
+            tree.update(key, 1)
+        # fanout 8 => height about log_4(10000) ~ 7; allow slack
+        assert tree.height <= 9
+
+    def test_range_query_node_accesses_bounded(self):
+        tree = BPlusTree(fanout=8)
+        for key in range(10_000):
+            tree.update(key, 1)
+        tree.node_accesses = 0
+        assert tree.range_sum(17, 9_876) == 9_860
+        # two boundary paths of height nodes each, give or take
+        assert tree.node_accesses <= 4 * tree.height

@@ -1,0 +1,100 @@
+"""Tests for the fat-node multiversion array."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import AppendOrderError, DomainError
+from repro.trees.fat_node import FatNodeArray
+
+
+class TestBasics:
+    def test_default_zero(self):
+        array = FatNodeArray((4, 4))
+        assert array.read((2, 2), 10) == 0
+        assert array.read_latest((2, 2)) == 0
+
+    def test_write_then_read_versions(self):
+        array = FatNodeArray((8,))
+        array.write((3,), 1, 10)
+        array.write((3,), 4, 20)
+        assert array.read((3,), 0) == 0
+        assert array.read((3,), 1) == 10
+        assert array.read((3,), 3) == 10
+        assert array.read((3,), 4) == 20
+        assert array.read((3,), 99) == 20
+
+    def test_same_version_overwrites(self):
+        array = FatNodeArray((8,))
+        array.write((3,), 1, 10)
+        array.write((3,), 1, 11)
+        assert array.read((3,), 1) == 11
+        assert array.versions_of((3,)) == (1,)
+
+    def test_add_accumulates(self):
+        array = FatNodeArray((8,))
+        array.add((0,), 1, 5)
+        array.add((0,), 2, 7)
+        assert array.read((0,), 1) == 5
+        assert array.read((0,), 2) == 12
+
+    def test_partial_persistence_only(self):
+        array = FatNodeArray((8,))
+        array.write((3,), 5, 10)
+        with pytest.raises(AppendOrderError):
+            array.write((4,), 4, 1)
+
+    def test_bounds_checked(self):
+        array = FatNodeArray((4, 4))
+        with pytest.raises(DomainError):
+            array.read((4, 0), 0)
+        with pytest.raises(DomainError):
+            array.write((0,), 0, 1)
+
+    def test_invalid_shape(self):
+        with pytest.raises(DomainError):
+            FatNodeArray((0,))
+
+
+class TestModel:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        writes=st.lists(
+            st.tuples(st.integers(0, 7), st.integers(0, 30), st.integers(-9, 9)),
+            min_size=1,
+            max_size=120,
+        )
+    )
+    def test_matches_versioned_dict_model(self, writes):
+        # enforce non-decreasing versions (partial persistence)
+        writes = sorted(writes, key=lambda w: w[1])
+        array = FatNodeArray((8,))
+        history: dict[int, list[tuple[int, int]]] = {}
+        for cell, version, value in writes:
+            array.write((cell,), version, value)
+            history.setdefault(cell, []).append((version, value))
+        for cell in range(8):
+            timeline = history.get(cell, [])
+            for probe in range(-1, 32):
+                expected = 0
+                for version, value in timeline:
+                    if version <= probe:
+                        expected = value
+                assert array.read((cell,), probe) == expected
+
+    def test_storage_linear_in_updates(self):
+        array = FatNodeArray((4,))
+        for version in range(50):
+            array.write((version % 4,), version, version)
+        assert array.storage_cells() == 50
+
+    def test_reads_cost_probes(self):
+        array = FatNodeArray((2,))
+        for version in range(64):
+            array.write((0,), version, version)
+        before = array.probes
+        array.read((0,), 32)
+        # binary search cost ~ log2(64) probes, not constant
+        assert array.probes - before >= 6

@@ -1,0 +1,142 @@
+"""Tests for the multi-resolution aggregate tree (progressive queries)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import DomainError
+from repro.trees.mratree import MRATree
+
+from tests.conftest import brute_box_sum, random_box
+
+
+class TestBasics:
+    def test_shape_validated(self):
+        with pytest.raises(DomainError):
+            MRATree(())
+        with pytest.raises(DomainError):
+            MRATree((0, 4))
+
+    def test_negative_deltas_rejected(self):
+        tree = MRATree((8, 8))
+        with pytest.raises(DomainError):
+            tree.update((1, 1), -1)
+
+    def test_cell_bounds(self):
+        tree = MRATree((8, 8))
+        with pytest.raises(DomainError):
+            tree.update((8, 0), 1)
+
+    def test_exact_queries(self):
+        tree = MRATree((8, 8))
+        tree.update((2, 3), 5)
+        tree.update((6, 7), 2)
+        assert tree.range_sum((0, 0), (7, 7)) == 7
+        assert tree.range_sum((0, 0), (3, 3)) == 5
+        assert tree.range_sum((4, 4), (7, 7)) == 2
+        assert tree.total() == 7
+
+    def test_empty_box_after_clip(self):
+        tree = MRATree((8, 8))
+        tree.update((1, 1), 1)
+        assert tree.range_sum((5, 5), (3, 3)) == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_matches_dense_reference(self, data):
+        ndim = data.draw(st.integers(1, 3))
+        shape = tuple(data.draw(st.integers(2, 9)) for _ in range(ndim))
+        count = data.draw(st.integers(1, 60))
+        seed = data.draw(st.integers(0, 2**31))
+        rng = np.random.default_rng(seed)
+        tree = MRATree(shape)
+        dense = np.zeros(shape, dtype=np.int64)
+        for _ in range(count):
+            cell = tuple(int(rng.integers(0, n)) for n in shape)
+            delta = int(rng.integers(0, 9))
+            tree.update(cell, delta)
+            dense[cell] += delta
+        for _ in range(8):
+            box = random_box(rng, shape)
+            assert tree.range_sum(box.lower, box.upper) == brute_box_sum(
+                dense, box
+            )
+
+
+class TestProgressive:
+    @pytest.fixture
+    def populated(self):
+        rng = np.random.default_rng(81)
+        shape = (64, 64)
+        tree = MRATree(shape)
+        dense = np.zeros(shape, dtype=np.int64)
+        for _ in range(800):
+            cell = (int(rng.integers(0, 64)), int(rng.integers(0, 64)))
+            delta = int(rng.integers(1, 10))
+            tree.update(cell, delta)
+            dense[cell] += delta
+        return tree, dense, rng
+
+    def test_bounds_bracket_and_tighten(self, populated):
+        tree, dense, rng = populated
+        for _ in range(10):
+            box = random_box(rng, (64, 64))
+            exact = brute_box_sum(dense, box)
+            previous_span = None
+            final = None
+            for low, high, estimate in tree.progressive_range_sum(
+                box.lower, box.upper
+            ):
+                assert low <= exact <= high
+                assert low <= estimate <= high
+                span = high - low
+                if previous_span is not None:
+                    assert span <= previous_span
+                previous_span = span
+                final = (low, high)
+            assert final == (exact, exact)
+
+    def test_progressive_converges_in_few_steps(self, populated):
+        tree, dense, rng = populated
+        box = random_box(rng, (64, 64))
+        exact = brute_box_sum(dense, box)
+        steps_to_5_percent = None
+        for step, (low, high, _est) in enumerate(
+            tree.progressive_range_sum(box.lower, box.upper)
+        ):
+            if high - low <= 0.05 * max(1, high):
+                steps_to_5_percent = step
+                break
+        assert steps_to_5_percent is not None
+        # resolving by largest-aggregate-first converges quickly
+        assert steps_to_5_percent <= 200
+
+    def test_query_with_tolerance(self, populated):
+        tree, dense, rng = populated
+        box = random_box(rng, (64, 64))
+        exact = brute_box_sum(dense, box)
+        low, high, estimate = tree.query_with_tolerance(
+            box.lower, box.upper, tolerance=0.1
+        )
+        assert low <= exact <= high
+        assert (high - low) <= 0.1 * max(1, high)
+        exact_low, exact_high, _ = tree.query_with_tolerance(
+            box.lower, box.upper, tolerance=0.0
+        )
+        assert exact_low == exact_high == exact
+        with pytest.raises(DomainError):
+            tree.query_with_tolerance(box.lower, box.upper, -0.5)
+
+    def test_early_bounds_far_cheaper_than_exact(self, populated):
+        tree, _dense, _rng = populated
+        box_lower, box_upper = (3, 3), (60, 61)
+        tree.node_accesses = 0
+        tree.query_with_tolerance(box_lower, box_upper, tolerance=0.25)
+        approximate_cost = tree.node_accesses
+        tree.node_accesses = 0
+        tree.range_sum(box_lower, box_upper)
+        exact_cost = tree.node_accesses
+        assert approximate_cost < exact_cost

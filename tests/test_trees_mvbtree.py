@@ -1,0 +1,211 @@
+"""Tests for the multiversion B-tree (Becker et al.)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import AppendOrderError, DomainError
+from repro.trees.mvbtree import MultiversionBTree
+
+
+class _Model:
+    """Reference model: explicit item timelines."""
+
+    def __init__(self) -> None:
+        # (key, value, start_version, end_version-or-None)
+        self.items: list[list] = []
+
+    def insert(self, key: int, value: int, version: int) -> None:
+        self.items.append([key, value, version, None])
+
+    def delete_item(self, key: int, value: int, version: int) -> bool:
+        for item in self.items:
+            if item[0] == key and item[1] == value and item[3] is None:
+                item[3] = version
+                return True
+        return False
+
+    def range_sum(self, lower: int, upper: int, version: int) -> int:
+        return sum(
+            value
+            for key, value, start, end in self.items
+            if lower <= key <= upper
+            and start <= version
+            and (end is None or version < end)
+        )
+
+    def net_items(self, version: int) -> list[tuple[int, int]]:
+        sums: dict[int, int] = {}
+        for key, value, start, end in self.items:
+            if start <= version and (end is None or version < end):
+                sums[key] = sums.get(key, 0) + value
+        return sorted((k, v) for k, v in sums.items() if v != 0)
+
+
+class TestBasics:
+    def test_capacity_validated(self):
+        with pytest.raises(DomainError):
+            MultiversionBTree(capacity=4)
+
+    def test_empty(self):
+        tree = MultiversionBTree()
+        assert tree.range_sum(0, 100) == 0
+        assert list(tree.items_at(0)) == []
+        assert tree.get(5) == 0
+
+    def test_insert_and_query_current(self):
+        tree = MultiversionBTree()
+        tree.insert(5, 10)
+        tree.insert(7, 20)
+        assert tree.range_sum(0, 10) == 30
+        assert tree.range_sum(6, 10) == 20
+        assert tree.get(5) == 10
+
+    def test_version_monotonicity(self):
+        tree = MultiversionBTree()
+        tree.advance_version(5)
+        with pytest.raises(AppendOrderError):
+            tree.advance_version(3)
+
+    def test_inverted_range(self):
+        tree = MultiversionBTree()
+        with pytest.raises(DomainError):
+            tree.range_sum(5, 3)
+
+    def test_historic_versions_stay_queryable(self):
+        tree = MultiversionBTree()
+        tree.insert(1, 100, version=0)
+        tree.insert(2, 200, version=1)
+        tree.advance_version(2)
+        tree.delete(1, 100)
+        assert tree.range_sum(0, 9, version=0) == 100
+        assert tree.range_sum(0, 9, version=1) == 300
+        assert tree.range_sum(0, 9, version=2) == 200
+        assert tree.range_sum(0, 9) == 200
+
+    def test_measure_accumulation(self):
+        tree = MultiversionBTree()
+        for _ in range(5):
+            tree.update(3, 2)
+        assert tree.get(3) == 10
+        assert list(tree.items_at(0)) == [(3, 10)]
+
+
+class TestAgainstModel:
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_random_histories(self, data):
+        capacity = data.draw(st.sampled_from([8, 12, 16]))
+        num_ops = data.draw(st.integers(1, 250))
+        seed = data.draw(st.integers(0, 2**31))
+        rng = np.random.default_rng(seed)
+        tree = MultiversionBTree(capacity=capacity)
+        model = _Model()
+        version = 0
+        live_items: list[tuple[int, int]] = []
+        for _ in range(num_ops):
+            if rng.random() < 0.25:
+                version += int(rng.integers(1, 3))
+                tree.advance_version(version)
+            if live_items and rng.random() < 0.3:
+                key, value = live_items.pop(int(rng.integers(0, len(live_items))))
+                tree.delete(key, value)
+                assert model.delete_item(key, value, version)
+            else:
+                key = int(rng.integers(0, 200))
+                value = int(rng.integers(1, 10))
+                tree.insert(key, value)
+                model.insert(key, value, version)
+                live_items.append((key, value))
+        tree.check_invariants()
+        for probe in range(0, version + 2, max(1, version // 10)):
+            assert list(tree.items_at(probe)) == model.net_items(probe)
+            for _ in range(4):
+                a, b = sorted(int(x) for x in rng.integers(0, 200, size=2))
+                assert tree.range_sum(a, b, version=probe) == model.range_sum(
+                    a, b, probe
+                ), (probe, a, b)
+
+    def test_insert_heavy_growth(self):
+        rng = np.random.default_rng(123)
+        tree = MultiversionBTree(capacity=16)
+        model = _Model()
+        for version in range(200):
+            tree.advance_version(version)
+            for _ in range(10):
+                key = int(rng.integers(0, 1000))
+                tree.insert(key, 1)
+                model.insert(key, 1, version)
+        tree.check_invariants()
+        for probe in (0, 50, 120, 199):
+            assert tree.range_sum(0, 999, version=probe) == model.range_sum(
+                0, 999, probe
+            )
+            assert tree.range_sum(100, 400, version=probe) == model.range_sum(
+                100, 400, probe
+            )
+
+    def test_exhaustive_small_histories(self):
+        # dense verification across every version of several seeds
+        for seed in range(12):
+            rng = np.random.default_rng(seed)
+            tree = MultiversionBTree(capacity=8)
+            model = _Model()
+            version = 0
+            live: list[tuple[int, int]] = []
+            for _ in range(120):
+                if rng.random() < 0.25:
+                    version += int(rng.integers(1, 3))
+                    tree.advance_version(version)
+                if live and rng.random() < 0.3:
+                    key, value = live.pop(int(rng.integers(0, len(live))))
+                    tree.delete(key, value)
+                    model.delete_item(key, value, version)
+                else:
+                    key = int(rng.integers(0, 200))
+                    value = int(rng.integers(1, 10))
+                    tree.insert(key, value)
+                    model.insert(key, value, version)
+                    live.append((key, value))
+            tree.check_invariants()
+            for v in range(version + 1):
+                assert list(tree.items_at(v)) == model.net_items(v), (seed, v)
+                for a in range(0, 200, 31):
+                    for b in range(a, 200, 43):
+                        assert tree.range_sum(a, b, version=v) == model.range_sum(
+                            a, b, v
+                        ), (seed, v, a, b)
+
+
+class TestComplexity:
+    def test_storage_linear_in_updates(self):
+        rng = np.random.default_rng(7)
+        tree = MultiversionBTree(capacity=16)
+        updates = 3000
+        for version in range(updates):
+            tree.advance_version(version)
+            tree.insert(int(rng.integers(0, 10_000)), 1)
+        assert tree.nodes_allocated <= 6 * (updates // 4)
+
+    def test_historic_query_cost_logarithmic(self):
+        rng = np.random.default_rng(8)
+        tree = MultiversionBTree(capacity=32)
+        for version in range(4000):
+            tree.advance_version(version)
+            tree.insert(int(rng.integers(0, 100_000)), 1)
+        tree.node_accesses = 0
+        tree.range_sum(500, 520, version=2000)
+        assert tree.node_accesses <= 40
+
+    def test_update_cost_logarithmic(self):
+        rng = np.random.default_rng(9)
+        tree = MultiversionBTree(capacity=32)
+        for version in range(4000):
+            tree.advance_version(version)
+            tree.insert(int(rng.integers(0, 100_000)), 1)
+        tree.node_accesses = 0
+        tree.insert(50_000, 1)
+        assert tree.node_accesses <= 30

@@ -1,0 +1,147 @@
+"""Tests for the SB-tree-style temporal aggregation index."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import DomainError, EmptyStructureError
+from repro.core.types import TimeInterval
+from repro.trees.sbtree import TemporalAggregateTree
+
+HORIZON = 80
+
+
+def brute_f(intervals, t):
+    return sum(v for iv, v in intervals if iv.start <= t <= iv.end)
+
+
+@st.composite
+def interval_sets(draw):
+    count = draw(st.integers(1, 50))
+    intervals = []
+    for _ in range(count):
+        start = draw(st.integers(0, HORIZON - 1))
+        end = draw(st.integers(start, HORIZON - 1))
+        value = draw(st.integers(1, 9))
+        intervals.append((TimeInterval(start, end), value))
+    return intervals
+
+
+class TestBasics:
+    def test_empty(self):
+        tree = TemporalAggregateTree()
+        assert tree.value_at(5) == 0
+        assert tree.total_active() == 0
+        assert len(tree) == 0
+        with pytest.raises(EmptyStructureError):
+            tree.span()
+
+    def test_single_interval(self):
+        tree = TemporalAggregateTree()
+        tree.insert(TimeInterval(3, 7), 5)
+        assert tree.value_at(2) == 0
+        assert tree.value_at(3) == 5
+        assert tree.value_at(7) == 5
+        assert tree.value_at(8) == 0
+        assert tree.total_active() == 0  # +5 and -5 cancel at infinity
+        assert tree.span() == (3, 8)
+
+    def test_overlapping_intervals(self):
+        tree = TemporalAggregateTree()
+        tree.insert(TimeInterval(0, 10), 1)
+        tree.insert(TimeInterval(5, 15), 1)
+        tree.insert(TimeInterval(8, 9), 1)
+        assert tree.value_at(4) == 1
+        assert tree.value_at(6) == 2
+        assert tree.value_at(8) == 3
+        assert tree.value_at(12) == 1
+
+    def test_inverted_windows_rejected(self):
+        tree = TemporalAggregateTree()
+        tree.insert(TimeInterval(0, 1), 1)
+        with pytest.raises(DomainError):
+            tree.integral(5, 3)
+        with pytest.raises(DomainError):
+            tree.max_over(5, 3)
+
+
+class TestAgainstBruteForce:
+    @settings(max_examples=40, deadline=None)
+    @given(intervals=interval_sets())
+    def test_value_at(self, intervals):
+        tree = TemporalAggregateTree()
+        for interval, value in intervals:
+            tree.insert(interval, value)
+        for t in range(-2, HORIZON + 2):
+            assert tree.value_at(t) == brute_f(intervals, t)
+
+    @settings(max_examples=40, deadline=None)
+    @given(intervals=interval_sets(), data=st.data())
+    def test_integral(self, intervals, data):
+        tree = TemporalAggregateTree()
+        for interval, value in intervals:
+            tree.insert(interval, value)
+        t_low = data.draw(st.integers(0, HORIZON - 1))
+        t_up = data.draw(st.integers(t_low, HORIZON - 1))
+        expected = sum(brute_f(intervals, t) for t in range(t_low, t_up + 1))
+        assert tree.integral(t_low, t_up) == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(intervals=interval_sets(), data=st.data())
+    def test_extrema(self, intervals, data):
+        tree = TemporalAggregateTree()
+        for interval, value in intervals:
+            tree.insert(interval, value)
+        t_low = data.draw(st.integers(0, HORIZON - 1))
+        t_up = data.draw(st.integers(t_low, HORIZON - 1))
+        values = [brute_f(intervals, t) for t in range(t_low, t_up + 1)]
+        assert tree.max_over(t_low, t_up) == max(values)
+        assert tree.min_over(t_low, t_up) == min(values)
+
+    def test_interleaved_inserts_and_queries(self):
+        rng = np.random.default_rng(120)
+        tree = TemporalAggregateTree()
+        intervals = []
+        for _ in range(150):
+            start = int(rng.integers(0, HORIZON))
+            end = int(start + rng.integers(0, 20))
+            value = int(rng.integers(1, 6))
+            tree.insert(TimeInterval(start, end), value)
+            intervals.append((TimeInterval(start, end), value))
+            t = int(rng.integers(0, HORIZON))
+            assert tree.value_at(t) == brute_f(intervals, t)
+            a, b = sorted(int(x) for x in rng.integers(0, HORIZON, size=2))
+            assert tree.max_over(a, b) == max(
+                brute_f(intervals, t) for t in range(a, b + 1)
+            )
+
+
+class TestComplexity:
+    def test_logarithmic_costs(self):
+        rng = np.random.default_rng(121)
+        tree = TemporalAggregateTree()
+        for _ in range(5000):
+            start = int(rng.integers(0, 100_000))
+            tree.insert(TimeInterval(start, start + int(rng.integers(1, 500))))
+        tree.node_accesses = 0
+        tree.value_at(50_000)
+        assert tree.node_accesses <= 60
+        tree.node_accesses = 0
+        tree.max_over(40_000, 60_000)
+        # one prefix walk + one two-boundary range scan
+        assert tree.node_accesses <= 200
+
+    def test_max_is_the_non_invertible_frontier(self):
+        """The framework rejects MAX (Section 1); the SB-tree provides it."""
+        from repro.core.operators import get_operator
+        from repro.core.errors import OperatorError
+
+        with pytest.raises(OperatorError):
+            get_operator("MAX")
+        tree = TemporalAggregateTree()
+        tree.insert(TimeInterval(0, 4), 3)
+        tree.insert(TimeInterval(2, 6), 4)
+        assert tree.max_over(0, 6) == 7

@@ -1,0 +1,150 @@
+"""Tests for the Z-order sparse slice structure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import DomainError
+from repro.core.framework import AppendOnlyAggregator
+from repro.trees.zorder import ZOrderSliceStructure, interleave_bits
+
+from tests.conftest import brute_box_sum, random_box
+
+
+class TestInterleave:
+    def test_2d_basics(self):
+        # (x, y) with y contributing the lower of each bit pair
+        assert interleave_bits((0, 0), 2) == 0
+        assert interleave_bits((0, 1), 2) == 1
+        assert interleave_bits((1, 0), 2) == 2
+        assert interleave_bits((1, 1), 2) == 3
+        assert interleave_bits((2, 0), 2) == 8
+
+    def test_codes_unique(self):
+        codes = {
+            interleave_bits((x, y, z), 3)
+            for x in range(8)
+            for y in range(8)
+            for z in range(8)
+        }
+        assert len(codes) == 512
+
+    def test_quadrant_contiguity(self):
+        # all cells of an aligned quadrant form a contiguous code range
+        origin = (4, 2)
+        bits = 3
+        codes = sorted(
+            interleave_bits((origin[0] + dx, origin[1] + dy), bits)
+            for dx in range(2)
+            for dy in range(2)
+        )
+        assert codes == list(range(codes[0], codes[0] + 4))
+
+
+class TestSliceStructure:
+    def test_shape_validated(self):
+        with pytest.raises(DomainError):
+            ZOrderSliceStructure(())
+        with pytest.raises(DomainError):
+            ZOrderSliceStructure((4, 0))
+
+    def test_cell_bounds(self):
+        structure = ZOrderSliceStructure((4, 4))
+        with pytest.raises(DomainError):
+            structure.update((4, 0), 1)
+        with pytest.raises(DomainError):
+            structure.update((0,), 1)
+
+    def test_clipping_and_empty(self):
+        structure = ZOrderSliceStructure((4, 4))
+        structure.update((1, 1), 5)
+        assert structure.range_sum((-3, -3), (10, 10)) == 5
+        assert structure.range_sum((2, 2), (1, 1)) == 0  # empty after clip?
+        # inverted after clipping yields zero rather than an error
+        assert structure.range_sum((3, 3), (0, 0)) == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_matches_dense_reference(self, data):
+        ndim = data.draw(st.integers(1, 3))
+        shape = tuple(data.draw(st.integers(2, 9)) for _ in range(ndim))
+        count = data.draw(st.integers(1, 80))
+        seed = data.draw(st.integers(0, 2**31))
+        rng = np.random.default_rng(seed)
+        structure = ZOrderSliceStructure(shape)
+        dense = np.zeros(shape, dtype=np.int64)
+        for _ in range(count):
+            cell = tuple(int(rng.integers(0, n)) for n in shape)
+            delta = int(rng.integers(-5, 9))
+            structure.update(cell, delta)
+            dense[cell] += delta
+        for _ in range(10):
+            box = random_box(rng, shape)
+            assert structure.range_sum(box.lower, box.upper) == brute_box_sum(
+                dense, box
+            )
+
+    def test_snapshots_immutable(self):
+        structure = ZOrderSliceStructure((8, 8))
+        structure.update((2, 2), 10)
+        old = structure.snapshot()
+        structure.update((2, 2), 5)
+        assert old.range_sum((0, 0), (7, 7)) == 10
+        assert structure.range_sum((0, 0), (7, 7)) == 15
+
+    def test_with_update_for_drain(self):
+        structure = ZOrderSliceStructure((8, 8))
+        structure.update((1, 1), 3)
+        snapshot = structure.snapshot().with_update((5, 5), 7)
+        assert snapshot.range_sum((0, 0), (7, 7)) == 10
+        assert structure.range_sum((0, 0), (7, 7)) == 3  # live unaffected
+
+
+class TestFrameworkIntegration:
+    """The framework with genuinely multi-dimensional sparse slices."""
+
+    def test_3d_append_only_aggregation(self):
+        shape = (24, 10, 12)  # time x two slice dimensions
+        agg = AppendOnlyAggregator(
+            slice_factory=lambda: ZOrderSliceStructure(shape[1:]), ndim=3
+        )
+        rng = np.random.default_rng(71)
+        dense = np.zeros(shape, dtype=np.int64)
+        times = np.sort(rng.integers(0, shape[0], size=200))
+        for t in times:
+            cell = (int(rng.integers(0, 10)), int(rng.integers(0, 12)))
+            delta = int(rng.integers(1, 7))
+            agg.update((int(t),) + cell, delta)
+            dense[(int(t),) + cell] += delta
+        for _ in range(25):
+            box = random_box(rng, shape)
+            assert agg.query(box) == brute_box_sum(dense, box)
+
+    def test_3d_with_out_of_order_and_drain(self):
+        shape = (16, 6, 6)
+        agg = AppendOnlyAggregator(
+            slice_factory=lambda: ZOrderSliceStructure(shape[1:]),
+            ndim=3,
+            out_of_order=True,
+        )
+        rng = np.random.default_rng(72)
+        dense = np.zeros(shape, dtype=np.int64)
+        updates = []
+        times = np.sort(rng.integers(0, shape[0], size=100))
+        for t in times:
+            cell = (int(rng.integers(0, 6)), int(rng.integers(0, 6)))
+            updates.append(((int(t),) + cell, int(rng.integers(1, 5))))
+        from repro.workloads.streams import interleave_out_of_order
+
+        for point, delta in interleave_out_of_order(updates, 0.25, seed=5):
+            agg.update(point, delta)
+            dense[point] += delta
+        boxes = [random_box(rng, shape) for _ in range(10)]
+        for box in boxes:
+            assert agg.query(box) == brute_box_sum(dense, box)
+        agg.drain()
+        for box in boxes:
+            assert agg.query(box) == brute_box_sum(dense, box)
