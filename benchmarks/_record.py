@@ -1,0 +1,56 @@
+"""Machine-readable benchmark trail.
+
+Benchmarks append one row per measured configuration to
+``BENCH_engine.json`` at the repository root, so successive PRs
+accumulate a perf trajectory instead of overwriting each other's
+numbers.  Each row is a flat object::
+
+    {"bench": "weather4_batch_query", "mode": "fast",
+     "wall_s": 0.0123, "cell_accesses": 45678, ...}
+
+plus any extra keyword fields the caller supplies (speedups, batch
+sizes, dataset scales).  The file is a JSON array; a corrupt or missing
+file is replaced rather than crashing the benchmark run.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+#: repository root (benchmarks/ lives directly below it)
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_FILE = REPO_ROOT / "BENCH_engine.json"
+
+
+def load_rows(path: Path | None = None) -> list[dict[str, Any]]:
+    target = BENCH_FILE if path is None else path
+    try:
+        rows = json.loads(target.read_text())
+    except (OSError, json.JSONDecodeError):
+        return []
+    return rows if isinstance(rows, list) else []
+
+
+def record(
+    bench: str,
+    mode: str,
+    wall_s: float,
+    cell_accesses: int,
+    path: Path | None = None,
+    **extra: Any,
+) -> dict[str, Any]:
+    """Append one result row; returns the row as written."""
+    row: dict[str, Any] = {
+        "bench": str(bench),
+        "mode": str(mode),
+        "wall_s": round(float(wall_s), 6),
+        "cell_accesses": int(cell_accesses),
+    }
+    row.update(extra)
+    target = BENCH_FILE if path is None else path
+    rows = load_rows(target)
+    rows.append(row)
+    target.write_text(json.dumps(rows, indent=2) + "\n")
+    return row

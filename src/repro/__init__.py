@@ -32,7 +32,7 @@ from repro.core import (
 )
 from repro.core.directory import TimeDirectory
 from repro.core.extent import IntervalAggregator
-from repro.core.framework import AppendOnlyAggregator
+from repro.core.framework import AppendOnlyAggregator, BatchExecutor
 from repro.core.measures import MeasureCube
 from repro.core.out_of_order import OutOfOrderBuffer
 from repro.ecube import (
@@ -78,6 +78,7 @@ __all__ = [
     "AgedOutError",
     "AppendOnlyAggregator",
     "AppendOrderError",
+    "BatchExecutor",
     "BPlusTree",
     "BufferedEvolvingDataCube",
     "Box",

@@ -27,6 +27,7 @@ affected instances, newest first.
 from __future__ import annotations
 
 import copy as _copy
+from bisect import bisect_right
 from collections.abc import Callable, Sequence
 from typing import Protocol, runtime_checkable
 
@@ -53,6 +54,26 @@ class SliceStructure(Protocol):
     def range_sum(self, lower, upper) -> int: ...
 
     def snapshot(self) -> SliceSnapshot: ...
+
+
+@runtime_checkable
+class BatchExecutor(Protocol):
+    """The batch execution protocol shared by every cube front-end.
+
+    ``query_many`` answers a batch of d-dimensional range aggregates and
+    ``update_many`` applies a batch of append-ordered updates.  Batch
+    entry points exist so implementations can amortize per-operation
+    overhead -- directory lookups resolved once per batch, work sorted by
+    slice, page touches shared -- while single-operation ``query`` /
+    ``update`` remain the metered reference.  Implemented by
+    :class:`AppendOnlyAggregator`,
+    :class:`~repro.ecube.ecube.EvolvingDataCube` and
+    :class:`~repro.ecube.disk.DiskEvolvingDataCube`.
+    """
+
+    def query_many(self, boxes: Sequence[Box]) -> list[int]: ...
+
+    def update_many(self, points, deltas) -> None: ...
 
 
 class TreeSliceStructure:
@@ -258,6 +279,59 @@ class AppendOnlyAggregator:
         if self.buffer is not None:
             result += self.buffer.range_sum(box)
         return result
+
+    def query_many(self, boxes: Sequence[Box]) -> list[int]:
+        """Answer a batch of range aggregates with amortized lookups.
+
+        The directory's occurring-time array is fetched once; every
+        box's two framework lookups are resolved against it with plain
+        bisection, and the per-instance work is grouped so each snapshot
+        is located a single time per batch.
+        """
+        boxes = list(boxes)
+        for box in boxes:
+            if box.ndim != self.ndim:
+                raise DomainError(f"box arity {box.ndim} != {self.ndim}")
+        results = [0] * len(boxes)
+        if self.directory:
+            times = self.directory.times()
+            latest_index = len(times) - 1
+            per_instance: dict[int, list[tuple[int, int]]] = {}
+            for i, box in enumerate(boxes):
+                for bound, sign in ((box.upper[0], 1), (box.lower[0] - 1, -1)):
+                    index = bisect_right(times, bound) - 1
+                    if index >= 0:
+                        per_instance.setdefault(index, []).append((i, sign))
+            for index in sorted(per_instance):
+                _, snapshot = self.directory.at_index(index)
+                target = self._live if index == latest_index else snapshot
+                for i, sign in per_instance[index]:
+                    lower, upper = boxes[i].lower[1:], boxes[i].upper[1:]
+                    results[i] += sign * target.range_sum(lower, upper)
+        if self.buffer is not None:
+            for i, box in enumerate(boxes):
+                results[i] += self.buffer.range_sum(box)
+        return results
+
+    def update_many(self, points, deltas) -> None:
+        """Apply a batch of updates (validated once, then streamed).
+
+        The framework's per-update work is already constant-time for the
+        append path; batching here exists for :class:`BatchExecutor`
+        uniformity and to fail fast on malformed batches before any state
+        changes.
+        """
+        points = [tuple(int(c) for c in point) for point in points]
+        deltas = [int(delta) for delta in deltas]
+        if len(points) != len(deltas):
+            raise DomainError("need exactly one delta per point")
+        for point in points:
+            if len(point) != self.ndim:
+                raise DomainError(
+                    f"point arity {len(point)} != {self.ndim}"
+                )
+        for point, delta in zip(points, deltas):
+            self.update(point, delta)
 
     def _prefix_time_query(self, box: Box, time: int) -> int:
         if not self.directory:

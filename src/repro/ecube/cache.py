@@ -93,6 +93,40 @@ class SliceCache:
         self._counts[new_index] += 1
         self._recount_pending()
 
+    # -- vectorized (fast-mode) access -------------------------------------
+
+    @property
+    def flat_values(self) -> np.ndarray:
+        """Flat view of the cumulative values (fast-mode scatter target)."""
+        return self.values.reshape(-1)
+
+    @property
+    def flat_stamps(self) -> np.ndarray:
+        return self.stamps.reshape(-1)
+
+    def bulk_restamp(self, flat_cells: np.ndarray, new_index: int) -> None:
+        """Advance the stamps of *unique* flat cell indices in one sweep.
+
+        Histogram maintenance matches a sequence of :meth:`restamp` calls;
+        cells already stamped at ``new_index`` are left alone.
+        """
+        if flat_cells.size == 0:
+            return
+        stamps = self.flat_stamps
+        old = stamps[flat_cells]
+        if int(old.max(initial=0)) > new_index:
+            raise DomainError("stamp may only advance in bulk_restamp")
+        move = old != new_index
+        if not bool(move.any()):
+            return
+        moved_cells = flat_cells[move]
+        histogram = np.bincount(old[move], minlength=new_index + 1)
+        for index in np.nonzero(histogram)[0]:
+            self._counts[int(index)] -= int(histogram[index])
+        self._counts[new_index] += int(moved_cells.size)
+        stamps[moved_cells] = new_index
+        self._recount_pending()
+
     def _recount_pending(self) -> None:
         while self._min_idx < self._last_idx and self._counts[self._min_idx] == 0:
             self._min_idx += 1

@@ -91,6 +91,36 @@ class DiskEvolvingDataCube:
 
     def update(self, point: Sequence[int], delta: int) -> None:
         """Add ``delta`` at ``point``; at most one copy-ahead page write."""
+        tracker = PageAccessTracker()
+        self._update(point, delta, tracker)
+        self.updates_applied += 1
+        self.last_op_page_accesses = tracker.flush_to(self.counter)
+
+    def update_many(
+        self, points: Sequence[Sequence[int]], deltas: Sequence[int]
+    ) -> None:
+        """Apply a batch of append-ordered updates with shared page charging.
+
+        One :class:`PageAccessTracker` covers the whole batch, so a page
+        touched by several updates (adjacent update sets, repeated lazy
+        copies into the same slice page) is charged once per batch --
+        the page-touch amortization the in-memory batch path gets from
+        sorting work by slice.  ``last_op_page_accesses`` afterwards holds
+        the batch total.
+        """
+        points = [tuple(int(c) for c in point) for point in points]
+        deltas = [int(delta) for delta in deltas]
+        if len(points) != len(deltas):
+            raise DomainError("need exactly one delta per point")
+        tracker = PageAccessTracker()
+        for point, delta in zip(points, deltas):
+            self._update(point, delta, tracker)
+            self.updates_applied += 1
+        self.last_op_page_accesses = tracker.flush_to(self.counter)
+
+    def _update(
+        self, point: Sequence[int], delta: int, tracker: PageAccessTracker
+    ) -> None:
         point = tuple(int(c) for c in point)
         if len(point) != self.ndim:
             raise DomainError(f"point arity {len(point)} != {self.ndim}")
@@ -99,7 +129,6 @@ class DiskEvolvingDataCube:
             if not 0 <= coord < size:
                 raise DomainError(f"cell {cell} outside {self.slice_shape}")
         delta = int(delta)
-        tracker = PageAccessTracker()
 
         if not self.directory:
             self.directory.append(time, self._new_slice())
@@ -128,8 +157,6 @@ class DiskEvolvingDataCube:
             cache.apply_delta(affected, delta)
 
         self._page_copy_ahead(tracker)
-        self.updates_applied += 1
-        self.last_op_page_accesses = tracker.flush_to(self.counter)
 
     def _new_slice(self) -> _DiskSlice:
         return _DiskSlice(
@@ -205,6 +232,50 @@ class DiskEvolvingDataCube:
         lower = self._prefix_time_query(slice_box, time_low - 1, tracker)
         self.last_op_page_accesses = tracker.flush_to(self.counter)
         return upper - lower
+
+    def query_many(self, boxes: Sequence[Box]) -> list[int]:
+        """Answer a batch of queries, work sorted by slice, pages shared.
+
+        All directory lookups are resolved up front against one snapshot
+        of the occurring-time array; the per-slice jobs are then evaluated
+        in slice order under a single :class:`PageAccessTracker`, so a
+        page consulted by several queries of the batch is charged once.
+        """
+        boxes = list(boxes)
+        for box in boxes:
+            if box.ndim != self.ndim:
+                raise DomainError(
+                    f"box arity {box.ndim} != cube arity {self.ndim}"
+                )
+        if not self.directory:
+            self.last_op_page_accesses = 0
+            return [0] * len(boxes)
+        slice_boxes = [
+            box.drop_first().clip_to(self.slice_shape) for box in boxes
+        ]
+        times = self.directory.times()
+        per_slice: dict[int, list[tuple[int, int]]] = {}
+        for i, box in enumerate(boxes):
+            time_low, time_up = box.time_range
+            for bound, sign in ((time_up, 1), (time_low - 1, -1)):
+                lo, hi = 0, len(times)
+                while lo < hi:
+                    mid = (lo + hi) // 2
+                    if times[mid] <= bound:
+                        lo = mid + 1
+                    else:
+                        hi = mid
+                if lo - 1 >= 0:
+                    per_slice.setdefault(lo - 1, []).append((i, sign))
+        results = [0] * len(boxes)
+        tracker = PageAccessTracker()
+        for slice_index in sorted(per_slice):
+            for i, sign in per_slice[slice_index]:
+                results[i] += sign * self._slice_query(
+                    slice_index, slice_boxes[i], tracker
+                )
+        self.last_op_page_accesses = tracker.flush_to(self.counter)
+        return results
 
     def _prefix_time_query(
         self, slice_box: Box, time: int, tracker: PageAccessTracker

@@ -124,6 +124,12 @@ class ECubeSliceEngine:
         """
         if box.ndim != self.ndim:
             raise DomainError(f"box arity {box.ndim} != slice arity {self.ndim}")
+        # Degenerate boxes select nothing: a range entirely outside the
+        # domain (or inverted after clipping) is an explicit empty result,
+        # not a clip error and not a silently skipped corner term.
+        for low, up, size in zip(box.lower, box.upper, self.shape):
+            if low > up or low >= size or up < 0:
+                return 0
         box = box.clip_to(self.shape)
         total = 0
         for mask in range(1 << self.ndim):

@@ -27,6 +27,7 @@ class CostSnapshot:
     page_writes: int = 0
     copy_cell_writes: int = 0
     copy_page_writes: int = 0
+    fast_ops: int = 0
 
     @property
     def cell_accesses(self) -> int:
@@ -56,6 +57,7 @@ class CostSnapshot:
             page_writes=self.page_writes - other.page_writes,
             copy_cell_writes=self.copy_cell_writes - other.copy_cell_writes,
             copy_page_writes=self.copy_page_writes - other.copy_page_writes,
+            fast_ops=self.fast_ops - other.fast_ops,
         )
 
 
@@ -73,6 +75,7 @@ class CostCounter:
         "page_writes",
         "copy_cell_writes",
         "copy_page_writes",
+        "fast_ops",
         "_copy_depth",
     )
 
@@ -83,6 +86,7 @@ class CostCounter:
         self.page_writes = 0
         self.copy_cell_writes = 0
         self.copy_page_writes = 0
+        self.fast_ops = 0
         self._copy_depth = 0
 
     # -- recording ---------------------------------------------------------
@@ -102,6 +106,16 @@ class CostCounter:
         self.page_writes += n
         if self._copy_depth:
             self.copy_page_writes += n
+
+    def record_fast_op(self, n: int = 1) -> None:
+        """Tally operations served by the vectorized (fast) engine.
+
+        Fast-mode cell touches are charged through the ordinary
+        ``read_cells``/``write_cells`` bulk arguments; this counter only
+        records *how many operations* bypassed the per-cell metered walk,
+        so experiment reports can state which mode produced their tallies.
+        """
+        self.fast_ops += n
 
     @contextlib.contextmanager
     def copying(self):
@@ -126,6 +140,7 @@ class CostCounter:
             page_writes=self.page_writes,
             copy_cell_writes=self.copy_cell_writes,
             copy_page_writes=self.copy_page_writes,
+            fast_ops=self.fast_ops,
         )
 
     def reset(self) -> None:
@@ -135,6 +150,7 @@ class CostCounter:
         self.page_writes = 0
         self.copy_cell_writes = 0
         self.copy_page_writes = 0
+        self.fast_ops = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         s = self.snapshot()

@@ -22,6 +22,12 @@ from repro.preagg.ddc import DDCTechnique, lowbit
 from repro.preagg.local_prefix import LocalPrefixSumTechnique
 from repro.preagg.relative_prefix import RelativePrefixSumTechnique
 from repro.preagg.cube import PreAggregatedArray
+from repro.preagg.term_tables import (
+    TermTable,
+    TermTableSet,
+    gather_dot,
+    gathered_cell_count,
+)
 
 __all__ = [
     "Technique",
@@ -34,6 +40,10 @@ __all__ = [
     "RelativePrefixSumTechnique",
     "lowbit",
     "PreAggregatedArray",
+    "TermTable",
+    "TermTableSet",
+    "gather_dot",
+    "gathered_cell_count",
     "DimensionProfile",
     "Recommendation",
     "profile_technique",

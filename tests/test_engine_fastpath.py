@@ -1,0 +1,400 @@
+"""Tests for the vectorized batch execution engine (fast mode).
+
+The metered path is the paper's counted reference; the fast path must be
+*observationally identical* -- same answers, same append discipline, same
+errors -- while evaluating term sets as flat gathers.  These tests pin
+that equivalence plus the supporting pieces: precomputed term tables,
+bulk DDC->PS finalization, batch cache restamping, and the batch APIs of
+all three front-ends.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import AgedOutError, AppendOrderError, DomainError
+from repro.core.framework import AppendOnlyAggregator, BatchExecutor
+from repro.core.types import Box
+from repro.ecube.cache import SliceCache
+from repro.ecube.disk import DiskEvolvingDataCube
+from repro.ecube.ecube import EvolvingDataCube
+from repro.ecube.fastpath import FastSliceEngine
+from repro.ecube.slices import ECubeSliceEngine
+from repro.metrics import CostCounter
+from repro.preagg.ddc import DDCTechnique
+from repro.preagg.term_tables import TermTable, TermTableSet
+
+from tests.conftest import brute_box_sum, random_box
+
+
+def random_append_stream(rng, shape, count):
+    times = np.sort(rng.integers(0, shape[0], size=count))
+    updates = []
+    for t in times:
+        cell = tuple(int(rng.integers(0, n)) for n in shape[1:])
+        updates.append(((int(t),) + cell, int(rng.integers(-5, 9))))
+    return updates
+
+
+def build_metered(shape, updates):
+    cube = EvolvingDataCube(shape[1:], num_times=shape[0], counter=CostCounter())
+    for point, delta in updates:
+        cube.update(point, delta)
+    return cube
+
+
+# -- term tables -------------------------------------------------------------
+
+
+class TestTermTables:
+    @given(n=st.integers(1, 64), data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_range_terms_equal_prefix_difference(self, n, data):
+        """range_terms(l, u) == prefix_terms(u) - prefix_terms(l-1)
+
+        as a *signed multiset*: DDC's direct range algorithm only skips
+        cells shared by both prefix descents, it never changes the sum's
+        term structure otherwise.
+        """
+        technique = DDCTechnique(n)
+        upper = data.draw(st.integers(0, n - 1))
+        lower = data.draw(st.integers(0, upper))
+        signed = Counter()
+        for index, coeff in technique.range_terms(lower, upper):
+            signed[index] += coeff
+        expected = Counter()
+        for index, coeff in technique.prefix_terms(upper):
+            expected[index] += coeff
+        for index, coeff in technique.prefix_terms(lower - 1):
+            expected[index] -= coeff
+        assert {i: c for i, c in signed.items() if c} == {
+            i: c for i, c in expected.items() if c
+        }
+
+    @given(n=st.integers(1, 40), data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_csr_tables_match_technique(self, n, data):
+        technique = DDCTechnique(n)
+        table = TermTable(technique)
+        k = data.draw(st.integers(-1, n - 1))
+        indices, coeffs = table.prefix_slice(k)
+        assert [(int(i), int(c)) for i, c in zip(indices, coeffs)] == (
+            technique.prefix_terms(k)
+        )
+        i = data.draw(st.integers(0, n - 1))
+        indices, coeffs = table.update_slice(i)
+        assert [(int(j), int(c)) for j, c in zip(indices, coeffs)] == (
+            technique.update_terms(i)
+        )
+        upper = data.draw(st.integers(0, n - 1))
+        lower = data.draw(st.integers(0, upper))
+        indices, coeffs = table.range_slice(lower, upper)
+        assert [(int(j), int(c)) for j, c in zip(indices, coeffs)] == (
+            technique.range_terms(lower, upper)
+        )
+
+    def test_range_eval_on_ddc_array(self, rng):
+        shape = (9, 7, 5)
+        dense = rng.integers(-4, 9, size=shape).astype(np.int64)
+        ddc = dense
+        techniques = [DDCTechnique(n) for n in shape]
+        for axis, technique in enumerate(techniques):
+            ddc = technique.aggregate(ddc, axis=axis)
+        tables = TermTableSet(techniques)
+        for _ in range(25):
+            box = random_box(rng, shape)
+            assert tables.range_eval(ddc, box.lower, box.upper) == (
+                brute_box_sum(dense, box)
+            )
+            assert tables.prefix_eval(ddc, box.upper) == brute_box_sum(
+                dense, Box((0,) * len(shape), box.upper)
+            )
+
+
+# -- fast/metered equivalence ------------------------------------------------
+
+
+class TestFastMeteredEquivalence:
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_query_many_matches_metered(self, seed):
+        rng = np.random.default_rng(seed)
+        shape = (6, 5, 4)
+        updates = random_append_stream(rng, shape, 60)
+        metered = build_metered(shape, updates)
+        fast = build_metered(shape, updates)
+        boxes = [random_box(rng, shape) for _ in range(12)]
+        # convert a few cells first so mixed DDC/PS slices are exercised
+        metered.query(boxes[0])
+        fast.query(boxes[0])
+        expected = [metered.query(box) for box in boxes]
+        assert fast.query_many(boxes, mode="fast") == expected
+        assert fast.query_many(boxes, mode="metered") == expected
+        # fast queries must not have perturbed subsequent metered answers
+        assert [fast.query(box) for box in boxes] == expected
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_update_many_matches_metered_stream(self, seed):
+        rng = np.random.default_rng(seed)
+        shape = (6, 4, 4)
+        updates = random_append_stream(rng, shape, 50)
+        metered = build_metered(shape, updates)
+        fast = EvolvingDataCube(
+            shape[1:], num_times=shape[0], counter=CostCounter()
+        )
+        points = np.array([point for point, _ in updates], dtype=np.int64)
+        deltas = np.array([delta for _, delta in updates], dtype=np.int64)
+        fast.update_many(points, deltas, mode="fast")
+        assert np.array_equal(fast.cache.values, metered.cache.values)
+        boxes = [random_box(rng, shape) for _ in range(10)]
+        assert [fast.query(b) for b in boxes] == [metered.query(b) for b in boxes]
+        assert fast.total() == metered.total()
+
+    def test_query_many_against_dense_truth(self, rng):
+        shape = (8, 6, 5)
+        updates = random_append_stream(rng, shape, 120)
+        dense = np.zeros(shape, dtype=np.int64)
+        for point, delta in updates:
+            dense[point] += delta
+        dense_ps = dense.cumsum(axis=0)
+        cube = build_metered(shape, updates)
+        boxes = [random_box(rng, shape) for _ in range(40)]
+        expected = []
+        for box in boxes:
+            upper = brute_box_sum(
+                dense_ps[box.upper[0]], box.drop_first()
+            )
+            lower = (
+                brute_box_sum(dense_ps[box.lower[0] - 1], box.drop_first())
+                if box.lower[0] > 0
+                else 0
+            )
+            expected.append(upper - lower)
+        assert cube.query_many(boxes, mode="fast") == expected
+
+    def test_update_many_enforces_append_order_and_domain(self):
+        cube = EvolvingDataCube((4, 4), num_times=10)
+        with pytest.raises(AppendOrderError):
+            cube.update_many([(3, 0, 0), (1, 0, 0)], [1, 1])
+        with pytest.raises(DomainError):
+            cube.update_many([(0, 0, 4)], [1])
+        with pytest.raises(DomainError):
+            cube.update_many([(0, 0)], [1])
+        cube.update_many([(5, 1, 1)], [2])
+        with pytest.raises(AppendOrderError):
+            cube.update_many([(3, 0, 0)], [1])
+
+    def test_query_many_validates_arity(self):
+        cube = EvolvingDataCube((4, 4))
+        cube.update((0, 1, 1), 3)
+        with pytest.raises(DomainError):
+            cube.query_many([Box((0, 0), (1, 1))])
+
+
+# -- bulk finalization and copy sync ----------------------------------------
+
+
+class TestBulkFinalize:
+    def test_finalize_makes_slice_fully_ps(self, rng):
+        shape = (5, 6, 6)
+        updates = random_append_stream(rng, shape, 60)
+        cube = build_metered(shape, updates)
+        reference = build_metered(shape, updates)
+        finalized = 0
+        for index in range(cube.num_slices - 1):
+            if cube.bulk_finalize_slice(index):
+                finalized += 1
+                _, payload = cube.directory.at_index(index)
+                assert payload.ps_count == cube._num_slice_cells
+                assert bool(payload.ps_flags.all())
+        assert finalized > 0
+        boxes = [random_box(rng, shape) for _ in range(30)]
+        assert [cube.query(b) for b in boxes] == [
+            reference.query(b) for b in boxes
+        ]
+
+    def test_finalize_refuses_latest_slice(self):
+        cube = EvolvingDataCube((4,))
+        cube.update((0, 1), 1)
+        assert cube.bulk_finalize_slice(cube.num_slices - 1) is False
+
+    def test_sync_copies_completes_history(self, rng):
+        shape = (6, 5, 4)
+        updates = random_append_stream(rng, shape, 40)
+        cube = EvolvingDataCube(
+            shape[1:], num_times=shape[0], counter=CostCounter()
+        )
+        points = np.array([p for p, _ in updates], dtype=np.int64)
+        deltas = np.array([d for _, d in updates], dtype=np.int64)
+        cube.update_many(points, deltas, mode="fast")
+        cube.sync_copies()
+        assert cube.incomplete_historic_instances() == 0
+        reference = build_metered(shape, updates)
+        boxes = [random_box(rng, shape) for _ in range(15)]
+        assert [cube.query(b) for b in boxes] == [
+            reference.query(b) for b in boxes
+        ]
+
+
+class TestBulkRestamp:
+    def test_matches_per_cell_restamp(self, counter):
+        shape = (4, 5)
+        a = SliceCache(shape, counter)
+        b = SliceCache(shape, CostCounter())
+        for _ in range(3):
+            a.notice_new_time()
+            b.notice_new_time()
+        cells = [(0, 0), (1, 3), (3, 4)]
+        flat = np.array([np.ravel_multi_index(c, shape) for c in cells])
+        a.bulk_restamp(flat, a.last_index)
+        for cell in cells:
+            b.restamp(cell, b.last_index)
+        assert np.array_equal(a.stamps, b.stamps)
+        assert a.pending == b.pending
+        assert a.incomplete_instances() == b.incomplete_instances()
+
+    def test_rejects_stamp_regression(self, counter):
+        cache = SliceCache((4,), counter)
+        cache.notice_new_time()
+        cache.restamp((2,), 1)
+        with pytest.raises(DomainError):
+            cache.bulk_restamp(np.array([2]), 0)
+
+
+# -- satellite regressions ---------------------------------------------------
+
+
+class TestDegenerateRanges:
+    def test_degenerate_boxes_return_zero_without_reads(self):
+        engine = ECubeSliceEngine((6, 4))
+
+        def read(cell):
+            raise AssertionError(f"degenerate box read cell {cell}")
+
+        # fully below and fully above the domain in one dimension (Box
+        # construction itself forbids lower > upper, so degeneracy can
+        # only arise from out-of-domain coordinates)
+        for box in (
+            Box((0, -5), (5, -1)),
+            Box((6, 0), (9, 3)),
+            Box((-9, -5), (-1, -2)),
+        ):
+            assert engine.range_query(box, read, None) == 0
+
+    def test_nondegenerate_boxes_still_clip(self, rng):
+        shape = (6, 4)
+        dense = rng.integers(0, 9, size=shape).astype(np.int64)
+        cube = EvolvingDataCube(shape)
+        # a single occurring time; overhang must clip, not zero out
+        for cell in np.ndindex(shape):
+            if dense[cell]:
+                cube.update((0,) + cell, int(dense[cell]))
+        box = Box((0, 2, 1), (0, 99, 99))
+        assert cube.query(box) == int(dense[2:, 1:].sum())
+
+
+class TestRetirementGuard:
+    def test_retired_slice_raises_aged_out(self):
+        cube = EvolvingDataCube((4,))
+        for t in range(3):
+            cube.update((t, 1), 1)
+        _, payload = cube.directory.at_index(0)
+        payload.retire()
+        with pytest.raises(AgedOutError):
+            payload.data()
+        assert payload.retired
+        assert payload.values is None and payload.ps_flags is None
+
+    def test_fast_query_into_retired_region_raises(self):
+        cube = EvolvingDataCube((4,))
+        for t in range(4):
+            cube.update((t, 1), 1)
+        cube.retire_before(2)
+        # time 0's instance is retired (time 1's survives as the boundary)
+        box = Box((0, 0), (0, 3))
+        with pytest.raises(AgedOutError):
+            cube.query_many([box], mode="fast")
+        with pytest.raises(AgedOutError):
+            cube.query(box)
+
+
+# -- batch protocol across front-ends ----------------------------------------
+
+
+class TestBatchExecutorProtocol:
+    def test_all_front_ends_satisfy_protocol(self):
+        assert isinstance(EvolvingDataCube((4,)), BatchExecutor)
+        assert isinstance(DiskEvolvingDataCube((4,)), BatchExecutor)
+        assert isinstance(AppendOnlyAggregator(), BatchExecutor)
+
+    def test_aggregator_batch_matches_singles(self, rng):
+        shape = (8, 16)
+        updates = random_append_stream(rng, shape, 50)
+        single = AppendOnlyAggregator()
+        batched = AppendOnlyAggregator()
+        for point, delta in updates:
+            single.update(point, delta)
+        batched.update_many(
+            [point for point, _ in updates], [d for _, d in updates]
+        )
+        boxes = [random_box(rng, shape) for _ in range(20)]
+        assert batched.query_many(boxes) == [single.query(b) for b in boxes]
+
+    def test_disk_batch_matches_singles(self, rng):
+        shape = (6, 8, 4)
+        updates = random_append_stream(rng, shape, 40)
+        single = DiskEvolvingDataCube(shape[1:], counter=CostCounter())
+        batched = DiskEvolvingDataCube(shape[1:], counter=CostCounter())
+        for point, delta in updates:
+            single.update(point, delta)
+        batched.update_many(
+            [point for point, _ in updates], [d for _, d in updates]
+        )
+        boxes = [random_box(rng, shape) for _ in range(15)]
+        singles_pages = 0
+        expected = []
+        for box in boxes:
+            expected.append(single.query(box))
+            singles_pages += single.last_op_page_accesses
+        assert batched.query_many(boxes) == expected
+        # the shared tracker charges each page once per batch
+        assert 0 < batched.last_op_page_accesses <= singles_pages
+
+
+# -- fast engine internals ---------------------------------------------------
+
+
+class TestFastSliceEngine:
+    def test_ddc_to_ps_roundtrip(self, rng):
+        shape = (7, 5)
+        dense = rng.integers(-3, 8, size=shape).astype(np.int64)
+        engine = FastSliceEngine(shape)
+        ddc = dense
+        for axis, technique in enumerate(engine.ddc_techniques):
+            ddc = technique.aggregate(ddc, axis=axis)
+        ps = engine.ddc_to_ps(ddc)
+        assert np.array_equal(ps, dense.cumsum(axis=0).cumsum(axis=1))
+
+    def test_update_flat_indices_match_engine(self, rng):
+        shape = (9, 6)
+        fast = FastSliceEngine(shape)
+        slice_engine = ECubeSliceEngine(shape)
+        for _ in range(20):
+            cell = tuple(int(rng.integers(0, n)) for n in shape)
+            expected = sorted(
+                np.ravel_multi_index(c, shape)
+                for c in slice_engine.update_cells(cell)
+            )
+            assert sorted(fast.update_flat_indices(cell).tolist()) == expected
+
+    def test_fast_ops_counted(self):
+        cube = EvolvingDataCube((4, 4))
+        cube.update_many([(0, 1, 1), (1, 2, 2)], [1, 2], mode="fast")
+        cube.query_many([Box((0, 0, 0), (1, 3, 3))], mode="fast")
+        assert cube.counter.snapshot().fast_ops == 3
