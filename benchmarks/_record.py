@@ -22,6 +22,9 @@ from typing import Any
 #: repository root (benchmarks/ lives directly below it)
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_FILE = REPO_ROOT / "BENCH_engine.json"
+#: out-of-order (G_d) benchmark trail, kept separate so the engine and
+#: buffer trajectories can be compared PR over PR independently
+BENCH_OOB_FILE = REPO_ROOT / "BENCH_oob.json"
 
 
 def load_rows(path: Path | None = None) -> list[dict[str, Any]]:

@@ -67,8 +67,10 @@ class BatchExecutor(Protocol):
     slice, page touches shared -- while single-operation ``query`` /
     ``update`` remain the metered reference.  Implemented by
     :class:`AppendOnlyAggregator`,
-    :class:`~repro.ecube.ecube.EvolvingDataCube` and
-    :class:`~repro.ecube.disk.DiskEvolvingDataCube`.
+    :class:`~repro.ecube.ecube.EvolvingDataCube`,
+    :class:`~repro.ecube.disk.DiskEvolvingDataCube` and
+    :class:`~repro.ecube.buffered.BufferedEvolvingDataCube` (whose batch
+    paths additionally fold in the columnar ``G_d`` contribution).
     """
 
     def query_many(self, boxes: Sequence[Box]) -> list[int]: ...

@@ -61,6 +61,29 @@ class SliceCache:
         self._last_idx += 1
         self.pending = self.num_cells - self._counts[self._last_idx]
 
+    def notice_spliced_index(self, index: int) -> None:
+        """A historic instance was spliced in at directory ``index``.
+
+        Stamps are directory indices, so every stamp at or past the
+        insertion point shifts up by one (it still refers to the same
+        physical instance, now one position later); the histogram gains
+        an empty bucket at ``index`` and the latest pointer advances.
+        The pending count is unchanged: a cell current before the splice
+        stays current (the spliced instance is materialized complete by
+        the splicer), and a cell owing copies owes them to the same
+        physical slices as before.
+        """
+        if not 0 <= index <= self._last_idx:
+            raise DomainError(
+                f"splice index {index} outside [0, {self._last_idx}]"
+            )
+        self.stamps[self.stamps >= index] += 1
+        self._counts.insert(index, 0)
+        self._last_idx += 1
+        if self._min_idx >= index:
+            self._min_idx += 1
+        self._recount_pending()
+
     # -- counted cell access ----------------------------------------------------
 
     def read(self, cell: tuple[int, ...]) -> tuple[int, int]:

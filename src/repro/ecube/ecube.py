@@ -364,11 +364,14 @@ class EvolvingDataCube:
           their *old* value first, so the cache's future copies cannot
           leak the delta into instances older than ``u``.
 
-        Only *occurring* TT-coordinates are supported: a non-occurring
-        historic time would need a new instance spliced into the
-        directory, which the index-stamped cache cannot express --
-        buffered updates at such times stay in ``G_d`` (see
-        :class:`~repro.ecube.buffered.BufferedEvolvingDataCube`).
+        A correction at a historic time that never occurred in the stream
+        first *splices* a new instance into the directory
+        (:meth:`_splice_instance`): the spliced slice clones the content
+        of its floor instance (their cumulative point sets are identical)
+        and the cache's index-based stamps are shifted past the insertion
+        point.  Only corrections into the *retired* region remain
+        unappliable (:class:`~repro.core.errors.AgedOutError`) -- those
+        stay buffered in ``G_d``, where queries keep them exact.
         """
         point = tuple(int(c) for c in point)
         if len(point) != self.ndim:
@@ -385,11 +388,8 @@ class EvolvingDataCube:
         start_index = self.directory.floor_index(time)
         found_time, _ = self.directory.at_index(start_index) if start_index >= 0 else (None, None)
         if found_time != time:
-            raise AppendOrderError(
-                f"time {time} is not an occurring time value; keep the "
-                "update buffered in G_d"
-            )
-        if start_index < self._retired_below:
+            start_index = self._splice_instance(time)
+        elif start_index < self._retired_below:
             raise AgedOutError(
                 f"time {time} lies in the retired region; the correction "
                 "cannot be applied to freed detail"
@@ -427,6 +427,73 @@ class EvolvingDataCube:
             if touched:
                 self.counter.write_cells(touched)
                 payload.values[mask] += delta
+
+    def _splice_instance(self, time: int) -> int:
+        """Make a never-occurring historic ``time`` occurring; return its index.
+
+        The new instance's cumulative point set equals its floor
+        instance's (no points lie strictly between the two occurring
+        times), so the spliced slice *clones* the floor slice -- values,
+        conversion flags and conversion count.  Cloned state is coherent
+        under the read-through rules: cells whose stamp lands at or below
+        the new index keep routing to the cache (unchanged since the
+        floor), cells stamped past it read the cloned final values.  A
+        correction before the first occurring time splices an all-zero
+        instance (the empty cumulative set).  The cache's index-based
+        stamps are shifted via
+        :meth:`~repro.ecube.cache.SliceCache.notice_spliced_index`.
+        """
+        floor_index = self.directory.floor_index(time)
+        if floor_index < self._retired_below and self._retired_below > 0:
+            raise AgedOutError(
+                f"time {time} precedes the retirement boundary; a new "
+                "instance cannot be spliced into freed detail"
+            )
+        payload = _Slice(self.slice_shape)
+        if floor_index >= 0:
+            _, floor_payload = self.directory.at_index(floor_index)
+            floor_values, floor_flags = floor_payload.data()
+            payload.values = floor_values.copy()
+            payload.ps_flags = floor_flags.copy()
+            payload.ps_count = floor_payload.ps_count
+        # Materializing the instance is a full-slice copy, charged as
+        # copying work (one read plus one write per cell).
+        with self.counter.copying():
+            self.counter.read_cells(self._num_slice_cells)
+            self.counter.write_cells(self._num_slice_cells)
+        index = self.directory.insert_historic(time, payload)
+        self.cache.notice_spliced_index(index)
+        return index
+
+    def apply_out_of_order_many(
+        self,
+        points: Sequence[Sequence[int]] | np.ndarray,
+        deltas: Sequence[int] | np.ndarray,
+    ) -> int:
+        """Apply a batch of historic corrections, newest time first.
+
+        This is the drain's batched entry point: the batch is validated
+        once, sorted by descending TT-coordinate ("beginning with the
+        latest instance", Section 2.5) and applied through
+        :meth:`apply_out_of_order`, so each never-occurring time in the
+        batch is spliced exactly once and the per-correction directory
+        lookups run against an already-sorted schedule.  Returns the
+        number of corrections applied.
+        """
+        points = np.asarray(points, dtype=np.int64)
+        deltas = np.asarray(deltas, dtype=np.int64)
+        if points.shape[0] == 0:
+            return 0
+        if points.ndim != 2 or points.shape[1] != self.ndim:
+            raise DomainError(f"points must be (n, {self.ndim}); got {points.shape}")
+        if deltas.shape != (points.shape[0],):
+            raise DomainError("need exactly one delta per point")
+        order = np.argsort(points[:, 0], kind="stable")[::-1]
+        for i in order:
+            self.apply_out_of_order(
+                tuple(int(c) for c in points[i]), int(deltas[i])
+            )
+        return int(points.shape[0])
 
     # -- queries (Figure 9) ---------------------------------------------------------
 
@@ -596,6 +663,20 @@ class EvolvingDataCube:
                 counter.read_cells(cells)
                 out.append(value)
             return out
+        if len(slice_boxes) > 1:
+            # several boxes hit this mixed slice: materialize its
+            # effective DDC array once and answer every box with a plain
+            # gather, instead of re-gathering flag/stamp blocks per box
+            effective = fast.effective_ddc(
+                values, flags, cache.stamps, cache.values, slice_index
+            )
+            if effective is not None:
+                counter.read_cells(self._num_slice_cells)
+                for box in slice_boxes:
+                    value, cells = fast.ddc_range(effective, box)
+                    counter.read_cells(cells)
+                    out.append(value)
+                return out
         for box in slice_boxes:
             result = fast.mixed_range(
                 box, values, flags, cache.stamps, cache.values, slice_index

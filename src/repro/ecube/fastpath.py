@@ -68,11 +68,29 @@ class FastSliceEngine:
         self.ps_tables = TermTableSet([PrefixSumTechnique(n) for n in self.shape])
         self.num_cells = int(np.prod(self.shape))
 
+    # -- degenerate ranges ----------------------------------------------------
+
+    def _clip_or_none(self, box: Box) -> Box | None:
+        """Clamp ``box`` to the slice shape; ``None`` when it selects nothing.
+
+        Mirrors the metered engine's degenerate-range early return
+        (:meth:`~repro.ecube.slices.ECubeSliceEngine.range_query`): a
+        range entirely outside the domain is an explicit empty result,
+        not a term-table lookup error.
+        """
+        for low, up, size in zip(box.lower, box.upper, self.shape):
+            if low > up or low >= size or up < 0:
+                return None
+        return box.clip_to(self.shape)
+
     # -- fully converted slices ---------------------------------------------
 
     def ps_range(self, ps_values: np.ndarray, box: Box) -> tuple[int, int]:
         """Range aggregate on a fully-PS slice; returns (value, cells read)."""
-        indices, coeffs = self.ps_tables.range_arrays(box.lower, box.upper)
+        clipped = self._clip_or_none(box)
+        if clipped is None:
+            return 0, 0
+        indices, coeffs = self.ps_tables.range_arrays(clipped.lower, clipped.upper)
         return gather_dot(ps_values, indices, coeffs), gathered_cell_count(indices)
 
     # -- mixed slices ---------------------------------------------------------
@@ -92,7 +110,10 @@ class FastSliceEngine:
         a flagged cell whose DDC value is unrecoverable (stamp advanced
         past the slice) -- the caller then falls back to the metered walk.
         """
-        indices, coeffs = self.ddc_tables.range_arrays(box.lower, box.upper)
+        clipped = self._clip_or_none(box)
+        if clipped is None:
+            return 0, 0
+        indices, coeffs = self.ddc_tables.range_arrays(clipped.lower, clipped.upper)
         if any(idx.size == 0 for idx in indices):
             return 0, 0
         grid = np.ix_(*indices)
@@ -108,15 +129,27 @@ class FastSliceEngine:
             block = block @ coeff
         return int(block), gathered_cell_count(indices)
 
+    def ddc_range(self, ddc_values: np.ndarray, box: Box) -> tuple[int, int]:
+        """Range aggregate on an explicit DDC array; returns (value, cells).
+
+        Used for the latest instance (the cache *is* its DDC array) and
+        for batched mixed-slice evaluation against a materialized
+        effective DDC array (:meth:`effective_ddc`).
+        """
+        clipped = self._clip_or_none(box)
+        if clipped is None:
+            return 0, 0
+        indices, coeffs = self.ddc_tables.range_arrays(clipped.lower, clipped.upper)
+        return (
+            gather_dot(ddc_values, indices, coeffs),
+            gathered_cell_count(indices),
+        )
+
     def latest_range(self, cache_values: np.ndarray, box: Box) -> tuple[int, int]:
         """Range aggregate on the latest instance (always routed to the
         cache: stamps never exceed the latest index and the latest slice
         is never flag-converted)."""
-        indices, coeffs = self.ddc_tables.range_arrays(box.lower, box.upper)
-        return (
-            gather_dot(cache_values, indices, coeffs),
-            gathered_cell_count(indices),
-        )
+        return self.ddc_range(cache_values, box)
 
     # -- whole-slice finalization ---------------------------------------------
 

@@ -70,6 +70,12 @@ def _contained(mbr: MBR, box: Box) -> bool:
     )
 
 
+def _covers_point(mbr: MBR, point: tuple[int, ...]) -> bool:
+    return all(
+        mbr[0][i] <= point[i] <= mbr[1][i] for i in range(len(point))
+    )
+
+
 def _overlap(a: MBR, b: MBR) -> int:
     result = 1
     for i in range(len(a[0])):
@@ -310,6 +316,53 @@ class RTree:
         for child in entries[1:]:
             mbr = _union(mbr, child.mbr)
         return mbr
+
+    # -- incremental deletion (the out-of-order drain's splice) -------------------
+
+    def delete(self, point: Sequence[int], value: int) -> bool:
+        """Remove one exact ``(point, value)`` entry; returns success.
+
+        This is the drain's incremental splice: instead of rebuilding the
+        whole tree after removing drained entries, each entry is located
+        through the MBR hierarchy and cut out, ancestors recompute their
+        MBRs/aggregates and emptied nodes are condensed away.  Underfull
+        (but nonempty) nodes are tolerated -- a drain only ever shrinks
+        the tree, so packing quality degrades gracefully until the next
+        bulk load.  Every node touch is counted in :attr:`node_accesses`.
+        """
+        coords = tuple(int(c) for c in point)
+        if len(coords) != self.ndim:
+            raise DomainError(f"point arity {len(coords)} != {self.ndim}")
+        if not self._delete(self._root, coords, int(value)):
+            return False
+        self._size -= 1
+        while not self._root.is_leaf and len(self._root.entries) == 1:
+            self._root = self._root.entries[0]
+            self.height -= 1
+        if self._root.is_leaf and not self._root.entries:
+            self._root.recompute()
+            self.height = 1
+        return True
+
+    def _delete(self, node: _Node, point: tuple[int, ...], value: int) -> bool:
+        self.node_accesses += 1
+        if node.mbr is None or not _covers_point(node.mbr, point):
+            return False
+        if node.is_leaf:
+            for i, (p, v) in enumerate(node.entries):
+                if p == point and v == value:
+                    del node.entries[i]
+                    node.recompute()
+                    return True
+            return False
+        for child in node.entries:
+            if child.mbr is not None and _covers_point(child.mbr, point):
+                if self._delete(child, point, value):
+                    if not child.entries:
+                        node.entries.remove(child)
+                    node.recompute()
+                    return True
+        return False
 
     # -- queries -----------------------------------------------------------------
 

@@ -63,3 +63,108 @@ class TestBuffer:
         # draining again returns the next-newest batch
         drained = buffer.drain(limit=100)
         assert len(drained) == 6
+
+
+class TestColumnarPaths:
+    def test_add_many_matches_add(self):
+        rng = np.random.default_rng(71)
+        one = OutOfOrderBuffer(3)
+        many = OutOfOrderBuffer(3)
+        points = rng.integers(0, 20, size=(150, 3))
+        deltas = rng.integers(-5, 6, size=150)
+        for point, delta in zip(points, deltas):
+            one.add(tuple(int(c) for c in point), int(delta))
+        many.add_many(points, deltas)
+        assert len(many) == len(one) == 150
+        assert sorted(many.entries()) == sorted(one.entries())
+        for _ in range(15):
+            box = random_box(rng, (20, 20, 20))
+            assert many.range_sum(box) == one.range_sum(box)
+
+    def test_range_sum_fast_equals_metered(self):
+        rng = np.random.default_rng(72)
+        buffer = OutOfOrderBuffer(3)
+        buffer.add_many(
+            rng.integers(0, 16, size=(300, 3)), rng.integers(-4, 5, size=300)
+        )
+        for _ in range(25):
+            box = random_box(rng, (16, 16, 16))
+            assert buffer.range_sum(box, mode="fast") == buffer.range_sum(
+                box, mode="metered"
+            )
+
+    def test_range_sum_many_matches_singles(self):
+        rng = np.random.default_rng(73)
+        buffer = OutOfOrderBuffer(2)
+        buffer.add_many(
+            rng.integers(0, 32, size=(400, 2)), rng.integers(-6, 7, size=400)
+        )
+        boxes = [random_box(rng, (32, 32)) for _ in range(50)]
+        batch = buffer.range_sum_many(boxes)
+        assert list(batch) == [buffer.range_sum(box) for box in boxes]
+        assert buffer.range_sum_many([]) == []
+
+    def test_range_sum_many_chunks_large_batches(self):
+        # force the element budget to chunk: many points x many boxes
+        rng = np.random.default_rng(74)
+        buffer = OutOfOrderBuffer(2)
+        buffer.add_many(
+            rng.integers(0, 50, size=(5000, 2)), rng.integers(-3, 4, size=5000)
+        )
+        boxes = [random_box(rng, (50, 50)) for _ in range(900)]
+        batch = buffer.range_sum_many(boxes)
+        spot = rng.integers(0, 900, size=30)
+        for i in spot:
+            assert batch[int(i)] == buffer.range_sum(boxes[int(i)])
+
+
+class TestDrainAccounting:
+    def test_node_accesses_carried_across_full_drain(self):
+        rng = np.random.default_rng(75)
+        buffer = OutOfOrderBuffer(2)
+        buffer.add_many(
+            rng.integers(0, 40, size=(200, 2)), np.ones(200, dtype=np.int64)
+        )
+        for _ in range(10):
+            buffer.range_sum(random_box(rng, (40, 40)))
+        accesses_before = buffer.node_accesses
+        assert accesses_before > 0
+        buffer.drain()
+        assert len(buffer) == 0
+        # the cost of building and probing the drained tree is not lost
+        assert buffer.node_accesses >= accesses_before
+
+    def test_node_accesses_monotone_across_bounded_drains(self):
+        rng = np.random.default_rng(76)
+        buffer = OutOfOrderBuffer(2)
+        buffer.add_many(
+            rng.integers(0, 30, size=(120, 2)), np.ones(120, dtype=np.int64)
+        )
+        seen = buffer.node_accesses
+        while len(buffer):
+            buffer.drain(limit=13)
+            buffer.range_sum(Box((0, 0), (29, 29)))
+            assert buffer.node_accesses >= seen
+            seen = buffer.node_accesses
+
+    def test_queries_exact_during_bounded_drains(self):
+        rng = np.random.default_rng(77)
+        buffer = OutOfOrderBuffer(2)
+        live = {}
+        points = rng.integers(0, 25, size=(90, 2))
+        deltas = rng.integers(-5, 6, size=90)
+        buffer.add_many(points, deltas)
+        for point, delta in zip(points, deltas):
+            key = tuple(int(c) for c in point)
+            live[key] = live.get(key, 0) + int(delta)
+        while len(buffer):
+            for point, delta in buffer.drain(limit=7):
+                live[point] -= delta
+            for _ in range(5):
+                box = random_box(rng, (25, 25))
+                expected = sum(
+                    d for p, d in live.items() if box.contains(p)
+                )
+                assert buffer.range_sum(box) == expected
+                fast = buffer.range_sum_many([box])
+                assert fast[0] == expected

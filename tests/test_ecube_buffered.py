@@ -25,12 +25,57 @@ class TestApplyOutOfOrder:
         with pytest.raises(AppendOrderError):
             cube.apply_out_of_order((9, 0), 1)
 
-    def test_rejects_non_occurring_times(self):
+    def test_splices_non_occurring_times(self):
         cube = EvolvingDataCube((4,))
         cube.update((2, 0), 1)
         cube.update((8, 0), 1)
-        with pytest.raises(AppendOrderError):
-            cube.apply_out_of_order((5, 0), 1)
+        cube.apply_out_of_order((5, 3), 7)
+        assert cube.occurring_times() == (2, 5, 8)
+        assert cube.query(Box((0, 0), (4, 3))) == 1  # before: unaffected
+        assert cube.query(Box((5, 0), (5, 3))) == 7
+        assert cube.query(Box((0, 0), (8, 3))) == 9
+        # non-occurring times between splice and floor resolve cumulatively
+        assert cube.query(Box((0, 0), (6, 3))) == 8
+
+    def test_splice_before_first_occurring_time(self):
+        cube = EvolvingDataCube((4,))
+        cube.update((6, 1), 10)
+        cube.update((9, 1), 10)
+        cube.apply_out_of_order((2, 2), 3)
+        assert cube.occurring_times() == (2, 6, 9)
+        assert cube.query(Box((0, 0), (2, 3))) == 3
+        assert cube.query(Box((3, 0), (5, 3))) == 0
+        assert cube.query(Box((0, 0), (9, 3))) == 23
+
+    def test_splice_rejects_retired_region(self):
+        cube = EvolvingDataCube((4,))
+        for t in range(0, 20, 2):
+            cube.update((t, t % 4), 1)
+        cube.retire_before(10)
+        with pytest.raises(AgedOutError):
+            cube.apply_out_of_order((7, 0), 1)  # non-occurring, retired
+        cube.apply_out_of_order((13, 0), 5)  # non-occurring, live region
+        assert 13 in cube.occurring_times()
+
+    def test_apply_out_of_order_many_newest_first(self):
+        cube = EvolvingDataCube((8,))
+        for t in range(0, 12, 2):
+            cube.update((t, t % 8), 10)
+        dense = np.zeros((12, 8), dtype=np.int64)
+        for t in range(0, 12, 2):
+            dense[t, t % 8] += 10
+        corrections = [((3, 1), 4), ((7, 2), -2), ((3, 5), 6), ((8, 0), 1)]
+        applied = cube.apply_out_of_order_many(
+            [(t,) + (c,) for (t, c), _ in corrections],
+            [d for _, d in corrections],
+        )
+        assert applied == 4
+        for (t, c), d in corrections:
+            dense[t, c] += d
+        rng = np.random.default_rng(42)
+        for _ in range(40):
+            box = random_box(rng, (12, 8))
+            assert cube.query(box) == brute_box_sum(dense, box)
 
     def test_rejects_retired_region(self):
         cube = EvolvingDataCube((4,))
@@ -109,7 +154,7 @@ class TestBufferedCube:
         assert cube.query(Box((0, 0, 0), (9, 3, 3))) == 15
         assert cube.query(Box((3, 0, 0), (5, 3, 3))) == 7
 
-    def test_drain_applies_occurring_keeps_rest(self):
+    def test_drain_applies_occurring_and_splices_rest(self):
         cube = BufferedEvolvingDataCube((4,))
         for t in (0, 3, 6, 9):
             cube.update((t, 1), 10)
@@ -117,11 +162,57 @@ class TestBufferedCube:
         cube.update((4, 2), 7)  # non-occurring historic time
         total_before = cube.total()
         applied, kept = cube.drain()
-        assert (applied, kept) == (1, 1)
-        assert cube.buffered_updates == 1
+        assert (applied, kept) == (2, 0)
+        assert cube.buffered_updates == 0
         assert cube.total() == total_before
         assert cube.query(Box((3, 0), (3, 3))) == 15
-        assert cube.query(Box((4, 0), (5, 3))) == 7  # via the buffer
+        assert cube.query(Box((4, 0), (5, 3))) == 7  # spliced into the cube
+        assert 4 in cube.cube.occurring_times()
+
+    def test_bounded_drain_makes_progress_to_empty(self):
+        """Regression: bounded drains used to re-buffer unsplicable
+        entries and never converge; now every drained entry lands."""
+        cube = BufferedEvolvingDataCube((4,))
+        for t in (0, 10, 20):
+            cube.update((t, 0), 1)
+        for t in (1, 3, 5, 7, 9, 11, 13):  # all never-occurring
+            cube.update((t, 1), 2)
+        dense = np.zeros((21, 4), dtype=np.int64)
+        for t in (0, 10, 20):
+            dense[t, 0] += 1
+        for t in (1, 3, 5, 7, 9, 11, 13):
+            dense[t, 1] += 2
+        rng = np.random.default_rng(17)
+        boxes = [random_box(rng, (21, 4)) for _ in range(15)]
+        rounds = 0
+        while cube.buffered_updates:
+            before = cube.buffered_updates
+            applied, kept = cube.drain(limit=2)
+            assert applied > 0  # strict progress per bounded call
+            assert cube.buffered_updates < before
+            for box in boxes:  # exact mid-drain
+                assert cube.query(box) == brute_box_sum(dense, box)
+            rounds += 1
+            assert rounds <= 10
+        assert cube.drain() == (0, 0)
+
+    def test_drain_keeps_only_retired_region_corrections(self):
+        cube = BufferedEvolvingDataCube((4,))
+        for t in range(0, 30, 3):
+            cube.update((t, 0), 1)
+        cube.cube.retire_before(15)
+        cube.update((4, 1), 5)  # splice target below the boundary: kept
+        cube.update((16, 1), 5)  # splice target above the boundary
+        applied, kept = cube.drain()
+        assert (applied, kept) == (1, 1)
+        assert cube.buffered_updates == 1
+        assert 16 in cube.cube.occurring_times()
+        # the kept correction stays exact through post-processing of the
+        # still-answerable open prefix from the beginning of time
+        assert cube.query(Box((0, 0), (29, 3))) == 20
+        # draining again converges: nothing applies, nothing is lost
+        assert cube.drain() == (0, 1)
+        assert cube.buffered_updates == 1
 
     def test_matches_reference_with_heavy_out_of_order(self):
         from repro.workloads.streams import interleave_out_of_order
@@ -138,11 +229,10 @@ class TestBufferedCube:
         for box in boxes:
             assert cube.query(box) == brute_box_sum(dense, box)
         cube.drain()
+        assert cube.buffered_updates == 0  # non-occurring times spliced
         for box in boxes:
             assert cube.query(box) == brute_box_sum(dense, box)
-        # draining again is a no-op for the kept (non-occurring) updates
-        applied, _kept = cube.drain()
-        assert applied == 0
+        assert cube.drain() == (0, 0)
 
     def test_arity_checked(self):
         cube = BufferedEvolvingDataCube((4,))
@@ -151,3 +241,111 @@ class TestBufferedCube:
 
     def test_empty_total(self):
         assert BufferedEvolvingDataCube((4,)).total() == 0
+
+
+class TestBufferedBatchExecution:
+    """The BatchExecutor protocol on the buffered (G_d) cube."""
+
+    @staticmethod
+    def _mixed_stream(rng, shape, count, fraction):
+        from repro.workloads.streams import interleave_out_of_order
+
+        updates = random_append_stream(rng, shape, count)
+        return list(interleave_out_of_order(updates, fraction, seed=31))
+
+    def test_update_many_fast_matches_metered_replay(self):
+        rng = np.random.default_rng(301)
+        shape = (16, 6, 6)
+        stream = self._mixed_stream(rng, shape, 150, 0.25)
+        points = np.array([p for p, _ in stream], dtype=np.int64)
+        deltas = np.array([d for _, d in stream], dtype=np.int64)
+
+        metered = BufferedEvolvingDataCube(shape[1:], num_times=shape[0])
+        metered.update_many(points, deltas, mode="metered")
+        fast = BufferedEvolvingDataCube(shape[1:], num_times=shape[0])
+        fast.update_many(points, deltas, mode="fast")
+
+        assert fast.buffered_updates == metered.buffered_updates
+        assert fast.total_updates == metered.total_updates == len(stream)
+        for _ in range(30):
+            box = random_box(rng, shape)
+            assert fast.query(box) == metered.query(box)
+
+    def test_query_many_fast_bit_identical_to_metered(self):
+        rng = np.random.default_rng(302)
+        shape = (16, 6, 6)
+        cube = BufferedEvolvingDataCube(shape[1:], num_times=shape[0])
+        dense = np.zeros(shape, dtype=np.int64)
+        for point, delta in self._mixed_stream(rng, shape, 180, 0.2):
+            cube.update(point, delta)
+            dense[point] += delta
+        assert cube.buffered_updates > 0  # G_d genuinely participates
+        boxes = [random_box(rng, shape) for _ in range(40)]
+        fast = cube.query_many(boxes, mode="fast")
+        metered = cube.query_many(boxes, mode="metered")
+        assert fast == metered
+        assert fast == [brute_box_sum(dense, box) for box in boxes]
+
+    def test_query_many_fast_after_drain(self):
+        rng = np.random.default_rng(303)
+        shape = (16, 6, 6)
+        cube = BufferedEvolvingDataCube(shape[1:], num_times=shape[0])
+        dense = np.zeros(shape, dtype=np.int64)
+        for point, delta in self._mixed_stream(rng, shape, 120, 0.3):
+            cube.update(point, delta)
+            dense[point] += delta
+        cube.drain()
+        assert cube.buffered_updates == 0
+        boxes = [random_box(rng, shape) for _ in range(25)]
+        fast = cube.query_many(boxes, mode="fast")
+        assert fast == cube.query_many(boxes, mode="metered")
+        assert fast == [brute_box_sum(dense, box) for box in boxes]
+
+    def test_update_many_rejects_bad_shapes(self):
+        cube = BufferedEvolvingDataCube((4,))
+        with pytest.raises(Exception):
+            cube.update_many([(0, 1, 2)], [1])
+        with pytest.raises(Exception):
+            cube.update_many([(0, 1)], [1, 2])
+        with pytest.raises(Exception):
+            cube.update_many([(0, 1)], [1], mode="warp")
+        cube.update_many(np.empty((0, 2), dtype=np.int64), [])  # no-op
+
+
+class TestDrainPolicy:
+    def test_threshold_validated(self):
+        with pytest.raises(Exception):
+            BufferedEvolvingDataCube((4,), drain_threshold=0.0)
+        with pytest.raises(Exception):
+            BufferedEvolvingDataCube((4,), drain_threshold=1.5)
+
+    def test_no_auto_drain_by_default(self):
+        cube = BufferedEvolvingDataCube((4,))
+        cube.update((9, 0), 1)
+        for t in range(8):
+            cube.update((t, 0), 1)
+        assert cube.auto_drains == 0
+        assert cube.buffered_updates == 8
+
+    def test_auto_drain_fires_on_buffered_fraction(self):
+        cube = BufferedEvolvingDataCube((4,), drain_threshold=0.5)
+        for t in (0, 5, 10):
+            cube.update((t, 0), 1)
+        cube.update((2, 1), 1)  # 1/4 buffered: below threshold
+        assert cube.auto_drains == 0
+        cube.update((3, 1), 1)  # 2/5 < 0.5: still below
+        assert cube.auto_drains == 0
+        cube.update((4, 1), 1)  # 3/6 >= 0.5: drain fires
+        assert cube.auto_drains == 1
+        assert cube.buffered_updates == 0
+        assert cube.query(Box((2, 0), (4, 3))) == 3
+
+    def test_auto_drain_from_update_many(self):
+        cube = BufferedEvolvingDataCube((4,), drain_threshold=0.4)
+        points = np.array(
+            [(0, 0), (10, 0), (3, 1), (5, 1), (7, 1)], dtype=np.int64
+        )
+        cube.update_many(points, np.ones(5, dtype=np.int64), mode="fast")
+        assert cube.auto_drains == 1
+        assert cube.buffered_updates == 0
+        assert cube.total() == 5

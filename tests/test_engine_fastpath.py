@@ -298,6 +298,52 @@ class TestDegenerateRanges:
         box = Box((0, 2, 1), (0, 99, 99))
         assert cube.query(box) == int(dense[2:, 1:].sum())
 
+    def test_fast_entry_points_guard_degenerate_boxes(self, rng):
+        """ps_range, mixed_range, and latest_range must all mirror the
+        metered engine's empty-range early return instead of tripping a
+        term-table domain error on out-of-domain coordinates."""
+        shape = (6, 4)
+        engine = FastSliceEngine(shape)
+        values = rng.integers(1, 9, size=shape).astype(np.int64)
+        cache = rng.integers(1, 9, size=shape).astype(np.int64)
+        flags = np.zeros(shape, dtype=bool)
+        stamps = np.full(shape, 5, dtype=np.int64)
+        for box in (
+            Box((0, -5), (5, -1)),
+            Box((6, 0), (9, 3)),
+            Box((-9, -5), (-1, -2)),
+        ):
+            assert engine.ps_range(values, box) == (0, 0)
+            assert engine.latest_range(cache, box) == (0, 0)
+            assert engine.mixed_range(box, values, flags, stamps, cache, 2) == (
+                0,
+                0,
+            )
+
+    def test_fast_query_many_matches_metered_on_overhang_boxes(self, rng):
+        shape = (8, 6, 4)
+        updates = random_append_stream(rng, shape, 60)
+        metered = build_metered(shape, updates)
+        fast = build_metered(shape, updates)
+        # convert a few slices so all three fast strategies are exercised
+        for _ in range(10):
+            box = random_box(rng, shape)
+            metered.query(box)
+            fast.query(box)
+        boxes = [
+            Box((2, -2, 0), (5, 99, 99)),  # overhang both sides: clips
+            Box((0, 0, 0), (99, 99, 99)),  # whole-domain overhang
+            random_box(rng, shape),
+        ]
+        expected = [metered.query(box) for box in boxes]
+        assert fast.query_many(boxes, mode="fast") == expected
+        # cube-level empty boxes fail identically in both modes
+        empty = Box((0, 0, -5), (7, 5, -1))
+        with pytest.raises(DomainError):
+            metered.query(empty)
+        with pytest.raises(DomainError):
+            fast.query_many([empty], mode="fast")
+
 
 class TestRetirementGuard:
     def test_retired_slice_raises_aged_out(self):
