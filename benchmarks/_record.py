@@ -25,6 +25,8 @@ BENCH_FILE = REPO_ROOT / "BENCH_engine.json"
 #: out-of-order (G_d) benchmark trail, kept separate so the engine and
 #: buffer trajectories can be compared PR over PR independently
 BENCH_OOB_FILE = REPO_ROOT / "BENCH_oob.json"
+#: slice-storage backend trail: dense vs paged vs sparse batch throughput
+BENCH_BACKENDS_FILE = REPO_ROOT / "BENCH_backends.json"
 
 
 def load_rows(path: Path | None = None) -> list[dict[str, Any]]:

@@ -1,0 +1,96 @@
+"""Slice-storage backends: dense vs paged vs sparse batch throughput.
+
+All three cubes run the same :class:`~repro.ecube.kernel.CubeKernel`;
+what differs is the slice store (ndarray / ``PagedArray`` / dict of
+touched cells) and its cost currency.  This benchmark replays the
+weather4 workload through each backend's fast batch paths -- one
+``update_many`` load, one 100-query ``query_many`` batch -- asserts the
+answers are identical across backends, and records the wall-clock rows
+to ``BENCH_backends.json`` so the per-backend trajectories accumulate
+PR over PR.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+
+import numpy as np
+
+from _record import BENCH_BACKENDS_FILE, record
+from repro.ecube.disk import DiskEvolvingDataCube
+from repro.ecube.ecube import EvolvingDataCube
+from repro.ecube.sparse import SparseEvolvingDataCube
+from repro.metrics import CostCounter
+from repro.workloads.queries import uni_queries
+
+NUM_QUERIES = 100
+REPS = 3
+
+
+def _make(backend, dataset):
+    if backend == "dense":
+        return EvolvingDataCube(
+            dataset.slice_shape,
+            num_times=dataset.shape[0],
+            counter=CostCounter(),
+            min_density=max(1e-6, dataset.density()),
+        )
+    if backend == "paged":
+        return DiskEvolvingDataCube(
+            dataset.slice_shape,
+            num_times=dataset.shape[0],
+            counter=CostCounter(),
+        )
+    return SparseEvolvingDataCube(
+        dataset.slice_shape,
+        num_times=dataset.shape[0],
+        counter=CostCounter(),
+    )
+
+
+def test_backend_batch_throughput(bench_weather4):
+    dataset = bench_weather4
+    stream = list(dataset.updates())
+    points = np.array([p for p, _ in stream], dtype=np.int64)
+    deltas = np.array([d for _, d in stream], dtype=np.int64)
+    boxes = list(uni_queries(dataset.shape, NUM_QUERIES, seed=91))
+
+    answers = {}
+    for backend in ("dense", "paged", "sparse"):
+        update_walls, query_walls = [], []
+        update_cells = query_cells = 0
+        for _ in range(REPS):
+            cube = _make(backend, dataset)
+            gc.collect()
+            gc.disable()
+            try:
+                before = cube.counter.snapshot()
+                start = time.perf_counter()
+                cube.update_many(points, deltas, mode="fast")
+                update_walls.append(time.perf_counter() - start)
+                update_cells = (cube.counter.snapshot() - before).cell_accesses
+
+                before = cube.counter.snapshot()
+                start = time.perf_counter()
+                answers[backend] = cube.query_many(boxes, mode="fast")
+                query_walls.append(time.perf_counter() - start)
+                query_cells = (cube.counter.snapshot() - before).cell_accesses
+            finally:
+                gc.enable()
+        record(
+            "weather4_backend_batch_update", backend, min(update_walls),
+            update_cells, path=BENCH_BACKENDS_FILE, dataset=dataset.name,
+            updates=len(stream),
+            updates_per_s=round(len(stream) / max(min(update_walls), 1e-9)),
+        )
+        record(
+            "weather4_backend_batch_query", backend, min(query_walls),
+            query_cells, path=BENCH_BACKENDS_FILE, dataset=dataset.name,
+            queries=NUM_QUERIES,
+            queries_per_s=round(NUM_QUERIES / max(min(query_walls), 1e-9)),
+        )
+
+    # one kernel, three stores: the answers must be byte-identical
+    assert answers["paged"] == answers["dense"]
+    assert answers["sparse"] == answers["dense"]

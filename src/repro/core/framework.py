@@ -65,17 +65,24 @@ class BatchExecutor(Protocol):
     entry points exist so implementations can amortize per-operation
     overhead -- directory lookups resolved once per batch, work sorted by
     slice, page touches shared -- while single-operation ``query`` /
-    ``update`` remain the metered reference.  Implemented by
-    :class:`AppendOnlyAggregator`,
+    ``update`` remain the metered reference.  The optional ``mode``
+    keyword selects between the vectorized batch engine (``"fast"``,
+    the default) and a per-operation replay of the counted reference
+    path (``"metered"``).  Implemented by
+    :class:`AppendOnlyAggregator` and every
+    :class:`~repro.ecube.kernel.CubeKernel` configuration --
     :class:`~repro.ecube.ecube.EvolvingDataCube`,
-    :class:`~repro.ecube.disk.DiskEvolvingDataCube` and
+    :class:`~repro.ecube.disk.DiskEvolvingDataCube`,
+    :class:`~repro.ecube.sparse.SparseEvolvingDataCube` -- plus
     :class:`~repro.ecube.buffered.BufferedEvolvingDataCube` (whose batch
     paths additionally fold in the columnar ``G_d`` contribution).
     """
 
-    def query_many(self, boxes: Sequence[Box]) -> list[int]: ...
+    def query_many(
+        self, boxes: Sequence[Box], mode: str = "fast"
+    ) -> list[int]: ...
 
-    def update_many(self, points, deltas) -> None: ...
+    def update_many(self, points, deltas, mode: str = "fast") -> None: ...
 
 
 class TreeSliceStructure:
@@ -282,18 +289,25 @@ class AppendOnlyAggregator:
             result += self.buffer.range_sum(box)
         return result
 
-    def query_many(self, boxes: Sequence[Box]) -> list[int]:
+    def query_many(
+        self, boxes: Sequence[Box], mode: str = "fast"
+    ) -> list[int]:
         """Answer a batch of range aggregates with amortized lookups.
 
-        The directory's occurring-time array is fetched once; every
-        box's two framework lookups are resolved against it with plain
-        bisection, and the per-instance work is grouped so each snapshot
-        is located a single time per batch.
+        ``mode="metered"`` replays the batch through :meth:`query`.
+        With ``mode="fast"`` the directory's occurring-time array is
+        fetched once; every box's two framework lookups are resolved
+        against it with plain bisection, and the per-instance work is
+        grouped so each snapshot is located a single time per batch.
         """
         boxes = list(boxes)
         for box in boxes:
             if box.ndim != self.ndim:
                 raise DomainError(f"box arity {box.ndim} != {self.ndim}")
+        if mode == "metered":
+            return [self.query(box) for box in boxes]
+        if mode != "fast":
+            raise DomainError(f"unknown execution mode {mode!r}")
         results = [0] * len(boxes)
         if self.directory:
             times = self.directory.times()
@@ -315,14 +329,16 @@ class AppendOnlyAggregator:
                 results[i] += self.buffer.range_sum(box)
         return results
 
-    def update_many(self, points, deltas) -> None:
+    def update_many(self, points, deltas, mode: str = "fast") -> None:
         """Apply a batch of updates (validated once, then streamed).
 
         The framework's per-update work is already constant-time for the
-        append path; batching here exists for :class:`BatchExecutor`
-        uniformity and to fail fast on malformed batches before any state
-        changes.
+        append path, so both modes stream through :meth:`update`;
+        batching here exists for :class:`BatchExecutor` uniformity and
+        to fail fast on malformed batches before any state changes.
         """
+        if mode not in ("fast", "metered"):
+            raise DomainError(f"unknown execution mode {mode!r}")
         points = [tuple(int(c) for c in point) for point in points]
         deltas = [int(delta) for delta in deltas]
         if len(points) != len(deltas):

@@ -6,22 +6,40 @@ The MOLAP instantiation of the append-only framework:
   conversion algebra for historic slices (Section 3.2);
 * :class:`repro.ecube.cache.SliceCache` -- the cache array with per-cell
   timestamps, lazy copying and copy-ahead (Section 3.3);
-* :class:`EvolvingDataCube` -- the complete in-memory update/query
-  algorithms (Section 3.4, Figures 8 and 9);
-* :class:`DiskEvolvingDataCube` -- the external-memory variant with
-  page-wise copying (Section 3.5).
+* :class:`repro.ecube.kernel.CubeKernel` -- the storage-agnostic cube
+  algorithm (update/query, Figures 8 and 9; out-of-order corrections,
+  aging, batch engine), written once over the
+  :class:`repro.ecube.stores.SliceStore` protocol;
+* :class:`EvolvingDataCube` -- the kernel over dense in-memory slices
+  (Section 3.4);
+* :class:`DiskEvolvingDataCube` -- the kernel over paged external-memory
+  slices with page-wise copying (Section 3.5);
+* :class:`SparseEvolvingDataCube` -- the kernel over dict-of-touched-cells
+  slices (Section 7 follow-up).
 """
 
 from repro.ecube.buffered import BufferedEvolvingDataCube
 from repro.ecube.ecube import EvolvingDataCube
 from repro.ecube.disk import DiskEvolvingDataCube
+from repro.ecube.kernel import CubeKernel
 from repro.ecube.slices import ECubeSliceEngine
 from repro.ecube.sparse import SparseEvolvingDataCube
+from repro.ecube.stores import (
+    DenseStore,
+    PagedStore,
+    SliceStore,
+    SparseStore,
+)
 
 __all__ = [
     "BufferedEvolvingDataCube",
+    "CubeKernel",
+    "DenseStore",
     "DiskEvolvingDataCube",
     "ECubeSliceEngine",
     "EvolvingDataCube",
+    "PagedStore",
+    "SliceStore",
     "SparseEvolvingDataCube",
+    "SparseStore",
 ]

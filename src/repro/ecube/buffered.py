@@ -51,6 +51,13 @@ class BufferedEvolvingDataCube:
         update returns.  ``None`` (default) leaves draining entirely to
         the caller, keeping single-operation costs at the paper's
         metered reference.
+    backend:
+        Which slice-storage backend the wrapped kernel uses: ``"dense"``
+        (default, in-memory ndarrays), ``"paged"`` (external-memory,
+        page-granular costs; honours ``page_size``/``cell_size``) or
+        ``"sparse"`` (dict-of-touched-cells).  The ``G_d`` buffering,
+        draining and batch semantics are identical across backends
+        because they all run the same :class:`~repro.ecube.kernel.CubeKernel`.
     """
 
     def __init__(
@@ -61,14 +68,43 @@ class BufferedEvolvingDataCube:
         copy_budget: int | None = None,
         min_density: float = 0.005,
         drain_threshold: float | None = None,
+        backend: str = "dense",
+        page_size: int | None = None,
+        cell_size: int | None = None,
     ) -> None:
-        self.cube = EvolvingDataCube(
-            slice_shape,
-            num_times=num_times,
-            counter=counter,
-            copy_budget=copy_budget,
-            min_density=min_density,
-        )
+        if backend == "dense":
+            self.cube = EvolvingDataCube(
+                slice_shape,
+                num_times=num_times,
+                counter=counter,
+                copy_budget=copy_budget,
+                min_density=min_density,
+            )
+        elif backend in ("paged", "disk"):
+            from repro.ecube.disk import DiskEvolvingDataCube
+            from repro.storage.layout import (
+                DEFAULT_CELL_SIZE,
+                DEFAULT_PAGE_SIZE,
+            )
+
+            self.cube = DiskEvolvingDataCube(
+                slice_shape,
+                num_times=num_times,
+                counter=counter,
+                page_size=page_size if page_size is not None else DEFAULT_PAGE_SIZE,
+                cell_size=cell_size if cell_size is not None else DEFAULT_CELL_SIZE,
+            )
+        elif backend == "sparse":
+            from repro.ecube.sparse import SparseEvolvingDataCube
+
+            self.cube = SparseEvolvingDataCube(
+                slice_shape,
+                num_times=num_times,
+                counter=counter,
+                copy_budget=copy_budget,
+            )
+        else:
+            raise DomainError(f"unknown storage backend {backend!r}")
         self.buffer = OutOfOrderBuffer(self.cube.ndim)
         if drain_threshold is not None and not 0 < drain_threshold <= 1:
             raise DomainError(

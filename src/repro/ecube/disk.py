@@ -14,40 +14,32 @@ Differences from the in-memory cube:
 * per-operation cost is the number of distinct pages touched (the paper
   used no caching across operations; within one operation a page is
   charged once).
+
+The cube is the shared :class:`~repro.ecube.kernel.CubeKernel` over the
+:class:`~repro.ecube.stores.PagedStore` backend: directory, lazy copying,
+read-through, out-of-order corrections, data aging and the batch entry
+points are the kernel's; this module only configures page geometry.
+Batch operations (``update_many``/``query_many``) share one
+:class:`~repro.storage.PageAccessTracker` across the batch, so a page
+touched by several updates or consulted by several queries is charged
+once per batch; ``last_op_page_accesses`` afterwards holds the batch
+total.
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
 
-import numpy as np
-
-from repro.core.directory import TimeDirectory
-from repro.core.errors import AppendOrderError, DomainError
-from repro.core.types import Box
-from repro.ecube.cache import SliceCache
-from repro.ecube.slices import ECubeSliceEngine
+from repro.ecube.kernel import CubeKernel
+from repro.ecube.stores import PagedSlice, PagedStore
 from repro.metrics import CostCounter
 from repro.storage.layout import DEFAULT_CELL_SIZE, DEFAULT_PAGE_SIZE
-from repro.storage.pages import PageAccessTracker, PagedArray
+
+# historical import surface
+_DiskSlice = PagedSlice
 
 
-class _DiskSlice:
-    """One historic (or latest) slice stored across simulated pages."""
-
-    __slots__ = ("store", "ps_flags")
-
-    def __init__(
-        self, shape: tuple[int, ...], page_size: int, cell_size: int,
-        counter: CostCounter,
-    ) -> None:
-        self.store = PagedArray(shape, page_size, cell_size, counter)
-        # The PS/DDC flag bit rides inside the cell on disk; tracking it in
-        # memory here does not change page counts.
-        self.ps_flags = np.zeros(shape, dtype=bool)
-
-
-class DiskEvolvingDataCube:
+class DiskEvolvingDataCube(CubeKernel):
     """Append-only MOLAP cube with page-granular historic storage."""
 
     def __init__(
@@ -58,270 +50,14 @@ class DiskEvolvingDataCube:
         page_size: int = DEFAULT_PAGE_SIZE,
         cell_size: int = DEFAULT_CELL_SIZE,
     ) -> None:
-        self.slice_shape = tuple(int(n) for n in slice_shape)
-        if any(n <= 0 for n in self.slice_shape):
-            raise DomainError(f"invalid slice shape {self.slice_shape}")
-        self.num_times = int(num_times) if num_times is not None else None
-        self.counter = counter if counter is not None else CostCounter()
-        self.engine = ECubeSliceEngine(self.slice_shape)
+        super().__init__(
+            slice_shape,
+            PagedStore(page_size=page_size, cell_size=cell_size),
+            num_times=num_times,
+            counter=counter,
+        )
         self.page_size = page_size
         self.cell_size = cell_size
-        self.directory: TimeDirectory[_DiskSlice] = TimeDirectory()
-        self.cache: SliceCache | None = None
-        self.updates_applied = 0
-        # roving page pointer of the page-wise copy-ahead
-        self._copy_slice_index = 0
-        self._copy_page = 0
-        self.last_op_page_accesses = 0
-
-    @property
-    def ndim(self) -> int:
-        return 1 + len(self.slice_shape)
-
-    @property
-    def num_slices(self) -> int:
-        return len(self.directory)
-
-    def incomplete_historic_instances(self) -> int:
-        if self.cache is None:
-            return 0
-        return self.cache.incomplete_instances()
-
-    # -- updates ----------------------------------------------------------------
-
-    def update(self, point: Sequence[int], delta: int) -> None:
-        """Add ``delta`` at ``point``; at most one copy-ahead page write."""
-        tracker = PageAccessTracker()
-        self._update(point, delta, tracker)
-        self.updates_applied += 1
-        self.last_op_page_accesses = tracker.flush_to(self.counter)
-
-    def update_many(
-        self, points: Sequence[Sequence[int]], deltas: Sequence[int]
-    ) -> None:
-        """Apply a batch of append-ordered updates with shared page charging.
-
-        One :class:`PageAccessTracker` covers the whole batch, so a page
-        touched by several updates (adjacent update sets, repeated lazy
-        copies into the same slice page) is charged once per batch --
-        the page-touch amortization the in-memory batch path gets from
-        sorting work by slice.  ``last_op_page_accesses`` afterwards holds
-        the batch total.
-        """
-        points = [tuple(int(c) for c in point) for point in points]
-        deltas = [int(delta) for delta in deltas]
-        if len(points) != len(deltas):
-            raise DomainError("need exactly one delta per point")
-        tracker = PageAccessTracker()
-        for point, delta in zip(points, deltas):
-            self._update(point, delta, tracker)
-            self.updates_applied += 1
-        self.last_op_page_accesses = tracker.flush_to(self.counter)
-
-    def _update(
-        self, point: Sequence[int], delta: int, tracker: PageAccessTracker
-    ) -> None:
-        point = tuple(int(c) for c in point)
-        if len(point) != self.ndim:
-            raise DomainError(f"point arity {len(point)} != {self.ndim}")
-        time, cell = point[0], point[1:]
-        for coord, size in zip(cell, self.slice_shape):
-            if not 0 <= coord < size:
-                raise DomainError(f"cell {cell} outside {self.slice_shape}")
-        delta = int(delta)
-
-        if not self.directory:
-            self.directory.append(time, self._new_slice())
-            self.cache = SliceCache(self.slice_shape, self.counter)
-        elif time > self.directory.latest_time:
-            self.directory.append(time, self._new_slice())
-            self.cache.notice_new_time()
-        elif time < self.directory.latest_time:
-            raise AppendOrderError(
-                f"update at time {time} precedes latest occurring time "
-                f"{self.directory.latest_time}"
-            )
-        cache = self.cache
-        last_index = cache.last_index
-
-        for affected in self.engine.update_cells(cell):
-            value, stamp = cache.read(affected)
-            if stamp < last_index:
-                with self.counter.copying():
-                    for index in range(stamp, last_index):
-                        _, payload = self.directory.at_index(index)
-                        if payload.ps_flags[affected]:
-                            continue
-                        payload.store.write(affected, value, tracker)
-                cache.restamp(affected, last_index)
-            cache.apply_delta(affected, delta)
-
-        self._page_copy_ahead(tracker)
-
-    def _new_slice(self) -> _DiskSlice:
-        return _DiskSlice(
-            self.slice_shape, self.page_size, self.cell_size, self.counter
-        )
-
-    def _page_copy_ahead(self, tracker: PageAccessTracker) -> None:
-        """At most one page write copying pending cells of the earliest
-        incomplete slice (Section 3.5)."""
-        cache = self.cache
-        if cache.pending == 0:
-            return
-        target = cache.min_stamp_index()
-        if target >= cache.last_index:
-            return
-        if target != self._copy_slice_index:
-            self._copy_slice_index = target
-            self._copy_page = 0
-        _, payload = self.directory.at_index(target)
-        store = payload.store
-        per_page = store.cells_per_page
-        flat_values = cache.values.reshape(-1)
-        flat_stamps = cache.stamps.reshape(-1)
-        flags_flat = payload.ps_flags.reshape(-1)
-        num_cells = cache.num_cells
-        # find the next page of this slice holding cells still stamped at
-        # the target index
-        for _ in range(store.num_pages):
-            page = self._copy_page
-            start = page * per_page
-            stop = min(start + per_page, num_cells)
-            stamps = flat_stamps[start:stop]
-            pending_mask = stamps == target
-            self._copy_page = (page + 1) % store.num_pages
-            if not pending_mask.any():
-                continue
-            linear = np.nonzero(pending_mask)[0] + start
-            writable = linear[~flags_flat[linear]]
-            with self.counter.copying():
-                if writable.size:
-                    store.write_page(
-                        page,
-                        writable.tolist(),
-                        flat_values[writable].tolist(),
-                        tracker,
-                    )
-                    self.counter.write_cells(int(writable.size))
-                else:
-                    # every pending cell on the page was already converted
-                    # to PS by a query; only the stamps advance
-                    pass
-            for cell_linear in linear.tolist():
-                cell = tuple(
-                    int(c)
-                    for c in np.unravel_index(cell_linear, cache.shape)
-                )
-                cache.restamp(cell, target + 1)
-            return
-
-    # -- queries -----------------------------------------------------------------
-
-    def query(self, box: Box) -> int:
-        """Aggregate over an inclusive d-dimensional box, counting pages."""
-        if box.ndim != self.ndim:
-            raise DomainError(f"box arity {box.ndim} != cube arity {self.ndim}")
-        if not self.directory:
-            self.last_op_page_accesses = 0
-            return 0
-        tracker = PageAccessTracker()
-        time_low, time_up = box.time_range
-        slice_box = box.drop_first().clip_to(self.slice_shape)
-        upper = self._prefix_time_query(slice_box, time_up, tracker)
-        lower = self._prefix_time_query(slice_box, time_low - 1, tracker)
-        self.last_op_page_accesses = tracker.flush_to(self.counter)
-        return upper - lower
-
-    def query_many(self, boxes: Sequence[Box]) -> list[int]:
-        """Answer a batch of queries, work sorted by slice, pages shared.
-
-        All directory lookups are resolved up front against one snapshot
-        of the occurring-time array; the per-slice jobs are then evaluated
-        in slice order under a single :class:`PageAccessTracker`, so a
-        page consulted by several queries of the batch is charged once.
-        """
-        boxes = list(boxes)
-        for box in boxes:
-            if box.ndim != self.ndim:
-                raise DomainError(
-                    f"box arity {box.ndim} != cube arity {self.ndim}"
-                )
-        if not self.directory:
-            self.last_op_page_accesses = 0
-            return [0] * len(boxes)
-        slice_boxes = [
-            box.drop_first().clip_to(self.slice_shape) for box in boxes
-        ]
-        times = self.directory.times()
-        per_slice: dict[int, list[tuple[int, int]]] = {}
-        for i, box in enumerate(boxes):
-            time_low, time_up = box.time_range
-            for bound, sign in ((time_up, 1), (time_low - 1, -1)):
-                lo, hi = 0, len(times)
-                while lo < hi:
-                    mid = (lo + hi) // 2
-                    if times[mid] <= bound:
-                        lo = mid + 1
-                    else:
-                        hi = mid
-                if lo - 1 >= 0:
-                    per_slice.setdefault(lo - 1, []).append((i, sign))
-        results = [0] * len(boxes)
-        tracker = PageAccessTracker()
-        for slice_index in sorted(per_slice):
-            for i, sign in per_slice[slice_index]:
-                results[i] += sign * self._slice_query(
-                    slice_index, slice_boxes[i], tracker
-                )
-        self.last_op_page_accesses = tracker.flush_to(self.counter)
-        return results
-
-    def _prefix_time_query(
-        self, slice_box: Box, time: int, tracker: PageAccessTracker
-    ) -> int:
-        found = self.directory.floor_index(time)
-        if found < 0:
-            return 0
-        return self._slice_query(found, slice_box, tracker)
-
-    def _slice_query(
-        self, slice_index: int, slice_box: Box, tracker: PageAccessTracker
-    ) -> int:
-        _, payload = self.directory.at_index(slice_index)
-        cache = self.cache
-        counter = self.counter
-        store = payload.store
-        flags = payload.ps_flags
-
-        def read(cell: tuple[int, ...]) -> tuple[int, bool]:
-            counter.read_cells()
-            if flags[cell]:
-                return store.read(cell, tracker), True
-            if cache.peek_stamp(cell) > slice_index:
-                return store.read(cell, tracker), False
-            return cache.peek_value(cell), False
-
-        if slice_index < cache.last_index:
-            def mark(cell: tuple[int, ...], ps_value: int) -> None:
-                store.write(cell, ps_value, tracker)
-                flags[cell] = True
-        else:
-            mark = None
-
-        return self.engine.range_query(slice_box, read, mark)
-
-    def total(self) -> int:
-        if not self.directory:
-            return 0
-        full = Box(
-            (0,) * len(self.slice_shape),
-            tuple(n - 1 for n in self.slice_shape),
-        )
-        tracker = PageAccessTracker()
-        result = self._slice_query(len(self.directory) - 1, full, tracker)
-        self.last_op_page_accesses = tracker.flush_to(self.counter)
-        return result
 
     def __repr__(self) -> str:
         return (

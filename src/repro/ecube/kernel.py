@@ -1,0 +1,760 @@
+"""The storage-agnostic evolving-cube kernel.
+
+The paper's framework (Section 2) and the eCube algorithm (Section 3)
+are independent of where slice bytes live: the in-memory cube (Section
+3.4), the external-memory cube (Section 3.5) and the sparse follow-up
+(Section 7) run the *same* directory, lazy-copying, read-through,
+conversion, out-of-order and aging logic over different slice
+representations.  :class:`CubeKernel` implements that logic exactly
+once, driving a pluggable :class:`~repro.ecube.stores.SliceStore` for
+every physical touch; the public cube classes
+(:class:`~repro.ecube.ecube.EvolvingDataCube`,
+:class:`~repro.ecube.disk.DiskEvolvingDataCube`,
+:class:`~repro.ecube.sparse.SparseEvolvingDataCube`) are thin
+configurations of this kernel.
+
+Cost semantics are store-mediated: the kernel decides *what* is
+touched, the store decides *what it costs* (counted cell accesses for
+in-memory backends, distinct pages per operation for the paged one).
+Every public entry point is bracketed as one operation so page-charging
+backends can deduplicate page touches per operation -- nested entry
+points (a metered batch replay) share the outermost operation's scope,
+which is exactly the pre-refactor behaviour of the disk cube's shared
+per-batch tracker.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from contextlib import contextmanager
+
+import numpy as np
+
+from repro.core.directory import TimeDirectory
+from repro.core.errors import AgedOutError, AppendOrderError, DomainError
+from repro.core.types import Box
+from repro.ecube.fastpath import FastSliceEngine
+from repro.ecube.slices import ECubeSliceEngine
+from repro.ecube.stores import SliceStore
+from repro.metrics import CostCounter
+
+
+class CubeKernel:
+    """Append-only MOLAP cube algorithm over an abstract slice store.
+
+    Parameters
+    ----------
+    slice_shape:
+        Domain sizes of the non-time dimensions ``N_2 .. N_d``.
+    store:
+        The slice-storage backend; bound to this kernel on construction.
+    num_times:
+        Optional upper bound on the TT-domain (used only for validation;
+        the structure grows one *occurring* time at a time regardless).
+    counter:
+        Cost counter; a private one is created when omitted.
+    finalize_threshold:
+        Fast mode: conversion-flag density at which a historic slice is
+        bulk-finalized to PS instead of evaluated cell-mixed.
+    finalize_after:
+        Fast mode: number of fast queries hitting a still-mixed historic
+        slice before it is bulk-finalized.
+    """
+
+    def __init__(
+        self,
+        slice_shape: Sequence[int],
+        store: SliceStore,
+        num_times: int | None = None,
+        counter: CostCounter | None = None,
+        finalize_threshold: float = 0.05,
+        finalize_after: int = 3,
+    ) -> None:
+        self.slice_shape = tuple(int(n) for n in slice_shape)
+        if any(n <= 0 for n in self.slice_shape):
+            raise DomainError(f"invalid slice shape {self.slice_shape}")
+        self.num_times = int(num_times) if num_times is not None else None
+        self.counter = counter if counter is not None else CostCounter()
+        self.engine = ECubeSliceEngine(self.slice_shape)
+        self.directory: TimeDirectory = TimeDirectory()
+        self.updates_applied = 0
+        # directory indices below this have had their detail retired
+        self._retired_below = 0
+        # budget for lazy copy-ahead work; thin cube classes that meter
+        # copy work in cell accesses override this with the Section 3.4
+        # amortized default (the paged backend bounds copy-ahead by I/O
+        # instead and never reads it)
+        self.copy_budget = 0
+        # fast-mode machinery (term tables) is built on first use
+        self.finalize_threshold = float(finalize_threshold)
+        self.finalize_after = int(finalize_after)
+        self._fast: FastSliceEngine | None = None
+        self._num_slice_cells = int(np.prod(self.slice_shape))
+        # per-operation page-access total of the most recent entry point
+        # (stays 0 for backends that charge cell accesses)
+        self.last_op_page_accesses = 0
+        self.store = store
+        store.bind(self)
+
+    @property
+    def fast(self) -> FastSliceEngine:
+        """The vectorized execution engine (built lazily: term tables)."""
+        if self._fast is None:
+            self._fast = FastSliceEngine(self.slice_shape)
+        return self._fast
+
+    @property
+    def cache(self):
+        """The backend's slice cache (dense/paged) or ``None`` (sparse)."""
+        return getattr(self.store, "cache", None)
+
+    @cache.setter
+    def cache(self, value) -> None:
+        self.store.cache = value
+
+    # -- operation scoping --------------------------------------------------------
+
+    @contextmanager
+    def _op(self):
+        """Bracket one public entry point for per-operation cost scoping."""
+        opened = self.store.begin_op()
+        try:
+            yield
+        finally:
+            pages = self.store.end_op(opened)
+            if pages is not None:
+                self.last_op_page_accesses = pages
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def ndim(self) -> int:
+        return 1 + len(self.slice_shape)
+
+    @property
+    def num_slices(self) -> int:
+        return len(self.directory)
+
+    @property
+    def latest_time(self) -> int | None:
+        return self.directory.latest_time if self.directory else None
+
+    def incomplete_historic_instances(self) -> int:
+        """Table 4 statistic: historic instances not yet completely copied."""
+        return self.store.incomplete_instances()
+
+    @property
+    def retired_instances(self) -> int:
+        return self._retired_below
+
+    def occurring_times(self) -> tuple[int, ...]:
+        return self.directory.times()
+
+    def _check_cell(self, cell: tuple[int, ...]) -> None:
+        for coord, size in zip(cell, self.slice_shape):
+            if not 0 <= coord < size:
+                raise DomainError(
+                    f"cell {cell} outside slice shape {self.slice_shape}"
+                )
+
+    def _check_time(self, time: int) -> None:
+        if self.num_times is not None and not 0 <= time < self.num_times:
+            raise DomainError(f"time {time} outside [0, {self.num_times - 1}]")
+
+    # -- data aging (Section 7) -------------------------------------------------
+
+    def retire_before(self, time: int) -> int:
+        """Retire detail slices older than ``time`` (data aging).
+
+        Every slice with an occurring time strictly below ``time`` is
+        released except the newest of them: that *boundary instance* is
+        cumulative, so aggregates over all retired history remain
+        answerable for free ("aggregates of retired detail data can be
+        retained without additional computation costs").  Queries whose
+        lower time bound falls inside the retired region afterwards raise
+        :class:`~repro.core.errors.AgedOutError`.
+
+        Returns the number of slices retired by this call.
+        """
+        if not self.directory:
+            return 0
+        boundary = self.directory.floor_index(int(time) - 1)
+        if boundary <= self._retired_below:
+            return 0
+        retired = 0
+        for index in range(self._retired_below, boundary):
+            _, payload = self.directory.at_index(index)
+            if not payload.retired:
+                payload.retire()
+                retired += 1
+        self._retired_below = boundary
+        return retired
+
+    # -- updates (Figure 8) -------------------------------------------------------
+
+    def update(self, point: Sequence[int], delta: int) -> None:
+        """Add ``delta`` to the cell at ``point = (t, x_2, .., x_d)``.
+
+        ``t`` must be greater than or equal to the latest occurring time
+        (append-only discipline); out-of-order updates belong in the
+        framework's ``G_d`` buffer, not here.
+        """
+        point = tuple(int(c) for c in point)
+        if len(point) != self.ndim:
+            raise DomainError(f"point arity {len(point)} != {self.ndim}")
+        time, cell = point[0], point[1:]
+        self._check_cell(cell)
+        self._check_time(time)
+        delta = int(delta)
+        with self._op():
+            cost_at_start = self.counter.snapshot()
+
+            # Step 1: reserve a new time slice when time advances.
+            self._append_time(time)
+            store = self.store
+            last_index = store.last_index
+
+            # Steps 2-3: DDC update set; lazy forced copies for stale cells.
+            for affected in self.engine.update_cells(cell):
+                value, stamp = store.cache_read(affected)
+                if stamp < last_index:
+                    self._copy_cell(affected, value, stamp, last_index)
+                    store.cache_restamp(affected, last_index)
+                store.cache_apply_delta(affected, delta)
+
+            # Step 4: copy-ahead "while the current total cost of the
+            # operation is low": the store spends whatever currency it
+            # meters (the in-memory backends spend the cell-access headroom
+            # left under the budget, the paged backend one page write).
+            spent = (self.counter.snapshot() - cost_at_start).cell_accesses
+            store.copy_ahead(spent)
+            self.updates_applied += 1
+
+    def _append_time(self, time: int) -> None:
+        store = self.store
+        if not self.directory:
+            self.directory.append(time, store.new_slice())
+            store.start_cache()
+        elif time > self.directory.latest_time:
+            self.directory.append(time, store.new_slice())
+            store.notice_new_time()
+        elif time < self.directory.latest_time:
+            raise AppendOrderError(
+                f"update at time {time} precedes latest occurring time "
+                f"{self.directory.latest_time}; wrap the cube in an "
+                "AppendOnlyAggregator with an out-of-order buffer instead"
+            )
+
+    def _copy_cell(
+        self,
+        cell: tuple[int, ...],
+        value: int,
+        from_index: int,
+        to_index: int,
+    ) -> None:
+        """Write a cell's old value into slices ``[from_index, to_index)``.
+
+        Cells already converted to PS by a query are skipped: their
+        (converted) content is final and correct.
+        """
+        store = self.store
+        with self.counter.copying():
+            for index in range(max(from_index, self._retired_below), to_index):
+                _, payload = self.directory.at_index(index)
+                if payload.retired or store.is_ps(payload, cell):
+                    continue
+                store.copy_write(payload, cell, value)
+
+    # -- out-of-order corrections (Section 2.5 drain target) ---------------------
+
+    def apply_out_of_order(self, point: Sequence[int], delta: int) -> None:
+        """Apply a historic update directly, cascading through the slices.
+
+        This is the expensive operation the ``G_d`` buffer defers: a delta
+        at TT-coordinate ``u`` must reach every cumulative instance with
+        time >= ``u``.  Correctness over the *mixed* eCube representation:
+
+        * the cache and DDC-flagged slice cells receive the delta on the
+          DDC update set of the cell;
+        * PS-flagged slice cells hold prefix sums, so every flagged cell
+          dominating the updated cell (component-wise >=) receives the
+          delta;
+        * cells whose lazy copy is still pending are force-completed with
+          their *old* value first, so the cache's future copies cannot
+          leak the delta into instances older than ``u``.
+
+        A correction at a historic time that never occurred in the stream
+        first *splices* a new instance into the directory
+        (:meth:`_splice_instance`).  Only corrections into the *retired*
+        region remain unappliable
+        (:class:`~repro.core.errors.AgedOutError`) -- those stay buffered
+        in ``G_d``, where queries keep them exact.
+        """
+        point = tuple(int(c) for c in point)
+        if len(point) != self.ndim:
+            raise DomainError(f"point arity {len(point)} != {self.ndim}")
+        time, cell = point[0], point[1:]
+        self._check_cell(cell)
+        delta = int(delta)
+        if not self.directory:
+            raise AppendOrderError("cube is empty; append normally instead")
+        if time >= self.directory.latest_time:
+            raise AppendOrderError(
+                f"time {time} is not historic; use update() for appends"
+            )
+        with self._op():
+            start_index = self.directory.floor_index(time)
+            found_time, _ = (
+                self.directory.at_index(start_index)
+                if start_index >= 0
+                else (None, None)
+            )
+            if found_time != time:
+                start_index = self._splice_instance(time)
+            elif start_index < self._retired_below:
+                raise AgedOutError(
+                    f"time {time} lies in the retired region; the correction "
+                    "cannot be applied to freed detail"
+                )
+            store = self.store
+            last_index = store.last_index
+
+            # DDC path: cache plus already-copied unconverted slice cells.
+            for affected in self.engine.update_cells(cell):
+                value, stamp = store.cache_read(affected)
+                if stamp < last_index:
+                    self._copy_cell(affected, value, stamp, last_index)
+                    store.cache_restamp(affected, last_index)
+                store.cache_apply_delta(affected, delta)
+                for index in range(
+                    max(start_index, self._retired_below), last_index
+                ):
+                    _, payload = self.directory.at_index(index)
+                    if payload.retired or store.is_ps(payload, affected):
+                        continue
+                    store.oob_slice_add(payload, affected, delta)
+
+            # PS path: every converted cell dominating the updated cell.
+            dominating = None
+            if store.wants_dominating_mask:
+                dominating = np.ones(self.slice_shape, dtype=bool)
+                for axis, coord in enumerate(cell):
+                    index_grid = np.arange(self.slice_shape[axis])
+                    shape = [1] * len(self.slice_shape)
+                    shape[axis] = self.slice_shape[axis]
+                    dominating &= (index_grid >= coord).reshape(shape)
+            for index in range(
+                max(start_index, self._retired_below), last_index
+            ):
+                _, payload = self.directory.at_index(index)
+                if payload.retired:
+                    continue
+                store.dominating_ps_add(payload, cell, dominating, delta)
+
+    def _splice_instance(self, time: int) -> int:
+        """Make a never-occurring historic ``time`` occurring; return its index.
+
+        The new instance's cumulative point set equals its floor
+        instance's (no points lie strictly between the two occurring
+        times), so the spliced slice *clones* the floor slice -- values,
+        conversion flags and conversion count.  A correction before the
+        first occurring time splices an all-zero instance (the empty
+        cumulative set).  The cache's index-based stamps are shifted via
+        the store's ``notice_spliced_index``.
+        """
+        floor_index = self.directory.floor_index(time)
+        if floor_index < self._retired_below and self._retired_below > 0:
+            raise AgedOutError(
+                f"time {time} precedes the retirement boundary; a new "
+                "instance cannot be spliced into freed detail"
+            )
+        floor_payload = None
+        if floor_index >= 0:
+            _, floor_payload = self.directory.at_index(floor_index)
+            if floor_payload.retired:
+                raise AgedOutError(
+                    "slice detail was retired by data aging; its storage is "
+                    "no longer accessible"
+                )
+        payload = self.store.clone_payload(floor_payload)
+        # Materializing the instance is a full-slice copy, charged as
+        # copying work (one read plus one write per cell).
+        with self.counter.copying():
+            self.counter.read_cells(self._num_slice_cells)
+            self.counter.write_cells(self._num_slice_cells)
+        index = self.directory.insert_historic(time, payload)
+        self.store.notice_spliced_index(index)
+        return index
+
+    def apply_out_of_order_many(
+        self,
+        points: Sequence[Sequence[int]] | np.ndarray,
+        deltas: Sequence[int] | np.ndarray,
+    ) -> int:
+        """Apply a batch of historic corrections, newest time first.
+
+        This is the drain's batched entry point: the batch is validated
+        once, sorted by descending TT-coordinate ("beginning with the
+        latest instance", Section 2.5) and applied through
+        :meth:`apply_out_of_order`, so each never-occurring time in the
+        batch is spliced exactly once and the per-correction directory
+        lookups run against an already-sorted schedule.  Returns the
+        number of corrections applied.
+        """
+        points = np.asarray(points, dtype=np.int64)
+        deltas = np.asarray(deltas, dtype=np.int64)
+        if points.shape[0] == 0:
+            return 0
+        if points.ndim != 2 or points.shape[1] != self.ndim:
+            raise DomainError(
+                f"points must be (n, {self.ndim}); got {points.shape}"
+            )
+        if deltas.shape != (points.shape[0],):
+            raise DomainError("need exactly one delta per point")
+        order = np.argsort(points[:, 0], kind="stable")[::-1]
+        with self._op():
+            for i in order:
+                self.apply_out_of_order(
+                    tuple(int(c) for c in points[i]), int(deltas[i])
+                )
+        return int(points.shape[0])
+
+    # -- queries (Figure 9) ---------------------------------------------------------
+
+    def query(self, box: Box) -> int:
+        """Aggregate over an inclusive d-dimensional box (time is axis 0)."""
+        if box.ndim != self.ndim:
+            raise DomainError(f"box arity {box.ndim} != cube arity {self.ndim}")
+        if not self.directory:
+            with self._op():
+                pass
+            return 0
+        with self._op():
+            time_low, time_up = box.time_range
+            slice_box = box.drop_first().clip_to(self.slice_shape)
+            upper = self._prefix_time_query(slice_box, time_up)
+            lower = self._prefix_time_query(slice_box, time_low - 1)
+        return upper - lower
+
+    def _prefix_time_query(self, slice_box: Box, time: int) -> int:
+        """eCubeQuery of Figure 9: slice query at the cumulative instance
+        covering all points with TT-coordinate <= ``time``.
+
+        Note: Section 2.3's prose picks the *smallest occurring time >=
+        upper bound*, but that instance would include points beyond the
+        query range; the worked example of Section 2.2 ("greatest time
+        value which is less than or equal to the upper value") is the
+        correct -- and implemented -- selection.
+        """
+        found = self.directory.floor_index(time)
+        if found < 0:
+            return 0
+        return self._slice_query(found, slice_box)
+
+    def _slice_query(self, slice_index: int, slice_box: Box) -> int:
+        _, payload = self.directory.at_index(slice_index)
+        if payload.retired:
+            time, _ = self.directory.at_index(slice_index)
+            raise AgedOutError(
+                f"the instance at time {time} was retired by data aging; "
+                "only queries at or after the retirement boundary (or open "
+                "prefixes from the beginning of time) remain answerable"
+            )
+        store = self.store
+        counter = self.counter
+
+        def read(cell: tuple[int, ...]) -> tuple[int, bool]:
+            counter.read_cells()
+            if store.is_ps(payload, cell):
+                # A persisted conversion is final for this slice even if the
+                # lazy copy of the underlying DDC value has not landed yet.
+                return store.slice_peek(payload, cell), True
+            if store.cache_peek_stamp(cell) > slice_index:
+                return store.slice_peek(payload, cell), False
+            # Not copied yet: the cache value is current for this slice
+            # (its last change happened at or before slice_index).
+            return store.cache_peek_value(cell), False
+
+        if slice_index < store.last_index:
+            def mark(cell: tuple[int, ...], ps_value: int) -> None:
+                # Historic content is final: persist the conversion.
+                store.mark_ps(payload, cell, ps_value)
+        else:
+            # The latest instance may still change (same-time updates);
+            # never persist conversions into it.
+            mark = None
+
+        return self.engine.range_query(slice_box, read, mark)
+
+    # -- fast (vectorized) execution mode -----------------------------------------
+    #
+    # The metered paths above walk term sets cell by cell so counted costs
+    # match the paper's traces exactly.  The fast mode below answers the
+    # same queries and applies the same updates with flat NumPy gathers,
+    # scatters and whole-slice transforms; results are bit-identical, and
+    # accesses are charged in bulk (aggregate tallies, not per-cell call
+    # sequences) in whichever currency the store meters.
+
+    def fast_query(self, box: Box) -> int:
+        """:meth:`query` on the vectorized path (identical result)."""
+        return self.query_many([box], mode="fast")[0]
+
+    def query_many(self, boxes: Sequence[Box], mode: str = "fast") -> list[int]:
+        """Answer a batch of d-dimensional range aggregates.
+
+        ``mode="metered"`` runs the per-cell counted path per box;
+        ``mode="fast"`` resolves all directory lookups with one vectorized
+        search and groups the per-slice work so each touched slice is set
+        up (and, past the conversion-density threshold, bulk-finalized)
+        once per batch instead of once per query.
+        """
+        boxes = list(boxes)
+        for box in boxes:
+            if box.ndim != self.ndim:
+                raise DomainError(
+                    f"box arity {box.ndim} != cube arity {self.ndim}"
+                )
+        if mode == "metered":
+            with self._op():
+                return [self.query(box) for box in boxes]
+        if mode != "fast":
+            raise DomainError(f"unknown execution mode {mode!r}")
+        with self._op():
+            if not boxes:
+                return []
+            if not self.directory:
+                return [0] * len(boxes)
+            self.counter.record_fast_op(len(boxes))
+            slice_boxes = [
+                box.drop_first().clip_to(self.slice_shape) for box in boxes
+            ]
+            times = np.asarray(self.directory.times(), dtype=np.int64)
+            upper_bounds = np.asarray([box.time_range[1] for box in boxes])
+            lower_bounds = np.asarray([box.time_range[0] - 1 for box in boxes])
+            upper_idx = np.searchsorted(times, upper_bounds, side="right") - 1
+            lower_idx = np.searchsorted(times, lower_bounds, side="right") - 1
+            # group the (slice, box, sign) jobs by slice index
+            per_slice: dict[int, list[tuple[int, int]]] = {}
+            for i in range(len(boxes)):
+                for slice_index, sign in (
+                    (int(upper_idx[i]), 1),
+                    (int(lower_idx[i]), -1),
+                ):
+                    if slice_index >= 0:
+                        per_slice.setdefault(slice_index, []).append((i, sign))
+            results = [0] * len(boxes)
+            for slice_index in sorted(per_slice):
+                jobs = per_slice[slice_index]
+                values = self._fast_slice_batch(
+                    slice_index, [slice_boxes[i] for i, _ in jobs]
+                )
+                for (i, sign), value in zip(jobs, values):
+                    results[i] += sign * value
+            return results
+
+    def _fast_slice_batch(
+        self, slice_index: int, slice_boxes: Sequence[Box]
+    ) -> list[int]:
+        """Evaluate several slice-range aggregates against one instance."""
+        _, payload = self.directory.at_index(slice_index)
+        if payload.retired:
+            time, _ = self.directory.at_index(slice_index)
+            raise AgedOutError(
+                f"the instance at time {time} was retired by data aging; "
+                "only queries at or after the retirement boundary (or open "
+                "prefixes from the beginning of time) remain answerable"
+            )
+        fast = self.fast
+        store = self.store
+        counter = self.counter
+        out: list[int] = []
+        if slice_index >= store.last_index:
+            # the latest instance always reads through to the cache
+            cache_values, _ = store.cache_views()
+            for box in slice_boxes:
+                value, cells = fast.latest_range(cache_values, box)
+                counter.read_cells(cells)
+                out.append(value)
+            return out
+        fully_ps = payload.ps_count >= self._num_slice_cells
+        if not fully_ps:
+            payload.fast_hits += 1
+            density = payload.ps_count / self._num_slice_cells
+            if (
+                payload.fast_hits >= self.finalize_after
+                or density >= self.finalize_threshold
+            ):
+                fully_ps = self.bulk_finalize_slice(slice_index)
+        if fully_ps:
+            values, _ = store.slice_views(payload)
+            for box in slice_boxes:
+                value, cells = fast.ps_range(values, box)
+                counter.read_cells(cells)
+                out.append(value)
+            return out
+        values, flags = store.slice_views(payload)
+        cache_values, stamps = store.cache_views()
+        if len(slice_boxes) > 1:
+            # several boxes hit this mixed slice: materialize its
+            # effective DDC array once and answer every box with a plain
+            # gather, instead of re-gathering flag/stamp blocks per box
+            effective = fast.effective_ddc(
+                values, flags, stamps, cache_values, slice_index
+            )
+            if effective is not None:
+                counter.read_cells(self._num_slice_cells)
+                for box in slice_boxes:
+                    value, cells = fast.ddc_range(effective, box)
+                    counter.read_cells(cells)
+                    out.append(value)
+                return out
+        for box in slice_boxes:
+            result = fast.mixed_range(
+                box, values, flags, stamps, cache_values, slice_index
+            )
+            if result is None:
+                # a converted cell's DDC value is unrecoverable in this
+                # block: the metered walk reads the PS value natively
+                out.append(self._slice_query(slice_index, box))
+            else:
+                value, cells = result
+                counter.read_cells(cells)
+                out.append(value)
+        return out
+
+    def bulk_finalize_slice(self, slice_index: int) -> bool:
+        """Convert one historic slice to PS in a single vectorized sweep.
+
+        Replaces per-cell conversion recursion: the slice's effective DDC
+        array is assembled from slice storage and cache, deaggregated per
+        axis and prefix-summed per axis (``np.cumsum``).  Returns True
+        when the slice is fully PS afterwards; False when it cannot be
+        finalized (latest instance, retired detail, or a converted cell
+        whose DDC value was dropped by a skipped lazy copy).
+        """
+        store = self.store
+        with self._op():
+            if not 0 <= slice_index < store.last_index:
+                return False
+            if slice_index < self._retired_below:
+                return False
+            _, payload = self.directory.at_index(slice_index)
+            if payload.retired:
+                return False
+            if payload.ps_count >= self._num_slice_cells:
+                return True
+            fast = self.fast
+            values, flags = store.slice_views(payload)
+            cache_values, stamps = store.cache_views()
+            effective = fast.effective_ddc(
+                values, flags, stamps, cache_values, slice_index
+            )
+            if effective is None:
+                return False
+            store.finalize_commit(payload, fast.ddc_to_ps(effective))
+            # Bulk charge: one read per cell assembled.  Conversion writes
+            # are not charged, matching the metered mark() path.
+            self.counter.read_cells(self._num_slice_cells)
+            return True
+
+    def update_many(
+        self,
+        points: Sequence[Sequence[int]] | np.ndarray,
+        deltas: Sequence[int] | np.ndarray,
+        mode: str = "fast",
+    ) -> None:
+        """Apply a batch of append-ordered updates.
+
+        ``mode="metered"`` replays the batch through :meth:`update`.
+        ``mode="fast"`` groups updates by occurring time and, per group,
+        scatters all DDC update sets into the cache with one
+        ``np.add.at``, performing the forced lazy copies for stale cells
+        as per-historic-slice vectorized writes first.  Resulting cube
+        state answers every query identically to the metered replay
+        (fast mode performs no copy-ahead; see :meth:`sync_copies`).
+        """
+        points = np.asarray(points, dtype=np.int64)
+        deltas = np.asarray(deltas, dtype=np.int64)
+        if points.ndim != 2 or points.shape[1] != self.ndim:
+            raise DomainError(
+                f"points must be (n, {self.ndim}); got {points.shape}"
+            )
+        if deltas.shape != (points.shape[0],):
+            raise DomainError("need exactly one delta per point")
+        if points.shape[0] == 0:
+            return
+        if mode == "metered":
+            with self._op():
+                for point, delta in zip(points, deltas):
+                    self.update(tuple(int(c) for c in point), int(delta))
+            return
+        if mode != "fast":
+            raise DomainError(f"unknown execution mode {mode!r}")
+        times = points[:, 0]
+        cells = points[:, 1:]
+        for axis, size in enumerate(self.slice_shape):
+            column = cells[:, axis]
+            if int(column.min()) < 0 or int(column.max()) >= size:
+                raise DomainError(
+                    f"batch contains cells outside slice shape {self.slice_shape}"
+                )
+        if self.num_times is not None and (
+            int(times.min()) < 0 or int(times.max()) >= self.num_times
+        ):
+            raise DomainError(
+                f"batch contains times outside [0, {self.num_times - 1}]"
+            )
+        if np.any(np.diff(times) < 0):
+            raise AppendOrderError("batch times must be non-decreasing")
+        if self.directory and int(times[0]) < self.directory.latest_time:
+            raise AppendOrderError(
+                f"update at time {int(times[0])} precedes latest occurring "
+                f"time {self.directory.latest_time}; wrap the cube in an "
+                "AppendOnlyAggregator with an out-of-order buffer instead"
+            )
+        with self._op():
+            self.counter.record_fast_op(points.shape[0])
+            fast = self.fast
+            boundaries = np.nonzero(np.diff(times))[0] + 1
+            starts = np.concatenate(([0], boundaries))
+            stops = np.concatenate((boundaries, [points.shape[0]]))
+            for start, stop in zip(starts, stops):
+                time = int(times[start])
+                if not self.directory or time > self.directory.latest_time:
+                    self._append_time(time)
+                self.store.fast_group_apply(
+                    cells[start:stop], deltas[start:stop], fast
+                )
+                self.updates_applied += int(stop - start)
+
+    def sync_copies(self) -> int:
+        """Complete every pending lazy copy in vectorized sweeps.
+
+        The fast update path performs only the *forced* copies required
+        for correctness; this is its batched replacement for the metered
+        copy-ahead loop, restoring the "all timestamps current" state in
+        one pass.  Returns the number of cells copied.
+        """
+        with self._op():
+            return self.store.sync_copies()
+
+    # -- whole-cube helpers ------------------------------------------------------
+
+    def total(self) -> int:
+        """Aggregate over the entire cube."""
+        if not self.directory:
+            with self._op():
+                pass
+            return 0
+        full = Box(
+            (0,) * len(self.slice_shape),
+            tuple(n - 1 for n in self.slice_shape),
+        )
+        with self._op():
+            return self._slice_query(len(self.directory) - 1, full)
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(slice_shape={self.slice_shape}, "
+            f"slices={self.num_slices}, updates={self.updates_applied})"
+        )

@@ -20,30 +20,27 @@ exactly (same counted accesses for the same operations); only the storage
 representation differs.  The dense cube remains the right choice above
 the density thresholds of Section 3; this one extends the framework below
 them.
+
+The cube is the shared :class:`~repro.ecube.kernel.CubeKernel` over the
+:class:`~repro.ecube.stores.SparseStore` backend, which also gives the
+sparse variant the batch entry points (``query_many``/``update_many``),
+out-of-order corrections and data aging previously exclusive to the
+dense cube.
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
 
-from repro.core.directory import TimeDirectory
-from repro.core.errors import AppendOrderError, DomainError
-from repro.core.types import Box
-from repro.ecube.slices import ECubeSliceEngine
+from repro.ecube.kernel import CubeKernel
+from repro.ecube.stores import SparseSlice, SparseStore
 from repro.metrics import CostCounter
 
-
-class _SparseSlice:
-    """One slice: touched cells only.  value map + PS flag set."""
-
-    __slots__ = ("values", "ps_cells")
-
-    def __init__(self) -> None:
-        self.values: dict[tuple[int, ...], int] = {}
-        self.ps_cells: set[tuple[int, ...]] = set()
+# historical import surface
+_SparseSlice = SparseSlice
 
 
-class SparseEvolvingDataCube:
+class SparseEvolvingDataCube(CubeKernel):
     """Append-only aggregation for sparse data, slices stored sparsely."""
 
     def __init__(
@@ -53,33 +50,21 @@ class SparseEvolvingDataCube:
         counter: CostCounter | None = None,
         copy_budget: int | None = None,
     ) -> None:
-        self.slice_shape = tuple(int(n) for n in slice_shape)
-        if any(n <= 0 for n in self.slice_shape):
-            raise DomainError(f"invalid slice shape {self.slice_shape}")
-        self.num_times = int(num_times) if num_times is not None else None
-        self.counter = counter if counter is not None else CostCounter()
-        self.engine = ECubeSliceEngine(self.slice_shape)
+        super().__init__(
+            slice_shape,
+            SparseStore(),
+            num_times=num_times,
+            counter=counter,
+        )
         if copy_budget is None:
             copy_budget = 2 * self.engine.worst_case_update_cells() + 64
         self.copy_budget = int(copy_budget)
-        self.directory: TimeDirectory[_SparseSlice] = TimeDirectory()
-        # sparse cache: cell -> (cumulative DDC value, stamp index)
-        self._cache: dict[tuple[int, ...], tuple[int, int]] = {}
-        self.updates_applied = 0
-
-    # -- introspection -----------------------------------------------------------
 
     @property
-    def ndim(self) -> int:
-        return 1 + len(self.slice_shape)
-
-    @property
-    def num_slices(self) -> int:
-        return len(self.directory)
-
-    @property
-    def latest_time(self) -> int | None:
-        return self.directory.latest_time if self.directory else None
+    def _cache(self):
+        """The sparse cache dict (cell -> (value, stamp)); kept for
+        introspection parity with the pre-kernel class."""
+        return self.store._cache
 
     @property
     def materialized_cells(self) -> int:
@@ -88,150 +73,7 @@ class SparseEvolvingDataCube:
         Grows with update chains and, through conversion, with queried
         regions (PS values are dense where DDC values are not).
         """
-        total = sum(
-            len(payload.values)
-            for _, payload in self.directory.items()
-        )
-        return total + len(self._cache)
-
-    def incomplete_historic_instances(self) -> int:
-        if not self.directory:
-            return 0
-        last = len(self.directory) - 1
-        stamps = [stamp for _, stamp in self._cache.values() if stamp < last]
-        if not stamps:
-            return 0
-        return last - min(stamps)
-
-    # -- updates --------------------------------------------------------------------
-
-    def update(self, point: Sequence[int], delta: int) -> None:
-        point = tuple(int(c) for c in point)
-        if len(point) != self.ndim:
-            raise DomainError(f"point arity {len(point)} != {self.ndim}")
-        time, cell = point[0], point[1:]
-        for coord, size in zip(cell, self.slice_shape):
-            if not 0 <= coord < size:
-                raise DomainError(f"cell {cell} outside {self.slice_shape}")
-        if self.num_times is not None and not 0 <= time < self.num_times:
-            raise DomainError(f"time {time} outside [0, {self.num_times - 1}]")
-        delta = int(delta)
-        before = self.counter.snapshot()
-
-        if not self.directory:
-            self.directory.append(time, _SparseSlice())
-        elif time > self.directory.latest_time:
-            self.directory.append(time, _SparseSlice())
-        elif time < self.directory.latest_time:
-            raise AppendOrderError(
-                f"update at time {time} precedes latest occurring time "
-                f"{self.directory.latest_time}"
-            )
-        last_index = len(self.directory) - 1
-
-        for affected in self.engine.update_cells(cell):
-            self.counter.read_cells()
-            value, stamp = self._cache.get(affected, (0, last_index))
-            if stamp < last_index:
-                self._copy_cell(affected, value, stamp, last_index)
-            self.counter.write_cells()
-            self._cache[affected] = (value + delta, last_index)
-
-        spent = (self.counter.snapshot() - before).cell_accesses
-        self._copy_ahead(last_index, self.copy_budget - spent)
-        self.updates_applied += 1
-
-    def _copy_cell(
-        self, cell: tuple[int, ...], value: int, from_index: int, to_index: int
-    ) -> None:
-        with self.counter.copying():
-            for index in range(from_index, to_index):
-                _, payload = self.directory.at_index(index)
-                if cell in payload.ps_cells:
-                    continue
-                self.counter.write_cells()
-                payload.values[cell] = value
-
-    def _copy_ahead(self, last_index: int, budget: int) -> None:
-        if budget <= 0 or last_index == 0:
-            return
-        spent = 0
-        # iterate stale cache entries directly: the sparse cube has no
-        # roving pointer because untouched cells never owe copies
-        for cell, (value, stamp) in list(self._cache.items()):
-            if spent >= budget:
-                break
-            if stamp >= last_index:
-                continue
-            self.counter.read_cells()
-            spent += 1
-            _, payload = self.directory.at_index(stamp)
-            if cell not in payload.ps_cells:
-                with self.counter.copying():
-                    self.counter.write_cells()
-                    payload.values[cell] = value
-                spent += 1
-            self._cache[cell] = (value, stamp + 1)
-
-    # -- queries ---------------------------------------------------------------------
-
-    def query(self, box: Box) -> int:
-        if box.ndim != self.ndim:
-            raise DomainError(f"box arity {box.ndim} != cube arity {self.ndim}")
-        if not self.directory:
-            return 0
-        time_low, time_up = box.time_range
-        slice_box = box.drop_first().clip_to(self.slice_shape)
-        upper = self._prefix_time_query(slice_box, time_up)
-        lower = self._prefix_time_query(slice_box, time_low - 1)
-        return upper - lower
-
-    def _prefix_time_query(self, slice_box: Box, time: int) -> int:
-        found = self.directory.floor_index(time)
-        if found < 0:
-            return 0
-        return self._slice_query(found, slice_box)
-
-    def _slice_query(self, slice_index: int, slice_box: Box) -> int:
-        _, payload = self.directory.at_index(slice_index)
-        counter = self.counter
-        cache = self._cache
-        last_index = len(self.directory) - 1
-
-        def read(cell: tuple[int, ...]) -> tuple[int, bool]:
-            counter.read_cells()
-            if cell in payload.ps_cells:
-                return payload.values[cell], True
-            cached = cache.get(cell)
-            if cached is not None and cached[1] > slice_index:
-                # copied already: the slice holds the value (or zero if
-                # the copy found nothing to write -- untouched cells stay
-                # implicit)
-                return payload.values.get(cell, 0), False
-            if cached is not None:
-                return cached[0], False
-            return payload.values.get(cell, 0), False
-
-        if slice_index < last_index:
-            def mark(cell: tuple[int, ...], ps_value: int) -> None:
-                payload.values[cell] = ps_value
-                payload.ps_cells.add(cell)
-        else:
-            mark = None
-
-        return self.engine.range_query(slice_box, read, mark)
-
-    def total(self) -> int:
-        if not self.directory:
-            return 0
-        full = Box(
-            (0,) * len(self.slice_shape),
-            tuple(n - 1 for n in self.slice_shape),
-        )
-        return self._slice_query(len(self.directory) - 1, full)
-
-    def occurring_times(self) -> tuple[int, ...]:
-        return self.directory.times()
+        return self.store.materialized_cells
 
     def __repr__(self) -> str:
         return (

@@ -11,17 +11,20 @@ progress and eCube conversion state all resume exactly where they were).
 from __future__ import annotations
 
 import io
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.core.errors import StorageError
-from repro.ecube.ecube import EvolvingDataCube, _Slice
 from repro.metrics import CostCounter
+
+if TYPE_CHECKING:  # pragma: no cover - imported lazily to avoid a cycle
+    from repro.ecube.ecube import EvolvingDataCube
 
 FORMAT_VERSION = 1
 
 
-def save_cube(cube: EvolvingDataCube, path) -> None:
+def save_cube(cube: "EvolvingDataCube", path) -> None:
     """Persist a cube's full state as a compressed ``.npz`` archive."""
     arrays: dict[str, np.ndarray] = {
         "format_version": np.array([FORMAT_VERSION]),
@@ -51,8 +54,10 @@ def save_cube(cube: EvolvingDataCube, path) -> None:
             np.savez_compressed(handle, **arrays)
 
 
-def load_cube(path, counter: CostCounter | None = None) -> EvolvingDataCube:
+def load_cube(path, counter: CostCounter | None = None) -> "EvolvingDataCube":
     """Restore a cube persisted by :func:`save_cube`."""
+    from repro.ecube.ecube import EvolvingDataCube, _Slice
+
     with np.load(path) as archive:
         version = int(archive["format_version"][0])
         if version != FORMAT_VERSION:
@@ -100,13 +105,13 @@ def load_cube(path, counter: CostCounter | None = None) -> EvolvingDataCube:
     return cube
 
 
-def dumps_cube(cube: EvolvingDataCube) -> bytes:
+def dumps_cube(cube: "EvolvingDataCube") -> bytes:
     """In-memory variant of :func:`save_cube` (returns the archive bytes)."""
     buffer = io.BytesIO()
     save_cube(cube, buffer)
     return buffer.getvalue()
 
 
-def loads_cube(data: bytes, counter: CostCounter | None = None) -> EvolvingDataCube:
+def loads_cube(data: bytes, counter: CostCounter | None = None) -> "EvolvingDataCube":
     """In-memory variant of :func:`load_cube`."""
     return load_cube(io.BytesIO(data), counter=counter)

@@ -105,12 +105,16 @@ class _Node:
             else:
                 self.mbr = None
                 self.aggregate = 0
-        else:
+        elif self.entries:
             mbrs = [child.mbr for child in self.entries]
             self.mbr = mbrs[0]
             for m in mbrs[1:]:
                 self.mbr = _union(self.mbr, m)
             self.aggregate = sum(child.aggregate for child in self.entries)
+        else:
+            # condensation can empty an underfull internal node outright
+            self.mbr = None
+            self.aggregate = 0
 
 
 class RTree:

@@ -20,10 +20,12 @@ from hypothesis import strategies as st
 from repro.core.errors import AgedOutError, AppendOrderError, DomainError
 from repro.core.framework import AppendOnlyAggregator, BatchExecutor
 from repro.core.types import Box
+from repro.ecube.buffered import BufferedEvolvingDataCube
 from repro.ecube.cache import SliceCache
 from repro.ecube.disk import DiskEvolvingDataCube
 from repro.ecube.ecube import EvolvingDataCube
 from repro.ecube.fastpath import FastSliceEngine
+from repro.ecube.sparse import SparseEvolvingDataCube
 from repro.ecube.slices import ECubeSliceEngine
 from repro.metrics import CostCounter
 from repro.preagg.ddc import DDCTechnique
@@ -377,7 +379,24 @@ class TestBatchExecutorProtocol:
     def test_all_front_ends_satisfy_protocol(self):
         assert isinstance(EvolvingDataCube((4,)), BatchExecutor)
         assert isinstance(DiskEvolvingDataCube((4,)), BatchExecutor)
+        assert isinstance(SparseEvolvingDataCube((4,)), BatchExecutor)
+        assert isinstance(BufferedEvolvingDataCube((4,)), BatchExecutor)
         assert isinstance(AppendOnlyAggregator(), BatchExecutor)
+
+    def test_sparse_batch_matches_singles(self, rng):
+        shape = (6, 8, 4)
+        updates = random_append_stream(rng, shape, 40)
+        single = SparseEvolvingDataCube(shape[1:], counter=CostCounter())
+        batched = SparseEvolvingDataCube(shape[1:], counter=CostCounter())
+        for point, delta in updates:
+            single.update(point, delta)
+        batched.update_many(
+            [point for point, _ in updates], [d for _, d in updates]
+        )
+        boxes = [random_box(rng, shape) for _ in range(15)]
+        expected = [single.query(box) for box in boxes]
+        assert batched.query_many(boxes) == expected
+        assert batched.query_many(boxes, mode="metered") == expected
 
     def test_aggregator_batch_matches_singles(self, rng):
         shape = (8, 16)
