@@ -27,6 +27,8 @@ BENCH_FILE = REPO_ROOT / "BENCH_engine.json"
 BENCH_OOB_FILE = REPO_ROOT / "BENCH_oob.json"
 #: slice-storage backend trail: dense vs paged vs sparse batch throughput
 BENCH_BACKENDS_FILE = REPO_ROOT / "BENCH_backends.json"
+#: durability trail: logged-ingest overhead and recovery wall-clock
+BENCH_DURABILITY_FILE = REPO_ROOT / "BENCH_durability.json"
 
 
 def load_rows(path: Path | None = None) -> list[dict[str, Any]]:

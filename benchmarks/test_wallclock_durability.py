@@ -1,0 +1,160 @@
+"""Durability overhead: logged ingest vs raw, and recovery wall-clock.
+
+Two costs matter for the durable cube: how much the write-ahead log
+slows the ingest path (it should be a small constant per batch -- one
+sequential append plus an amortized group-commit fsync), and how long
+crash recovery takes (checkpoint restore plus a replay that is linear in
+the log *tail*, not in history).
+
+The ingest benchmark streams identical ``update_many`` batches into a
+raw :class:`~repro.ecube.ecube.EvolvingDataCube` and into a
+:class:`~repro.durability.recovery.DurableCube` with the default
+``fsync="batch"`` group commit, asserts the answers agree, and checks
+the logged/raw wall-clock ratio stays under the 3x budget.  The
+recovery benchmark times a full-log replay against a post-checkpoint
+tail replay of the same history.  Rows land in ``BENCH_durability.json``.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+
+import numpy as np
+
+from _record import BENCH_DURABILITY_FILE, record
+from repro.durability import DurableCube
+from repro.ecube.ecube import EvolvingDataCube
+
+SLICE_SHAPE = (32, 32)
+NUM_TIMES = 256
+NUM_BATCHES = 120
+BATCH_SIZE = 200
+OVERHEAD_CEILING = 3.0
+
+
+def _batches(seed=29):
+    rng = np.random.default_rng(seed)
+    times = np.sort(rng.integers(0, NUM_TIMES, size=NUM_BATCHES * BATCH_SIZE))
+    out = []
+    for i in range(NUM_BATCHES):
+        chunk = slice(i * BATCH_SIZE, (i + 1) * BATCH_SIZE)
+        points = np.column_stack(
+            (
+                times[chunk],
+                rng.integers(0, SLICE_SHAPE[0], size=BATCH_SIZE),
+                rng.integers(0, SLICE_SHAPE[1], size=BATCH_SIZE),
+            )
+        ).astype(np.int64)
+        out.append((points, rng.integers(-4, 9, size=BATCH_SIZE).astype(np.int64)))
+    return out
+
+
+def _timed_ingest(target, batches):
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        for points, deltas in batches:
+            target.update_many(points, deltas)
+        return time.perf_counter() - start
+    finally:
+        gc.enable()
+
+
+def test_logged_ingest_overhead(tmp_path):
+    batches = _batches()
+    raw_walls, logged_walls = [], []
+    for rep in range(3):
+        raw = EvolvingDataCube(SLICE_SHAPE, num_times=NUM_TIMES)
+        logged = DurableCube(
+            SLICE_SHAPE,
+            tmp_path / f"rep-{rep}",
+            buffered=False,
+            num_times=NUM_TIMES,
+            fsync="batch",
+        )
+        raw_walls.append(_timed_ingest(raw, batches))
+        logged_walls.append(_timed_ingest(logged, batches))
+        logged.flush()
+        assert logged.total() == raw.total()
+        logged.close()
+    raw_wall, logged_wall = min(raw_walls), min(logged_walls)
+    overhead = logged_wall / raw_wall
+    record(
+        "durable_ingest_update_many",
+        "raw",
+        raw_wall,
+        0,
+        path=BENCH_DURABILITY_FILE,
+        batches=NUM_BATCHES,
+        batch_size=BATCH_SIZE,
+    )
+    record(
+        "durable_ingest_update_many",
+        "logged_batch_fsync",
+        logged_wall,
+        0,
+        path=BENCH_DURABILITY_FILE,
+        batches=NUM_BATCHES,
+        batch_size=BATCH_SIZE,
+        overhead_x=round(overhead, 3),
+    )
+    assert overhead < OVERHEAD_CEILING, (
+        f"logged ingest cost {overhead:.2f}x raw update_many "
+        f"(budget {OVERHEAD_CEILING}x)"
+    )
+
+
+def test_recovery_wallclock(tmp_path):
+    batches = _batches(seed=31)
+    cube = DurableCube(
+        SLICE_SHAPE,
+        tmp_path,
+        buffered=False,
+        num_times=NUM_TIMES,
+        fsync="off",
+    )
+    for points, deltas in batches:
+        cube.update_many(points, deltas)
+    total = cube.total()
+    cube.close()
+
+    gc.collect()
+    start = time.perf_counter()
+    recovered = DurableCube.recover(tmp_path)
+    full_replay_wall = time.perf_counter() - start
+    assert recovered.total() == total
+    assert recovered.recovery_info["replayed_records"] == NUM_BATCHES
+
+    recovered.checkpoint()
+    recovered.close()
+    gc.collect()
+    start = time.perf_counter()
+    tail_cube = DurableCube.recover(tmp_path)
+    tail_replay_wall = time.perf_counter() - start
+    assert tail_cube.total() == total
+    assert tail_cube.recovery_info["replayed_records"] == 0
+    tail_cube.close()
+
+    record(
+        "durable_recovery",
+        "full_log_replay",
+        full_replay_wall,
+        0,
+        path=BENCH_DURABILITY_FILE,
+        records=NUM_BATCHES,
+        updates=NUM_BATCHES * BATCH_SIZE,
+    )
+    record(
+        "durable_recovery",
+        "checkpoint_tail_replay",
+        tail_replay_wall,
+        0,
+        path=BENCH_DURABILITY_FILE,
+        records=0,
+        updates=NUM_BATCHES * BATCH_SIZE,
+    )
+    # O(tail): an empty tail after a checkpoint must not cost more than
+    # the full-history replay it replaces
+    assert tail_replay_wall <= full_replay_wall

@@ -25,7 +25,9 @@ from repro.core import (
     DomainError,
     Operator,
     OperatorError,
+    RecoveryError,
     ReproError,
+    StorageError,
     SumCount,
     TimeInterval,
     get_operator,
@@ -35,6 +37,7 @@ from repro.core.extent import IntervalAggregator
 from repro.core.framework import AppendOnlyAggregator, BatchExecutor
 from repro.core.measures import MeasureCube
 from repro.core.out_of_order import OutOfOrderBuffer
+from repro.durability import DurableCube, WriteAheadLog
 from repro.ecube import (
     BufferedEvolvingDataCube,
     DiskEvolvingDataCube,
@@ -91,6 +94,7 @@ __all__ = [
     "DDCTechnique",
     "DiskEvolvingDataCube",
     "DomainError",
+    "DurableCube",
     "EvolvingDataCube",
     "FatNodeArray",
     "IdentityTechnique",
@@ -108,8 +112,11 @@ __all__ = [
     "RelativePrefixSumTechnique",
     "recommend_techniques",
     "RTree",
+    "RecoveryError",
     "SparseEvolvingDataCube",
     "ReproError",
+    "StorageError",
+    "WriteAheadLog",
     "SumCount",
     "TemporalAggregateTree",
     "TimeDirectory",

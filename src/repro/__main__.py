@@ -1,12 +1,15 @@
 """CLI entry point: ``python -m repro``.
 
 Offers a quick orientation (``info``), a 30-second self-demonstration
-(``demo``) and a pointer to the experiment harness.
+(``demo``), a pointer to the experiment harness, and operational
+commands for durable-cube directories (``checkpoint`` / ``recover`` /
+``log-info``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 
 import repro
 
@@ -24,9 +27,11 @@ def _info() -> int:
     print("  repro.BufferedEvolvingDataCube  with out-of-order G_d (2.5)")
     print("  repro.AppendOnlyAggregator      the general framework (2.3)")
     print("  repro.IntervalAggregator        objects with extent (2.4)")
+    print("  repro.DurableCube               WAL + checkpoints + recovery")
     print("  repro.CubeView / Dimension      OLAP roll-up / data cube")
     print()
     print("Experiments: python -m repro.experiments [--list]")
+    print("Durability:  python -m repro {checkpoint,recover,log-info} DIR")
     print("Examples:    python examples/quickstart.py")
     return 0
 
@@ -67,18 +72,90 @@ def _demo() -> int:
     return 0
 
 
+def _recover_cube(directory):
+    from repro.durability import DurableCube
+
+    return DurableCube.recover(directory)
+
+
+def _cmd_recover(directory: str) -> int:
+    cube = _recover_cube(directory)
+    try:
+        info = dict(cube.recovery_info or {})
+        kernel = cube.cube
+        info["occurring_times"] = kernel.num_slices
+        info["updates_applied"] = kernel.updates_applied
+        info["retired_instances"] = kernel.retired_instances
+        info["total"] = cube.total()
+        print(json.dumps(info, indent=2))
+    finally:
+        cube.close()
+    return 0
+
+
+def _cmd_checkpoint(directory: str) -> int:
+    cube = _recover_cube(directory)
+    try:
+        manifest = cube.checkpoint()
+        print(
+            json.dumps(
+                {
+                    "checkpoint_id": manifest.checkpoint_id,
+                    "covered_lsn": manifest.covered_lsn,
+                    "checkpoint_file": manifest.checkpoint_file,
+                    "live_segments": manifest.live_segments,
+                    "replayed_records": (cube.recovery_info or {}).get(
+                        "replayed_records"
+                    ),
+                },
+                indent=2,
+            )
+        )
+    finally:
+        cube.close()
+    return 0
+
+
+def _cmd_log_info(directory: str) -> int:
+    from pathlib import Path
+
+    from repro.durability.checkpoint import read_manifest
+    from repro.durability.recovery import WAL_SUBDIR
+    from repro.durability.wal import inspect_log
+
+    manifest = read_manifest(directory)
+    info = inspect_log(Path(directory) / WAL_SUBDIR)
+    if manifest is not None:
+        info["checkpoint_id"] = manifest.checkpoint_id
+        info["covered_lsn"] = manifest.covered_lsn
+        info["checkpoint_file"] = manifest.checkpoint_file
+        info["backend"] = manifest.config.get("backend")
+        info["buffered"] = manifest.config.get("buffered")
+    print(json.dumps(info, indent=2))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro")
-    parser.add_argument(
-        "command",
-        nargs="?",
-        default="info",
-        choices=["info", "demo"],
-        help="info (default): orientation; demo: 30-second walk-through",
-    )
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("info", help="orientation (default)")
+    sub.add_parser("demo", help="30-second walk-through")
+    for name, help_text in (
+        ("checkpoint", "recover a durable cube, then checkpoint + compact it"),
+        ("recover", "recover a durable cube and print a state summary"),
+        ("log-info", "read-only summary of a durable cube's WAL + manifest"),
+    ):
+        command = sub.add_parser(name, help=help_text)
+        command.add_argument("directory", help="durable cube directory")
     args = parser.parse_args(argv)
     if args.command == "demo":
         return _demo()
+    if args.command == "checkpoint":
+        return _cmd_checkpoint(args.directory)
+    if args.command == "recover":
+        return _cmd_recover(args.directory)
+    if args.command == "log-info":
+        return _cmd_log_info(args.directory)
     return _info()
 
 

@@ -17,6 +17,7 @@ from repro.core.errors import (
     DomainError,
     EmptyStructureError,
     OperatorError,
+    RecoveryError,
     ReproError,
     StorageError,
 )
@@ -47,6 +48,7 @@ __all__ = [
     "DomainError",
     "EmptyStructureError",
     "OperatorError",
+    "RecoveryError",
     "ReproError",
     "StorageError",
     "AVERAGE",

@@ -33,7 +33,16 @@ class OperatorError(ReproError):
 
 
 class StorageError(ReproError):
-    """Inconsistent use of the simulated external-memory layer."""
+    """Inconsistent use of the storage layer (paging, archives, logs)."""
+
+
+class RecoveryError(StorageError):
+    """A durable-cube directory could not be recovered.
+
+    Raised when the manifest is missing or unreadable, the checkpoint it
+    names is gone, or committed (non-tail) log records are damaged.  A
+    torn log *tail* is not an error -- recovery truncates it.
+    """
 
 
 class AgedOutError(ReproError):

@@ -1,0 +1,53 @@
+"""Durability: write-ahead logging, checkpoints and crash recovery.
+
+The paper's framework is append-only in transaction time (Section 2):
+in-order updates only ever touch the newest slice and out-of-order
+updates are buffered in ``G_d`` (Section 2.5).  Both arrive as small
+deltas, which makes a *sequential* write-ahead log the natural
+durability story -- every logical operation appends one record, the log
+never seeks, and recovery replays a bounded tail on top of the latest
+checkpoint:
+
+* :mod:`repro.durability.wal` -- the segmented, CRC32-checksummed record
+  log (binary codec with explicit versioning, configurable fsync policy,
+  torn-tail detection);
+* :mod:`repro.durability.checkpoint` -- incremental checkpoints through
+  the :class:`~repro.ecube.stores.SliceStore` snapshot machinery (all
+  three backends), a manifest published by atomic rename, and segment
+  compaction once a checkpoint covers them;
+* :mod:`repro.durability.recovery` -- :class:`DurableCube`, the logging
+  front-end that wraps any kernel-backed cube (buffered or not), plus
+  ``DurableCube.recover``: latest checkpoint + tail replay.
+"""
+
+from repro.durability.checkpoint import (
+    CheckpointManifest,
+    read_manifest,
+    write_checkpoint,
+)
+from repro.durability.recovery import DurableCube
+from repro.durability.wal import (
+    CheckpointMarkerRecord,
+    DrainRecord,
+    OutOfOrderBatchRecord,
+    OutOfOrderRecord,
+    RetireRecord,
+    UpdateBatchRecord,
+    UpdateRecord,
+    WriteAheadLog,
+)
+
+__all__ = [
+    "CheckpointManifest",
+    "CheckpointMarkerRecord",
+    "DrainRecord",
+    "DurableCube",
+    "OutOfOrderBatchRecord",
+    "OutOfOrderRecord",
+    "RetireRecord",
+    "UpdateBatchRecord",
+    "UpdateRecord",
+    "WriteAheadLog",
+    "read_manifest",
+    "write_checkpoint",
+]

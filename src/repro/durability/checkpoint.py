@@ -1,0 +1,157 @@
+"""Checkpoints and the manifest: bounding recovery to a log tail.
+
+A checkpoint is a complete snapshot of the durable cube's state --
+kernel state through the :class:`~repro.ecube.stores.SliceStore`
+snapshot machinery (:func:`repro.storage.serialize.kernel_state_arrays`,
+so all three backends work), plus the ``G_d`` buffer and bookkeeping for
+buffered cubes -- written as one ``.npz`` archive and *published* by
+atomically renaming the manifest over the old one.  The manifest names:
+
+* the checkpoint id and archive file,
+* the covered LSN (every log record with LSN <= covered is reflected in
+  the archive; recovery replays strictly after it),
+* the live WAL segments at publication time,
+* the front-end configuration (backend, buffering, fsync policy, page
+  geometry) so recovery can rebuild the exact cube without out-of-band
+  knowledge.
+
+Publication order makes crashes harmless at every point: the archive is
+written and renamed into place first, the manifest second (``os.replace``
+is atomic on POSIX), and only then are fully covered log segments and
+superseded checkpoint archives deleted.  A crash before the manifest
+rename leaves the old manifest + an uncompacted log, which recovers to
+the same state through a longer replay.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.errors import RecoveryError
+from repro.storage.serialize import FORMAT_VERSION, kernel_state_arrays
+
+MANIFEST_NAME = "MANIFEST.json"
+MANIFEST_VERSION = 1
+
+
+@dataclass
+class CheckpointManifest:
+    """The published durable-cube metadata (see module docstring)."""
+
+    checkpoint_id: int
+    covered_lsn: int
+    checkpoint_file: str | None
+    live_segments: list[str] = field(default_factory=list)
+    config: dict = field(default_factory=dict)
+    manifest_version: int = MANIFEST_VERSION
+    archive_version: int = FORMAT_VERSION
+
+
+def manifest_path(directory) -> Path:
+    return Path(directory) / MANIFEST_NAME
+
+
+def checkpoint_file_name(checkpoint_id: int) -> str:
+    return f"checkpoint-{checkpoint_id:08d}.npz"
+
+
+def read_manifest(directory) -> CheckpointManifest | None:
+    """The current manifest, or ``None`` when none was ever published."""
+    path = manifest_path(directory)
+    if not path.exists():
+        return None
+    try:
+        raw = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise RecoveryError(f"unreadable manifest {path}: {exc}") from exc
+    version = int(raw.get("manifest_version", -1))
+    if version > MANIFEST_VERSION:
+        raise RecoveryError(
+            f"manifest version {version} is newer than this build reads "
+            f"({MANIFEST_VERSION}); upgrade the library"
+        )
+    return CheckpointManifest(
+        checkpoint_id=int(raw["checkpoint_id"]),
+        covered_lsn=int(raw["covered_lsn"]),
+        checkpoint_file=raw.get("checkpoint_file"),
+        live_segments=list(raw.get("live_segments", [])),
+        config=dict(raw.get("config", {})),
+        manifest_version=version,
+        archive_version=int(raw.get("archive_version", FORMAT_VERSION)),
+    )
+
+
+def publish_manifest(directory, manifest: CheckpointManifest) -> None:
+    """Write the manifest next to the old one and atomically rename."""
+    directory = Path(directory)
+    target = manifest_path(directory)
+    temp = directory / (MANIFEST_NAME + ".tmp")
+    temp.write_text(json.dumps(asdict(manifest), indent=2) + "\n")
+    os.replace(temp, target)
+    _fsync_directory(directory)
+
+
+def _fsync_directory(directory: Path) -> None:
+    if not hasattr(os, "O_DIRECTORY"):  # pragma: no cover - non-POSIX
+        return
+    fd = os.open(directory, os.O_RDONLY | os.O_DIRECTORY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def snapshot_arrays(front) -> dict[str, np.ndarray]:
+    """Complete state of a (possibly buffered) cube as named arrays."""
+    cube = getattr(front, "cube", front)  # unwrap BufferedEvolvingDataCube
+    arrays = kernel_state_arrays(cube)
+    if hasattr(front, "buffer_state_arrays"):
+        arrays.update(front.buffer_state_arrays())
+    return arrays
+
+
+def write_checkpoint(
+    directory,
+    front,
+    covered_lsn: int,
+    checkpoint_id: int,
+    config: dict,
+    wal=None,
+) -> CheckpointManifest:
+    """Snapshot ``front``, publish the manifest, and compact the log.
+
+    ``wal`` (when given) supplies the live-segment listing and performs
+    segment truncation after publication; without it only the archive
+    and manifest are written.
+    """
+    directory = Path(directory)
+    name = checkpoint_file_name(checkpoint_id)
+    temp = directory / (name + ".tmp")
+    arrays = snapshot_arrays(front)
+    with open(temp, "wb") as handle:
+        np.savez_compressed(handle, **arrays)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temp, directory / name)
+    _fsync_directory(directory)
+    manifest = CheckpointManifest(
+        checkpoint_id=checkpoint_id,
+        covered_lsn=covered_lsn,
+        checkpoint_file=name,
+        live_segments=wal.segments() if wal is not None else [],
+        config=dict(config),
+    )
+    publish_manifest(directory, manifest)
+    # Only after the new manifest is durable may covered history go away.
+    if wal is not None and wal.drop_covered_segments(covered_lsn):
+        manifest.live_segments = wal.segments()
+        publish_manifest(directory, manifest)
+    for stale in directory.glob("checkpoint-*.npz"):
+        if stale.name != name:
+            stale.unlink()
+    return manifest

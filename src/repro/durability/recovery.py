@@ -1,0 +1,448 @@
+"""``DurableCube``: the logging front-end, and crash recovery.
+
+``DurableCube`` wraps any kernel-backed cube -- dense, paged or sparse,
+with or without the ``G_d`` out-of-order buffer -- and appends one WAL
+record *before* applying each mutation (log-before-apply).  Queries pass
+straight through.  Because the wrapped classes are deterministic,
+replaying the surviving log prefix through the same entry points
+reproduces the pre-crash state exactly: same answers, same directory,
+same lazy-copy progress.
+
+Recovery = latest checkpoint + tail replay:
+
+1. read the manifest (atomic-rename published, so always consistent);
+2. rebuild the configured front-end and, when a checkpoint archive
+   exists, restore kernel and buffer state from it;
+3. open the log for append, which truncates a torn final record;
+4. replay every record with LSN > the manifest's covered LSN.
+
+Replay guards: a record whose application failed originally (an
+append-order violation surfaced to the caller, a correction into the
+data-aging retired region) fails identically during replay and is
+*skipped*, not fatal -- in particular, out-of-order records addressed to
+since-retired times go through
+:meth:`~repro.ecube.kernel.CubeKernel.replay_out_of_order` so they can
+never resurrect retired slices.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.errors import DomainError, RecoveryError, ReproError, StorageError
+from repro.core.types import Box
+from repro.durability.checkpoint import (
+    CheckpointManifest,
+    publish_manifest,
+    read_manifest,
+    write_checkpoint,
+)
+from repro.durability.wal import (
+    CheckpointMarkerRecord,
+    DrainRecord,
+    OutOfOrderBatchRecord,
+    OutOfOrderRecord,
+    RetireRecord,
+    UpdateBatchRecord,
+    UpdateRecord,
+    WriteAheadLog,
+)
+from repro.ecube.buffered import BufferedEvolvingDataCube
+from repro.metrics import CostCounter
+
+WAL_SUBDIR = "wal"
+
+
+def _build_front(config: dict, counter: CostCounter | None):
+    """Construct the configured cube front-end (empty)."""
+    slice_shape = tuple(int(n) for n in config["slice_shape"])
+    backend = config.get("backend", "dense")
+    num_times = config.get("num_times")
+    copy_budget = config.get("copy_budget")
+    if config.get("buffered", True):
+        return BufferedEvolvingDataCube(
+            slice_shape,
+            num_times=num_times,
+            counter=counter,
+            copy_budget=copy_budget,
+            drain_threshold=config.get("drain_threshold"),
+            backend=backend,
+            page_size=config.get("page_size"),
+            cell_size=config.get("cell_size"),
+        )
+    if backend == "dense":
+        from repro.ecube.ecube import EvolvingDataCube
+
+        return EvolvingDataCube(
+            slice_shape,
+            num_times=num_times,
+            counter=counter,
+            copy_budget=copy_budget,
+        )
+    if backend == "paged":
+        from repro.ecube.disk import DiskEvolvingDataCube
+        from repro.storage.layout import DEFAULT_CELL_SIZE, DEFAULT_PAGE_SIZE
+
+        return DiskEvolvingDataCube(
+            slice_shape,
+            num_times=num_times,
+            counter=counter,
+            page_size=config.get("page_size") or DEFAULT_PAGE_SIZE,
+            cell_size=config.get("cell_size") or DEFAULT_CELL_SIZE,
+        )
+    if backend == "sparse":
+        from repro.ecube.sparse import SparseEvolvingDataCube
+
+        return SparseEvolvingDataCube(
+            slice_shape,
+            num_times=num_times,
+            counter=counter,
+            copy_budget=copy_budget,
+        )
+    raise DomainError(f"unknown storage backend {backend!r}")
+
+
+class DurableCube:
+    """A kernel-backed cube with write-ahead logging and checkpoints.
+
+    Parameters
+    ----------
+    slice_shape:
+        Domain sizes of the non-time dimensions.
+    directory:
+        Where the log, checkpoints and manifest live; created if
+        missing.  A directory that already holds a durable cube must be
+        opened with :meth:`recover` instead.
+    buffered:
+        ``True`` (default) wraps the kernel in
+        :class:`~repro.ecube.buffered.BufferedEvolvingDataCube`, so
+        out-of-order updates flow through :meth:`update`/:meth:`update_many`
+        and :meth:`drain`; ``False`` exposes the raw append-only cube
+        plus :meth:`apply_out_of_order`.
+    backend:
+        ``"dense"`` | ``"paged"`` | ``"sparse"`` slice storage.
+    fsync:
+        WAL fsync policy: ``"always"`` (fsync per record), ``"batch"``
+        (group commit; at most ``group_commit`` trailing operations are
+        lost on a crash, never corrupted), ``"off"`` (leave flushing to
+        the OS).
+    """
+
+    def __init__(
+        self,
+        slice_shape: Sequence[int],
+        directory,
+        *,
+        buffered: bool = True,
+        backend: str = "dense",
+        num_times: int | None = None,
+        counter: CostCounter | None = None,
+        copy_budget: int | None = None,
+        drain_threshold: float | None = None,
+        page_size: int | None = None,
+        cell_size: int | None = None,
+        fsync: str = "batch",
+        segment_bytes: int = 4 << 20,
+        group_commit: int = 256,
+    ) -> None:
+        self.directory = Path(directory)
+        if read_manifest(self.directory) is not None:
+            raise StorageError(
+                f"{self.directory} already holds a durable cube; open it "
+                "with DurableCube.recover"
+            )
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._config = {
+            "slice_shape": [int(n) for n in slice_shape],
+            "backend": backend,
+            "buffered": bool(buffered),
+            "num_times": num_times,
+            "copy_budget": copy_budget,
+            "drain_threshold": drain_threshold,
+            "page_size": page_size,
+            "cell_size": cell_size,
+            "fsync": fsync,
+            "segment_bytes": int(segment_bytes),
+            "group_commit": int(group_commit),
+        }
+        self.front = _build_front(self._config, counter)
+        self.buffered = bool(buffered)
+        self.wal = WriteAheadLog(
+            self.directory / WAL_SUBDIR,
+            fsync=fsync,
+            segment_bytes=segment_bytes,
+            group_commit=group_commit,
+        )
+        self._manifest = CheckpointManifest(
+            checkpoint_id=0,
+            covered_lsn=0,
+            checkpoint_file=None,
+            live_segments=self.wal.segments(),
+            config=self._config,
+        )
+        publish_manifest(self.directory, self._manifest)
+        self.recovery_info: dict | None = None
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def cube(self):
+        """The wrapped kernel (unwraps the ``G_d`` front-end if present)."""
+        return self.front.cube if self.buffered else self.front
+
+    @property
+    def counter(self) -> CostCounter:
+        return self.front.counter
+
+    @property
+    def ndim(self) -> int:
+        return self.front.ndim
+
+    @property
+    def last_lsn(self) -> int:
+        """LSN of the most recently appended record (0 = empty log)."""
+        return self.wal.next_lsn - 1
+
+    def log_info(self) -> dict:
+        info = self.wal.log_info()
+        info["checkpoint_id"] = self._manifest.checkpoint_id
+        info["covered_lsn"] = self._manifest.covered_lsn
+        info["checkpoint_file"] = self._manifest.checkpoint_file
+        return info
+
+    # -- logged mutations ---------------------------------------------------------
+
+    def update(self, point: Sequence[int], delta: int) -> None:
+        """Log, then apply one update (in-order, or buffered if late)."""
+        point = tuple(int(c) for c in point)
+        self.wal.append(UpdateRecord(point, int(delta)))
+        self.front.update(point, int(delta))
+
+    def update_many(
+        self,
+        points: Sequence[Sequence[int]] | np.ndarray,
+        deltas: Sequence[int] | np.ndarray,
+        mode: str = "fast",
+    ) -> None:
+        """Log the whole batch as one record, then apply it."""
+        points = np.asarray(points, dtype=np.int64)
+        deltas = np.asarray(deltas, dtype=np.int64)
+        if points.shape[0] == 0:
+            return
+        self.wal.append(UpdateBatchRecord(points, deltas, mode))
+        self.front.update_many(points, deltas, mode=mode)
+
+    def apply_out_of_order(self, point: Sequence[int], delta: int) -> None:
+        """Log, then cascade one historic correction (unbuffered cubes)."""
+        if self.buffered:
+            raise DomainError(
+                "buffered durable cubes take historic updates through "
+                "update()/update_many(); apply_out_of_order is the "
+                "unbuffered escape hatch"
+            )
+        point = tuple(int(c) for c in point)
+        self.wal.append(OutOfOrderRecord(point, int(delta)))
+        self.front.apply_out_of_order(point, int(delta))
+
+    def apply_out_of_order_many(
+        self,
+        points: Sequence[Sequence[int]] | np.ndarray,
+        deltas: Sequence[int] | np.ndarray,
+    ) -> int:
+        if self.buffered:
+            raise DomainError(
+                "buffered durable cubes take historic updates through "
+                "update()/update_many(); apply_out_of_order_many is the "
+                "unbuffered escape hatch"
+            )
+        points = np.asarray(points, dtype=np.int64)
+        deltas = np.asarray(deltas, dtype=np.int64)
+        if points.shape[0] == 0:
+            return 0
+        self.wal.append(OutOfOrderBatchRecord(points, deltas))
+        return self.front.apply_out_of_order_many(points, deltas)
+
+    def retire_before(self, time: int) -> int:
+        """Log, then retire detail slices older than ``time``."""
+        self.wal.append(RetireRecord(int(time)))
+        return self.front.retire_before(int(time))
+
+    def drain(self, limit: int | None = None) -> tuple[int, int]:
+        """Log, then drain the ``G_d`` buffer (buffered cubes only)."""
+        if not self.buffered:
+            raise DomainError("drain() requires a buffered durable cube")
+        self.wal.append(DrainRecord(limit))
+        return self.front.drain(limit)
+
+    # -- pass-through queries -----------------------------------------------------
+
+    def query(self, box: Box) -> int:
+        return self.front.query(box)
+
+    def query_many(self, boxes: Sequence[Box], mode: str = "fast") -> list[int]:
+        return self.front.query_many(boxes, mode=mode)
+
+    def total(self) -> int:
+        return self.front.total()
+
+    # -- checkpoints --------------------------------------------------------------
+
+    def checkpoint(self) -> CheckpointManifest:
+        """Snapshot current state, publish it, and truncate covered log.
+
+        The checkpoint-marker record pins the log position the snapshot
+        corresponds to; the segment is rolled so everything up to the
+        marker becomes droppable.  Returns the published manifest.
+        """
+        checkpoint_id = self._manifest.checkpoint_id + 1
+        covered_lsn = self.wal.append(CheckpointMarkerRecord(checkpoint_id))
+        self.wal.commit()
+        self.wal.roll_segment()
+        self._manifest = write_checkpoint(
+            self.directory,
+            self.front,
+            covered_lsn=covered_lsn,
+            checkpoint_id=checkpoint_id,
+            config=self._config,
+            wal=self.wal,
+        )
+        return self._manifest
+
+    def flush(self) -> None:
+        """Force the log durable now (mostly useful with ``fsync="batch"``)."""
+        self.wal.commit()
+
+    def close(self) -> None:
+        self.wal.close()
+
+    def __enter__(self) -> "DurableCube":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"DurableCube({str(self.directory)!r}, "
+            f"backend={self._config['backend']!r}, "
+            f"buffered={self.buffered}, next_lsn={self.wal.next_lsn})"
+        )
+
+    # -- recovery -----------------------------------------------------------------
+
+    @classmethod
+    def recover(
+        cls,
+        directory,
+        counter: CostCounter | None = None,
+        fsync: str | None = None,
+    ) -> "DurableCube":
+        """Rebuild the durable cube living in ``directory``.
+
+        Latest checkpoint plus tail replay; a torn final log record is
+        truncated, records that failed originally are skipped (see
+        module docstring).  ``fsync`` overrides the logged policy for
+        the reopened log (e.g. recover with ``"always"`` a log written
+        with ``"batch"``).  The result continues logging where the
+        survivor left off; :attr:`recovery_info` reports what happened.
+        """
+        directory = Path(directory)
+        manifest = read_manifest(directory)
+        if manifest is None:
+            raise RecoveryError(
+                f"{directory} holds no durable cube (missing manifest)"
+            )
+        config = manifest.config
+        self = cls.__new__(cls)
+        self.directory = directory
+        self._config = config
+        self.buffered = bool(config.get("buffered", True))
+        self.front = _build_front(config, counter)
+        if manifest.checkpoint_file is not None:
+            archive_path = directory / manifest.checkpoint_file
+            if not archive_path.exists():
+                raise RecoveryError(
+                    f"manifest names missing checkpoint {manifest.checkpoint_file}"
+                )
+            with np.load(archive_path) as archive:
+                cube = self.front.cube if self.buffered else self.front
+                cube.copy_budget = int(archive["copy_budget"][0])
+                cube.restore_state(archive)
+                if self.buffered:
+                    self.front.restore_buffer_state(archive)
+        # opening for append repairs a torn tail before replay reads it
+        self.wal = WriteAheadLog(
+            directory / WAL_SUBDIR,
+            fsync=fsync if fsync is not None else config.get("fsync", "batch"),
+            segment_bytes=int(config.get("segment_bytes", 4 << 20)),
+            group_commit=int(config.get("group_commit", 256)),
+        )
+        self._manifest = manifest
+        replayed = skipped = 0
+        last_lsn = manifest.covered_lsn
+        for lsn, record in self.wal.replay(after_lsn=manifest.covered_lsn):
+            replayed += 1
+            last_lsn = lsn
+            if not self._replay_record(record):
+                skipped += 1
+        self.recovery_info = {
+            "checkpoint_id": manifest.checkpoint_id,
+            "covered_lsn": manifest.covered_lsn,
+            "replayed_records": replayed,
+            "skipped_records": skipped,
+            "last_lsn": last_lsn,
+        }
+        return self
+
+    def _replay_record(self, record) -> bool:
+        """Apply one tail record; ``False`` = skipped (failed originally)."""
+        front = self.front
+        kernel = self.cube
+        if isinstance(record, UpdateRecord):
+            try:
+                front.update(record.point, record.delta)
+            except ReproError:
+                return False
+            return True
+        if isinstance(record, UpdateBatchRecord):
+            try:
+                front.update_many(record.points, record.deltas, mode=record.mode)
+            except ReproError:
+                return False
+            return True
+        if isinstance(record, OutOfOrderRecord):
+            try:
+                return kernel.replay_out_of_order(record.point, record.delta)
+            except ReproError:
+                return False
+        if isinstance(record, OutOfOrderBatchRecord):
+            # mirror apply_out_of_order_many's schedule (newest time
+            # first, stable) *and* its failure behaviour: the original
+            # loop stopped at the first raising correction, leaving the
+            # earlier ones applied.  The aged-out case in particular must
+            # not resurrect retired detail during replay.
+            order = np.argsort(record.points[:, 0], kind="stable")[::-1]
+            for i in order:
+                point = tuple(int(c) for c in record.points[i])
+                try:
+                    kernel.apply_out_of_order(point, int(record.deltas[i]))
+                except ReproError:
+                    return False
+            return True
+        if isinstance(record, RetireRecord):
+            try:
+                front.retire_before(record.time)
+            except ReproError:
+                return False
+            return True
+        if isinstance(record, DrainRecord):
+            if not self.buffered:
+                return False
+            front.drain(record.limit)
+            return True
+        if isinstance(record, CheckpointMarkerRecord):
+            return True
+        raise RecoveryError(f"cannot replay {type(record).__name__}")

@@ -123,6 +123,22 @@ class BufferedEvolvingDataCube:
         return self.cube.ndim
 
     @property
+    def backend(self) -> str:
+        """The wrapped kernel's slice-store kind (dense/paged/sparse)."""
+        return self.cube.store.kind
+
+    # -- data aging (delegated) -------------------------------------------------
+
+    def retire_before(self, time: int) -> int:
+        """Retire detail slices older than ``time`` on the wrapped cube.
+
+        Buffered corrections aimed into the newly retired region simply
+        stay in ``G_d`` (the next :meth:`drain` keeps them), where query
+        post-processing keeps answers exact.
+        """
+        return self.cube.retire_before(time)
+
+    @property
     def counter(self) -> CostCounter:
         return self.cube.counter
 
@@ -236,6 +252,41 @@ class BufferedEvolvingDataCube:
             return 0
         box = Box((0,) + full.lower, (latest,) + full.upper)
         return self.query(box)
+
+    # -- durable snapshots (checkpoint machinery) -------------------------------
+
+    def buffer_state_arrays(self) -> dict[str, np.ndarray]:
+        """The ``G_d`` buffer and bookkeeping as named arrays.
+
+        Complements :meth:`CubeKernel.state_arrays` (which covers the
+        wrapped cube) so a checkpoint of a buffered cube captures the
+        complete durable state.
+        """
+        entries = self.buffer.entries()
+        points = np.asarray(
+            [point for point, _ in entries], dtype=np.int64
+        ).reshape(len(entries), self.ndim)
+        deltas = np.asarray([delta for _, delta in entries], dtype=np.int64)
+        return {
+            "gd_points": points,
+            "gd_deltas": deltas,
+            "gd_meta": np.array(
+                [self.total_updates, self.auto_drains], dtype=np.int64
+            ),
+        }
+
+    def restore_buffer_state(self, arrays) -> None:
+        """Refill ``G_d`` and bookkeeping from :meth:`buffer_state_arrays`."""
+        if len(self.buffer):
+            raise DomainError("restore_buffer_state requires an empty buffer")
+        points = np.asarray(arrays["gd_points"], dtype=np.int64)
+        if points.shape[0]:
+            self.buffer.add_many(
+                points, np.asarray(arrays["gd_deltas"], dtype=np.int64)
+            )
+        meta = np.asarray(arrays["gd_meta"], dtype=np.int64)
+        self.total_updates = int(meta[0])
+        self.auto_drains = int(meta[1])
 
     # -- background drain ---------------------------------------------------------------
 

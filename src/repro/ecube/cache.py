@@ -49,6 +49,32 @@ class SliceCache:
         self.pending = 0
         self._rover = 0
 
+    @classmethod
+    def from_state(
+        cls,
+        shape: Sequence[int],
+        counter: CostCounter,
+        values: np.ndarray,
+        stamps: np.ndarray,
+        num_slices: int,
+    ) -> "SliceCache":
+        """Rebuild a cache from persisted (values, stamps) arrays.
+
+        The stamp histogram, pending count and minimum pointer are
+        reconstructed so lazy-copy progress resumes exactly where the
+        snapshot left it (used by :mod:`repro.storage.serialize` and the
+        durability checkpoints).
+        """
+        cache = cls(shape, counter)
+        cache.values = np.asarray(values, dtype=np.int64).reshape(cache.shape)
+        cache.stamps = np.asarray(stamps, dtype=np.int64).reshape(cache.shape)
+        cache._last_idx = num_slices - 1
+        counts = np.bincount(cache.stamps.reshape(-1), minlength=num_slices)
+        cache._counts = [int(c) for c in counts]
+        cache._min_idx = 0
+        cache._recount_pending()
+        return cache
+
     # -- directory growth -----------------------------------------------------
 
     @property

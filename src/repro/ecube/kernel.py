@@ -738,6 +738,65 @@ class CubeKernel:
         with self._op():
             return self.store.sync_copies()
 
+    # -- durability hooks (checkpoint snapshots and log replay) -------------------
+
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        """Snapshot the kernel's durable state as named arrays.
+
+        The physical slice and cache representations are store-mediated
+        (each backend contributes its own keys), so one checkpoint writer
+        covers all backends.  ``fast_hits`` finalization counters are
+        deliberately not part of durable state: they are a performance
+        heuristic, not an answer-affecting quantity.
+        """
+        arrays: dict[str, np.ndarray] = {
+            "slice_shape": np.array(self.slice_shape, dtype=np.int64),
+            "num_times": np.array(
+                [-1 if self.num_times is None else self.num_times]
+            ),
+            "copy_budget": np.array([self.copy_budget]),
+            "retired_below": np.array([self._retired_below]),
+            "updates_applied": np.array([self.updates_applied]),
+            "occurring_times": np.array(self.directory.times(), dtype=np.int64),
+            "backend": np.array(self.store.kind),
+        }
+        for index in range(len(self.directory)):
+            _, payload = self.directory.at_index(index)
+            self.store.snapshot_slice(payload, index, arrays)
+        self.store.snapshot_cache(arrays)
+        return arrays
+
+    def restore_state(self, arrays) -> None:
+        """Rebuild directory, slices and cache from :meth:`state_arrays`.
+
+        The kernel must be freshly constructed with the same slice shape
+        and backend; counters are not restored (a recovered cube starts
+        cost accounting from zero).
+        """
+        if self.directory:
+            raise DomainError("restore_state requires an empty cube")
+        times = [int(t) for t in np.asarray(arrays["occurring_times"])]
+        for index, time in enumerate(times):
+            self.directory.append(time, self.store.restore_slice(index, arrays))
+        self._retired_below = int(np.asarray(arrays["retired_below"])[0])
+        self.updates_applied = int(np.asarray(arrays["updates_applied"])[0])
+        self.store.restore_cache(arrays, len(times))
+
+    def replay_out_of_order(self, point: Sequence[int], delta: int) -> bool:
+        """:meth:`apply_out_of_order` for log replay; guards data aging.
+
+        A replayed tail can carry corrections addressed to times that
+        were already retired when the log was written (the original call
+        raised and the cube stayed unchanged).  Replay must not let such
+        a record resurrect freed detail -- or abort recovery -- so the
+        aged-out case is reported as ``False`` instead of raised.
+        """
+        try:
+            self.apply_out_of_order(point, delta)
+        except AgedOutError:
+            return False
+        return True
+
     # -- whole-cube helpers ------------------------------------------------------
 
     def total(self) -> int:

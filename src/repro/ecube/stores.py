@@ -194,6 +194,14 @@ class SliceStore(Protocol):
 
     def incomplete_instances(self) -> int: ...
 
+    def snapshot_slice(self, payload, index: int, arrays: dict) -> None: ...
+
+    def restore_slice(self, index: int, arrays): ...
+
+    def snapshot_cache(self, arrays: dict) -> None: ...
+
+    def restore_cache(self, arrays, num_slices: int) -> None: ...
+
 
 # -- shared scaffolding --------------------------------------------------------
 
@@ -284,6 +292,24 @@ class ArrayCacheStore(BaseSliceStore):
         if self.cache is None:
             return 0
         return self.cache.incomplete_instances()
+
+    # -- durable snapshots (checkpoint machinery) ------------------------------
+
+    def snapshot_cache(self, arrays: dict) -> None:
+        if self.cache is not None:
+            arrays["cache_values"] = self.cache.values
+            arrays["cache_stamps"] = self.cache.stamps
+
+    def restore_cache(self, arrays, num_slices: int) -> None:
+        if "cache_values" not in arrays:
+            return
+        self.cache = SliceCache.from_state(
+            self.kernel.slice_shape,
+            self.counter,
+            np.asarray(arrays["cache_values"], dtype=np.int64).copy(),
+            np.asarray(arrays["cache_stamps"], dtype=np.int64).copy(),
+            num_slices,
+        )
 
     # -- array views for the fast engine --------------------------------------
 
@@ -420,6 +446,29 @@ class DenseStore(ArrayCacheStore):
             payload.values = floor_values.copy()
             payload.ps_flags = floor_flags.copy()
             payload.ps_count = floor_payload.ps_count
+        return payload
+
+    # -- durable snapshots ------------------------------------------------------
+
+    def snapshot_slice(self, payload, index: int, arrays: dict) -> None:
+        if payload.retired:
+            arrays[f"slice_{index}_retired"] = np.array([1])
+        else:
+            arrays[f"slice_{index}_values"] = payload.values
+            arrays[f"slice_{index}_flags"] = payload.ps_flags
+
+    def restore_slice(self, index: int, arrays) -> DenseSlice:
+        payload = self.new_slice()
+        if f"slice_{index}_retired" in arrays:
+            payload.retire()
+        else:
+            payload.values = np.asarray(
+                arrays[f"slice_{index}_values"], dtype=np.int64
+            ).copy()
+            payload.ps_flags = np.asarray(
+                arrays[f"slice_{index}_flags"], dtype=bool
+            ).copy()
+            payload.ps_count = int(payload.ps_flags.sum())
         return payload
 
     # -- lazy copy-ahead (Figure 8, step 4: roving pointer Z) ------------------
@@ -564,6 +613,29 @@ class PagedStore(ArrayCacheStore):
             payload.ps_count = floor_payload.ps_count
         for page in range(payload.store.num_pages):
             tracker.record_write(payload.store.store_id, page)
+        return payload
+
+    # -- durable snapshots ------------------------------------------------------
+
+    def snapshot_slice(self, payload, index: int, arrays: dict) -> None:
+        if payload.retired:
+            arrays[f"slice_{index}_retired"] = np.array([1])
+        else:
+            arrays[f"slice_{index}_values"] = payload.store.cells
+            arrays[f"slice_{index}_flags"] = payload.ps_flags
+
+    def restore_slice(self, index: int, arrays) -> PagedSlice:
+        payload = self.new_slice()
+        if f"slice_{index}_retired" in arrays:
+            payload.retire()
+        else:
+            payload.store.cells[...] = np.asarray(
+                arrays[f"slice_{index}_values"], dtype=np.int64
+            )
+            payload.ps_flags[...] = np.asarray(
+                arrays[f"slice_{index}_flags"], dtype=bool
+            )
+            payload.ps_count = int(payload.ps_flags.sum())
         return payload
 
     # -- page-wise copy-ahead (Section 3.5) ------------------------------------
@@ -780,6 +852,71 @@ class SparseStore(BaseSliceStore):
             payload.values = dict(floor_payload.values)
             payload.ps_cells = set(floor_payload.ps_cells)
         return payload
+
+    # -- durable snapshots ------------------------------------------------------
+    #
+    # Sparse state snapshots as coordinate lists: an (n, d-1) cell matrix
+    # plus parallel value (and, for the cache, stamp) vectors.  Cells are
+    # sorted so equal cubes produce byte-identical archives.
+
+    def _pack_cells(self, cells) -> np.ndarray:
+        width = len(self.kernel.slice_shape)
+        matrix = np.asarray(sorted(cells), dtype=np.int64)
+        return matrix.reshape(len(matrix), width) if len(matrix) else np.empty(
+            (0, width), dtype=np.int64
+        )
+
+    def snapshot_slice(self, payload, index: int, arrays: dict) -> None:
+        if payload.retired:
+            arrays[f"slice_{index}_retired"] = np.array([1])
+            return
+        cells = self._pack_cells(payload.values)
+        arrays[f"slice_{index}_cells"] = cells
+        arrays[f"slice_{index}_cellvals"] = np.asarray(
+            [payload.values[tuple(int(c) for c in cell)] for cell in cells],
+            dtype=np.int64,
+        )
+        arrays[f"slice_{index}_ps"] = self._pack_cells(payload.ps_cells)
+
+    def restore_slice(self, index: int, arrays) -> SparseSlice:
+        payload = SparseSlice()
+        if f"slice_{index}_retired" in arrays:
+            payload.retire()
+            return payload
+        cells = np.asarray(arrays[f"slice_{index}_cells"], dtype=np.int64)
+        values = np.asarray(arrays[f"slice_{index}_cellvals"], dtype=np.int64)
+        payload.values = {
+            tuple(int(c) for c in cell): int(value)
+            for cell, value in zip(cells, values)
+        }
+        payload.ps_cells = {
+            tuple(int(c) for c in cell)
+            for cell in np.asarray(arrays[f"slice_{index}_ps"], dtype=np.int64)
+        }
+        return payload
+
+    def snapshot_cache(self, arrays: dict) -> None:
+        cells = self._pack_cells(self._cache)
+        arrays["cache_cells"] = cells
+        entries = [self._cache[tuple(int(c) for c in cell)] for cell in cells]
+        arrays["cache_cellvals"] = np.asarray(
+            [value for value, _ in entries], dtype=np.int64
+        )
+        arrays["cache_cellstamps"] = np.asarray(
+            [stamp for _, stamp in entries], dtype=np.int64
+        )
+
+    def restore_cache(self, arrays, num_slices: int) -> None:
+        if "cache_cells" not in arrays:
+            return
+        cells = np.asarray(arrays["cache_cells"], dtype=np.int64)
+        values = np.asarray(arrays["cache_cellvals"], dtype=np.int64)
+        stamps = np.asarray(arrays["cache_cellstamps"], dtype=np.int64)
+        self._cache = {
+            tuple(int(c) for c in cell): (int(value), int(stamp))
+            for cell, value, stamp in zip(cells, values, stamps)
+        }
+        self._touch()
 
     # -- lazy copy-ahead -------------------------------------------------------
 

@@ -15,7 +15,14 @@ from repro.storage.layout import (
 from repro.storage.buffer import LRUBufferPool
 from repro.storage.paged_cube import PagedPreAggregatedArray
 from repro.storage.pages import PageAccessTracker, PagedArray
-from repro.storage.serialize import dumps_cube, load_cube, loads_cube, save_cube
+from repro.storage.serialize import (
+    dumps_cube,
+    load_cube,
+    load_kernel,
+    loads_cube,
+    save_cube,
+    save_kernel,
+)
 
 __all__ = [
     "cells_per_page",
@@ -27,6 +34,8 @@ __all__ = [
     "PagedPreAggregatedArray",
     "dumps_cube",
     "load_cube",
+    "load_kernel",
     "loads_cube",
     "save_cube",
+    "save_kernel",
 ]

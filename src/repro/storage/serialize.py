@@ -1,11 +1,27 @@
 """Saving and loading cube state (warehouse persistence).
 
 A data warehouse survives restarts; this module persists the complete
-state of an :class:`~repro.ecube.ecube.EvolvingDataCube` -- occurring
-times, per-slice values and PS/DDC flags, the cache with its timestamps,
-and the retirement boundary -- into a single ``.npz`` archive, and
-restores a cube that is bit-for-bit equivalent (queries, lazy-copy
-progress and eCube conversion state all resume exactly where they were).
+state of a kernel-backed cube -- occurring times, per-slice values and
+PS/DDC flags, the cache with its timestamps, and the retirement boundary
+-- into a single ``.npz`` archive, and restores a cube that is
+bit-for-bit equivalent (queries, lazy-copy progress and eCube conversion
+state all resume exactly where they were).
+
+Two entry points:
+
+* :func:`save_cube` / :func:`load_cube` -- the historical dense-only
+  API; handed a paged or sparse cube it raises a clear
+  :class:`~repro.core.errors.StorageError` instead of failing on a
+  missing attribute deep inside the archive writer.
+* :func:`save_kernel` / :func:`load_kernel` -- the backend-agnostic API:
+  the physical slice and cache representations are snapshot through the
+  :class:`~repro.ecube.stores.SliceStore` protocol, so dense, paged and
+  sparse cubes all round-trip.  The durability checkpoints
+  (:mod:`repro.durability.checkpoint`) build on this.
+
+Archives carry an explicit ``format_version``.  Version 1 (dense-only)
+archives still load; archives written by a *newer* build than this one
+are refused with an upgrade hint rather than misread.
 """
 
 from __future__ import annotations
@@ -20,33 +36,51 @@ from repro.metrics import CostCounter
 
 if TYPE_CHECKING:  # pragma: no cover - imported lazily to avoid a cycle
     from repro.ecube.ecube import EvolvingDataCube
+    from repro.ecube.kernel import CubeKernel
 
-FORMAT_VERSION = 1
+#: Version 2 adds the ``backend`` key plus paged/sparse representations;
+#: version 1 (dense-only, no ``backend`` key) remains loadable.
+FORMAT_VERSION = 2
+_OLDEST_READABLE = 1
 
 
-def save_cube(cube: "EvolvingDataCube", path) -> None:
-    """Persist a cube's full state as a compressed ``.npz`` archive."""
-    arrays: dict[str, np.ndarray] = {
-        "format_version": np.array([FORMAT_VERSION]),
-        "slice_shape": np.array(cube.slice_shape, dtype=np.int64),
-        "num_times": np.array(
-            [-1 if cube.num_times is None else cube.num_times]
-        ),
-        "copy_budget": np.array([cube.copy_budget]),
-        "retired_below": np.array([cube._retired_below]),
-        "updates_applied": np.array([cube.updates_applied]),
-        "occurring_times": np.array(cube.directory.times(), dtype=np.int64),
-    }
-    if cube.cache is not None:
-        arrays["cache_values"] = cube.cache.values
-        arrays["cache_stamps"] = cube.cache.stamps
-    for index in range(len(cube.directory)):
-        _, payload = cube.directory.at_index(index)
-        if payload.retired:
-            arrays[f"slice_{index}_retired"] = np.array([1])
-        else:
-            arrays[f"slice_{index}_values"] = payload.values
-            arrays[f"slice_{index}_flags"] = payload.ps_flags
+def _check_version(archive) -> int:
+    if "format_version" not in archive:
+        raise StorageError("not a cube archive (no format_version)")
+    version = int(archive["format_version"][0])
+    if version > FORMAT_VERSION:
+        raise StorageError(
+            f"cube archive has format version {version}, but this build "
+            f"reads at most {FORMAT_VERSION}; upgrade the library to load "
+            "archives written by newer versions"
+        )
+    if version < _OLDEST_READABLE:
+        raise StorageError(f"unsupported cube archive version {version}")
+    return version
+
+
+def _archive_backend(archive) -> str:
+    if "backend" in archive:
+        return str(np.asarray(archive["backend"]).item())
+    return "dense"  # version-1 archives predate multi-backend snapshots
+
+
+# -- backend-agnostic kernel persistence ----------------------------------------
+
+
+def kernel_state_arrays(cube: "CubeKernel") -> dict[str, np.ndarray]:
+    """The complete durable state of a kernel as named arrays."""
+    arrays = cube.state_arrays()
+    arrays["format_version"] = np.array([FORMAT_VERSION])
+    if cube.store.kind == "paged":
+        arrays["page_size"] = np.array([cube.store.page_size])
+        arrays["cell_size"] = np.array([cube.store.cell_size])
+    return arrays
+
+
+def save_kernel(cube: "CubeKernel", path) -> None:
+    """Persist any kernel-backed cube (dense, paged or sparse)."""
+    arrays = kernel_state_arrays(cube)
     if hasattr(path, "write"):
         np.savez_compressed(path, **arrays)
     else:
@@ -54,55 +88,76 @@ def save_cube(cube: "EvolvingDataCube", path) -> None:
             np.savez_compressed(handle, **arrays)
 
 
+def restore_kernel_from(archive, counter: CostCounter | None = None) -> "CubeKernel":
+    """Rebuild the right cube class from an open archive/array mapping."""
+    _check_version(archive)
+    backend = _archive_backend(archive)
+    slice_shape = tuple(int(n) for n in archive["slice_shape"])
+    raw_num_times = int(archive["num_times"][0])
+    num_times = None if raw_num_times < 0 else raw_num_times
+    if backend == "dense":
+        from repro.ecube.ecube import EvolvingDataCube
+
+        cube = EvolvingDataCube(slice_shape, num_times=num_times, counter=counter)
+    elif backend == "paged":
+        from repro.ecube.disk import DiskEvolvingDataCube
+
+        cube = DiskEvolvingDataCube(
+            slice_shape,
+            num_times=num_times,
+            counter=counter,
+            page_size=int(archive["page_size"][0]),
+            cell_size=int(archive["cell_size"][0]),
+        )
+    elif backend == "sparse":
+        from repro.ecube.sparse import SparseEvolvingDataCube
+
+        cube = SparseEvolvingDataCube(
+            slice_shape, num_times=num_times, counter=counter
+        )
+    else:
+        raise StorageError(f"archive names unknown backend {backend!r}")
+    cube.copy_budget = int(archive["copy_budget"][0])
+    cube.restore_state(archive)
+    return cube
+
+
+def load_kernel(path, counter: CostCounter | None = None) -> "CubeKernel":
+    """Restore a cube persisted by :func:`save_kernel` (any backend)."""
+    with np.load(path) as archive:
+        return restore_kernel_from(archive, counter=counter)
+
+
+# -- the historical dense-only API ----------------------------------------------
+
+
+def save_cube(cube: "EvolvingDataCube", path) -> None:
+    """Persist a dense cube's full state as a compressed ``.npz`` archive.
+
+    Only the dense in-memory cube is accepted here; paged and sparse
+    cubes persist through :func:`save_kernel`.
+    """
+    kind = getattr(getattr(cube, "store", None), "kind", None)
+    if kind != "dense":
+        raise StorageError(
+            f"save_cube persists the dense EvolvingDataCube only (got a "
+            f"{kind or type(cube).__name__!r} cube); use "
+            "repro.storage.serialize.save_kernel for paged/sparse backends"
+        )
+    save_kernel(cube, path)
+
+
 def load_cube(path, counter: CostCounter | None = None) -> "EvolvingDataCube":
     """Restore a cube persisted by :func:`save_cube`."""
-    from repro.ecube.ecube import EvolvingDataCube, _Slice
-
     with np.load(path) as archive:
-        version = int(archive["format_version"][0])
-        if version != FORMAT_VERSION:
+        _check_version(archive)
+        backend = _archive_backend(archive)
+        if backend != "dense":
             raise StorageError(
-                f"unsupported cube archive version {version} "
-                f"(this build reads {FORMAT_VERSION})"
+                f"archive holds a {backend!r} cube; load it with "
+                "repro.storage.serialize.load_kernel"
             )
-        slice_shape = tuple(int(n) for n in archive["slice_shape"])
-        num_times = int(archive["num_times"][0])
-        cube = EvolvingDataCube(
-            slice_shape,
-            num_times=None if num_times < 0 else num_times,
-            counter=counter,
-            copy_budget=int(archive["copy_budget"][0]),
-        )
-        cube.updates_applied = int(archive["updates_applied"][0])
-        times = [int(t) for t in archive["occurring_times"]]
-        for index, time in enumerate(times):
-            payload = _Slice(slice_shape)
-            if f"slice_{index}_retired" in archive:
-                payload.retire()
-            else:
-                payload.values = archive[f"slice_{index}_values"].copy()
-                payload.ps_flags = archive[f"slice_{index}_flags"].copy()
-            cube.directory.append(time, payload)
-        cube._retired_below = int(archive["retired_below"][0])
-        if times:
-            from repro.ecube.cache import SliceCache
-
-            cache = SliceCache(slice_shape, cube.counter)
-            cache.values = archive["cache_values"].copy()
-            stamps = archive["cache_stamps"].copy()
-            cache.stamps = stamps
-            # rebuild the stamp histogram and pending bookkeeping
-            for _ in range(len(times) - 1):
-                cache._counts.append(0)
-                cache._last_idx += 1
-            counts = np.bincount(
-                stamps.reshape(-1), minlength=len(times)
-            )
-            cache._counts = [int(c) for c in counts]
-            cache._min_idx = 0
-            cache._recount_pending()
-            cube.cache = cache
-    return cube
+        return restore_kernel_from(archive, counter=counter)
 
 
 def dumps_cube(cube: "EvolvingDataCube") -> bytes:

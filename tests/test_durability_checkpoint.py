@@ -1,0 +1,255 @@
+"""Checkpoints: manifest publication, compaction, multi-backend snapshots.
+
+Also covers the serialize-layer companions: ``save_kernel`` /
+``load_kernel`` round-trip every backend, ``save_cube`` refuses
+non-dense cubes with a clear :class:`StorageError`, and archives written
+by a future format version are refused with an upgrade hint.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.errors import RecoveryError, StorageError
+from repro.core.types import Box
+from repro.durability import DurableCube
+from repro.durability.checkpoint import (
+    MANIFEST_NAME,
+    CheckpointManifest,
+    publish_manifest,
+    read_manifest,
+)
+from repro.ecube.disk import DiskEvolvingDataCube
+from repro.ecube.sparse import SparseEvolvingDataCube
+from repro.storage.serialize import (
+    dumps_cube,
+    load_cube,
+    load_kernel,
+    save_cube,
+    save_kernel,
+)
+
+from tests.conftest import brute_box_sum, random_box
+
+BACKENDS = ["dense", "paged", "sparse"]
+SHAPE = (24, 8, 8)
+
+
+def _fill(target, rng, count=60, low=0, high=SHAPE[0]):
+    """Apply a deterministic in-order stream to a cube-like front.
+
+    ``low``/``high`` bound the drawn times so successive fills of an
+    unbuffered (strictly append-only) cube can use disjoint windows.
+    """
+    dense = np.zeros(SHAPE, dtype=np.int64)
+    times = np.sort(rng.integers(low, high, size=count))
+    for t in times:
+        point = (int(t), int(rng.integers(0, 8)), int(rng.integers(0, 8)))
+        delta = int(rng.integers(-3, 9))
+        target.update(point, delta)
+        dense[point] += delta
+    return dense
+
+
+class TestManifest:
+    def test_absent_directory_reads_as_none(self, tmp_path):
+        assert read_manifest(tmp_path) is None
+        assert read_manifest(tmp_path / "nowhere") is None
+
+    def test_round_trip(self, tmp_path):
+        manifest = CheckpointManifest(
+            checkpoint_id=3,
+            covered_lsn=41,
+            checkpoint_file="checkpoint-00000003.npz",
+            live_segments=["wal-00000004.log"],
+            config={"backend": "sparse", "buffered": True},
+        )
+        publish_manifest(tmp_path, manifest)
+        assert read_manifest(tmp_path) == manifest
+        # publication is by rename: no temp file survives
+        assert [p.name for p in tmp_path.iterdir()] == [MANIFEST_NAME]
+
+    def test_damaged_manifest_raises(self, tmp_path):
+        (tmp_path / MANIFEST_NAME).write_text("{ not json")
+        with pytest.raises(RecoveryError):
+            read_manifest(tmp_path)
+
+    def test_future_manifest_version_refused(self, tmp_path):
+        (tmp_path / MANIFEST_NAME).write_text(
+            json.dumps(
+                {"checkpoint_id": 1, "covered_lsn": 0, "manifest_version": 99}
+            )
+        )
+        with pytest.raises(RecoveryError, match="upgrade"):
+            read_manifest(tmp_path)
+
+
+class TestCheckpointCycle:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("buffered", [True, False])
+    def test_checkpoint_then_tail_recovers(self, tmp_path, backend, buffered):
+        rng = np.random.default_rng(7)
+        cube = DurableCube(
+            SHAPE[1:],
+            tmp_path,
+            backend=backend,
+            buffered=buffered,
+            num_times=SHAPE[0],
+            fsync="off",
+        )
+        dense = _fill(cube, rng, count=50, high=12)
+        manifest = cube.checkpoint()
+        assert manifest.checkpoint_file is not None
+        dense += _fill(cube, rng, count=25, low=12)
+        cube.close()
+
+        recovered = DurableCube.recover(tmp_path)
+        assert recovered.recovery_info["checkpoint_id"] == 1
+        assert recovered.recovery_info["replayed_records"] == 25
+        assert recovered.total() == int(dense.sum())
+        for _ in range(20):
+            box = random_box(rng, SHAPE)
+            assert recovered.query(box) == brute_box_sum(dense, box)
+        recovered.close()
+
+    def test_compaction_drops_covered_segments(self, tmp_path):
+        rng = np.random.default_rng(8)
+        cube = DurableCube(
+            SHAPE[1:], tmp_path, num_times=SHAPE[0], fsync="off",
+            segment_bytes=256,
+        )
+        _fill(cube, rng, count=40)
+        segments_before = cube.wal.segments()
+        assert len(segments_before) > 1
+        manifest = cube.checkpoint()
+        # everything up to the marker is covered: only the fresh segment
+        # (rolled just after the marker) remains, and the manifest agrees
+        assert cube.wal.segments() == manifest.live_segments
+        assert len(manifest.live_segments) == 1
+        assert not set(segments_before) & set(manifest.live_segments)
+        cube.close()
+
+    def test_second_checkpoint_removes_the_first_archive(self, tmp_path):
+        rng = np.random.default_rng(9)
+        with DurableCube(
+            SHAPE[1:], tmp_path, num_times=SHAPE[0], fsync="off"
+        ) as cube:
+            _fill(cube, rng, count=20)
+            first = cube.checkpoint()
+            _fill(cube, rng, count=20)
+            second = cube.checkpoint()
+            archives = sorted(p.name for p in tmp_path.glob("checkpoint-*.npz"))
+            assert archives == [second.checkpoint_file]
+            assert first.checkpoint_file not in archives
+
+    def test_crash_mid_checkpoint_keeps_old_manifest(self, tmp_path):
+        rng = np.random.default_rng(10)
+        cube = DurableCube(
+            SHAPE[1:], tmp_path, num_times=SHAPE[0], fsync="off"
+        )
+        dense = _fill(cube, rng, count=30)
+        cube.checkpoint()
+        dense += _fill(cube, rng, count=15)
+        cube.close()
+        # a crash between archive write and manifest publication leaves a
+        # temp archive behind; recovery must use the published manifest
+        (tmp_path / "checkpoint-00000002.npz.tmp").write_bytes(b"partial")
+        recovered = DurableCube.recover(tmp_path)
+        assert recovered._manifest.checkpoint_id == 1
+        assert recovered.total() == int(dense.sum())
+        recovered.close()
+
+    def test_recover_without_manifest_raises(self, tmp_path):
+        with pytest.raises(RecoveryError, match="manifest"):
+            DurableCube.recover(tmp_path / "empty")
+
+    def test_missing_checkpoint_archive_raises(self, tmp_path):
+        with DurableCube((4, 4), tmp_path, fsync="off") as cube:
+            cube.update((0, 1, 2), 5)
+            manifest = cube.checkpoint()
+        (tmp_path / manifest.checkpoint_file).unlink()
+        with pytest.raises(RecoveryError, match="missing checkpoint"):
+            DurableCube.recover(tmp_path)
+
+    def test_reinitializing_existing_directory_rejected(self, tmp_path):
+        DurableCube((4, 4), tmp_path, fsync="off").close()
+        with pytest.raises(StorageError, match="recover"):
+            DurableCube((4, 4), tmp_path, fsync="off")
+
+
+class TestKernelSerialize:
+    def _build(self, backend, rng):
+        if backend == "paged":
+            cube = DiskEvolvingDataCube(SHAPE[1:], num_times=SHAPE[0])
+        elif backend == "sparse":
+            cube = SparseEvolvingDataCube(SHAPE[1:], num_times=SHAPE[0])
+        else:
+            from repro.ecube.ecube import EvolvingDataCube
+
+            cube = EvolvingDataCube(SHAPE[1:], num_times=SHAPE[0])
+        dense = _fill(cube, rng, count=60)
+        return cube, dense
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_save_kernel_round_trip(self, tmp_path, backend):
+        rng = np.random.default_rng(11)
+        cube, dense = self._build(backend, rng)
+        # convert a few regions so lazy-copy progress is non-trivial
+        for _ in range(8):
+            cube.query(random_box(rng, SHAPE))
+        path = tmp_path / "kernel.npz"
+        save_kernel(cube, path)
+        restored = load_kernel(path)
+        assert restored.store.kind == backend
+        assert restored.updates_applied == cube.updates_applied
+        assert (
+            restored.incomplete_historic_instances()
+            == cube.incomplete_historic_instances()
+        )
+        for _ in range(20):
+            box = random_box(rng, SHAPE)
+            assert restored.query(box) == brute_box_sum(dense, box)
+
+    @pytest.mark.parametrize("backend", ["paged", "sparse"])
+    def test_save_cube_refuses_non_dense(self, tmp_path, backend):
+        rng = np.random.default_rng(12)
+        cube, _ = self._build(backend, rng)
+        with pytest.raises(StorageError, match="save_kernel"):
+            save_cube(cube, tmp_path / "nope.npz")
+        with pytest.raises(StorageError, match="save_kernel"):
+            dumps_cube(cube)
+
+    @pytest.mark.parametrize("backend", ["paged", "sparse"])
+    def test_load_cube_points_at_load_kernel(self, tmp_path, backend):
+        rng = np.random.default_rng(13)
+        cube, _ = self._build(backend, rng)
+        path = tmp_path / "kernel.npz"
+        save_kernel(cube, path)
+        with pytest.raises(StorageError, match="load_kernel"):
+            load_cube(path)
+
+    def test_future_archive_version_refused(self, tmp_path):
+        path = tmp_path / "future.npz"
+        np.savez_compressed(path, format_version=np.array([999]))
+        with pytest.raises(StorageError, match="upgrade"):
+            load_kernel(path)
+        with pytest.raises(StorageError, match="upgrade"):
+            load_cube(path)
+
+    def test_version_one_dense_archive_still_loads(self, tmp_path):
+        # v1 archives carry no ``backend`` key; simulate one by rewriting
+        rng = np.random.default_rng(14)
+        cube, dense = self._build("dense", rng)
+        path = tmp_path / "v1.npz"
+        save_kernel(cube, path)
+        with np.load(path) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+        del arrays["backend"]
+        arrays["format_version"] = np.array([1])
+        np.savez_compressed(path, **arrays)
+        restored = load_cube(path)
+        box = Box((0, 0, 0), (SHAPE[0] - 1, 7, 7))
+        assert restored.query(box) == int(dense.sum())

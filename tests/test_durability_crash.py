@@ -1,0 +1,375 @@
+"""Crash injection: kill the log at arbitrary points and recover.
+
+The harness builds a mixed workload (in-order updates, ``update_many``
+batches, out-of-order corrections, drains, data aging) against a
+:class:`~repro.durability.recovery.DurableCube`, then simulates a crash
+by truncating the WAL at randomized byte offsets.  Recovery must produce
+exactly the state a *live replica* reaches by applying the surviving
+operation prefix through the same front-end: same answers, same
+occurring-time directory, same lazy-copy progress.  Every slice-store
+backend is exercised, buffered and unbuffered.
+
+Also here: the retire-resurrection regression (a replayed correction
+addressed to a since-retired time must be skipped, never resurrect the
+retired detail slice) and a Hypothesis stateful machine that interleaves
+mutations, checkpoints and full recover cycles against a dense oracle.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+
+import numpy as np
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, precondition, rule
+
+from repro.core.errors import AgedOutError
+from repro.core.types import Box
+from repro.durability import DurableCube
+from repro.durability.recovery import WAL_SUBDIR, _build_front
+from repro.durability.wal import _HEADER, inspect_log
+
+SHAPE = (24, 8, 8)
+BACKENDS = ["dense", "paged", "sparse"]
+
+
+def _make_ops(rng, buffered, count):
+    """A mixed workload whose every operation succeeds when applied live.
+
+    Invariants maintained so the dense oracle stays exact: unbuffered
+    in-order times never decrease, corrections target existing times at
+    or above the retirement boundary, and every ``retire`` is preceded
+    by a ``drain`` on buffered cubes so no buffered update can age out.
+    """
+    ops = []
+    t_latest = -1
+    boundary = 0
+
+    def _cell():
+        return int(rng.integers(0, 8)), int(rng.integers(0, 8))
+
+    for _ in range(count):
+        roll = float(rng.random())
+        if roll < 0.45 or t_latest < boundary:
+            t = int(rng.integers(max(boundary, t_latest, 0), SHAPE[0]))
+            ops.append(("update", (t, *_cell()), int(rng.integers(-4, 9))))
+            t_latest = max(t_latest, t)
+        elif roll < 0.65:
+            n = int(rng.integers(1, 6))
+            low = boundary if buffered else t_latest
+            times = np.sort(rng.integers(low, SHAPE[0], size=n))
+            points = np.column_stack(
+                (times, rng.integers(0, 8, size=n), rng.integers(0, 8, size=n))
+            ).astype(np.int64)
+            deltas = rng.integers(-4, 9, size=n).astype(np.int64)
+            mode = "fast" if rng.random() < 0.7 else "metered"
+            ops.append(("update_many", points, deltas, mode))
+            t_latest = max(t_latest, int(times[-1]))
+        elif roll < 0.85:
+            if buffered:
+                limit = None if rng.random() < 0.5 else int(rng.integers(1, 6))
+                ops.append(("drain", limit))
+            elif t_latest > boundary:  # corrections must be strictly historic
+                t = int(rng.integers(boundary, t_latest))
+                ops.append(("oob", (t, *_cell()), int(rng.integers(-4, 9))))
+            else:
+                t = int(rng.integers(t_latest, SHAPE[0]))
+                ops.append(("update", (t, *_cell()), int(rng.integers(-4, 9))))
+                t_latest = max(t_latest, t)
+        else:
+            new_boundary = int(rng.integers(boundary, t_latest + 1))
+            if buffered:
+                ops.append(("drain", None))
+            ops.append(("retire", new_boundary))
+            boundary = new_boundary
+    return ops
+
+
+def _apply_op(front, op):
+    kind = op[0]
+    if kind == "update":
+        front.update(op[1], op[2])
+    elif kind == "update_many":
+        front.update_many(op[1], op[2], mode=op[3])
+    elif kind == "oob":
+        front.apply_out_of_order(op[1], op[2])
+    elif kind == "drain":
+        front.drain(op[1])
+    elif kind == "retire":
+        front.retire_before(op[1])
+    else:  # pragma: no cover - workload generator bug
+        raise AssertionError(kind)
+
+
+def _dense_effect(dense, op):
+    kind = op[0]
+    if kind in ("update", "oob"):
+        dense[op[1]] += op[2]
+    elif kind == "update_many":
+        np.add.at(dense, tuple(op[1].T), op[2])
+
+
+def _prefix_boxes(rng, boundary=0, count=15):
+    """Random boxes anchored at time 0 (legal even after data aging).
+
+    The upper time stays at or above the retirement ``boundary`` so the
+    prefix query never lands on a retired instance.
+    """
+    boxes = []
+    for _ in range(count):
+        t_up = int(rng.integers(boundary, SHAPE[0]))
+        upper = (t_up,) + tuple(int(rng.integers(0, n)) for n in SHAPE[1:])
+        boxes.append(Box((0, 0, 0), upper))
+    return boxes
+
+
+def _retire_boundary(ops):
+    boundary = 0
+    for op in ops:
+        if op[0] == "retire":
+            boundary = op[1]
+    return boundary
+
+
+def _assert_state_parity(recovered, replica, buffered):
+    rec_front = recovered.front
+    rec_kernel = recovered.cube
+    ref_kernel = replica.cube if buffered else replica
+    assert rec_kernel.num_slices == ref_kernel.num_slices
+    assert rec_kernel.updates_applied == ref_kernel.updates_applied
+    assert rec_kernel.occurring_times() == ref_kernel.occurring_times()
+    assert rec_kernel.retired_instances == ref_kernel.retired_instances
+    # bit-equivalence extends to lazy-copy progress, not just answers
+    assert (
+        rec_kernel.incomplete_historic_instances()
+        == ref_kernel.incomplete_historic_instances()
+    )
+    if buffered:
+        assert rec_front.buffered_updates == replica.buffered_updates
+    assert rec_front.total() == replica.total()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("buffered", [True, False])
+def test_crash_at_random_offsets_recovers_surviving_prefix(
+    tmp_path, backend, buffered
+):
+    rng = np.random.default_rng(100 + 2 * BACKENDS.index(backend) + buffered)
+    ops = _make_ops(rng, buffered, count=45)
+    origin = tmp_path / "origin"
+    cube = DurableCube(
+        SHAPE[1:],
+        origin,
+        backend=backend,
+        buffered=buffered,
+        num_times=SHAPE[0],
+        fsync="off",
+        segment_bytes=2048,
+    )
+    config = dict(cube._config)
+    for op in ops:
+        _apply_op(cube, op)
+    cube.close()
+
+    wal_dir = origin / WAL_SUBDIR
+    tail = sorted(wal_dir.glob("wal-*.log"))[-1]
+    tail_size = tail.stat().st_size
+    # crash points: clean close, mid-record cuts, and the bare header
+    cuts = [tail_size] + [
+        _HEADER.size + int(rng.integers(0, tail_size - _HEADER.size + 1))
+        for _ in range(4)
+    ]
+    for case, cut in enumerate(cuts):
+        crash_dir = tmp_path / f"crash-{case}"
+        shutil.copytree(origin, crash_dir)
+        with open(crash_dir / WAL_SUBDIR / tail.name, "r+b") as handle:
+            handle.truncate(cut)
+        survivors = inspect_log(crash_dir / WAL_SUBDIR)["records"]
+        recovered = DurableCube.recover(crash_dir)
+        assert recovered.recovery_info["replayed_records"] == survivors
+        assert recovered.recovery_info["skipped_records"] == 0
+
+        replica = _build_front(config, counter=None)
+        dense = np.zeros(SHAPE, dtype=np.int64)
+        for op in ops[:survivors]:
+            _apply_op(replica, op)
+            _dense_effect(dense, op)
+        _assert_state_parity(recovered, replica, buffered)
+        for box in _prefix_boxes(rng, _retire_boundary(ops[:survivors])):
+            expected = int(
+                dense[: box.upper[0] + 1, : box.upper[1] + 1, : box.upper[2] + 1].sum()
+            )
+            assert recovered.query(box) == expected
+            assert replica.query(box) == expected
+        # the survivor keeps logging: one more update, one more recovery
+        t_next = SHAPE[0] - 1
+        recovered.update((t_next, 0, 0), 7)
+        dense[t_next, 0, 0] += 7
+        recovered.close()
+        reopened = DurableCube.recover(crash_dir)
+        assert reopened.total() == int(dense.sum())
+        reopened.close()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_crash_after_checkpoint_replays_only_the_tail(tmp_path, backend):
+    rng = np.random.default_rng(77)
+    ops = _make_ops(rng, True, count=30)
+    cube = DurableCube(
+        SHAPE[1:], tmp_path, backend=backend, num_times=SHAPE[0], fsync="off"
+    )
+    for op in ops[:20]:
+        _apply_op(cube, op)
+    cube.checkpoint()
+    for op in ops[20:]:
+        _apply_op(cube, op)
+    cube.close()
+
+    recovered = DurableCube.recover(tmp_path)
+    assert recovered.recovery_info["checkpoint_id"] == 1
+    assert recovered.recovery_info["replayed_records"] == len(ops) - 20
+    replica = _build_front(dict(cube._config), counter=None)
+    for op in ops:
+        _apply_op(replica, op)
+    _assert_state_parity(recovered, replica, True)
+    recovered.close()
+
+
+class TestRetireResurrection:
+    """Satellite: replay must never resurrect since-retired slices."""
+
+    def test_logged_aged_out_correction_is_skipped_on_replay(self, tmp_path):
+        cube = DurableCube(
+            SHAPE[1:], tmp_path, buffered=False, num_times=SHAPE[0], fsync="off"
+        )
+        dense = np.zeros(SHAPE, dtype=np.int64)
+        for t in range(10):
+            cube.update((t, 1, 1), t + 1)
+            dense[t, 1, 1] += t + 1
+        retired = cube.retire_before(6)
+        assert retired > 0
+        # the correction is logged before it raises: the log now holds a
+        # record whose application failed in the original timeline
+        with pytest.raises(AgedOutError):
+            cube.apply_out_of_order((2, 1, 1), 100)
+        # a batch stopping at its first aged-out correction: the newer
+        # correction (time 8) lands, the older one (time 2) does not
+        with pytest.raises(AgedOutError):
+            cube.apply_out_of_order_many(
+                np.array([[2, 3, 3], [8, 3, 3]], dtype=np.int64),
+                np.array([50, 9], dtype=np.int64),
+            )
+        dense[8, 3, 3] += 9
+        retired_instances = cube.cube.retired_instances
+        num_slices = cube.cube.num_slices
+        cube.close()
+
+        recovered = DurableCube.recover(tmp_path)
+        assert recovered.recovery_info["skipped_records"] == 2
+        assert recovered.cube.retired_instances == retired_instances
+        assert recovered.cube.num_slices == num_slices
+        assert recovered.total() == int(dense.sum())
+        # the retired region is still retired: detail queries refuse
+        with pytest.raises(AgedOutError):
+            recovered.query(Box((2, 0, 0), (9, 7, 7)))
+        # and the open prefix still answers over all of history
+        assert recovered.query(Box((0, 0, 0), (23, 7, 7))) == int(dense.sum())
+        recovered.close()
+
+    def test_retire_then_crash_preserves_boundary(self, tmp_path):
+        cube = DurableCube(
+            SHAPE[1:], tmp_path, buffered=False, num_times=SHAPE[0], fsync="off"
+        )
+        for t in range(12):
+            cube.update((t, 0, 0), 5)
+        cube.retire_before(8)
+        cube.close()
+        recovered = DurableCube.recover(tmp_path)
+        with pytest.raises(AgedOutError):
+            recovered.query(Box((7, 0, 0), (11, 7, 7)))
+        assert recovered.total() == 60
+        recovered.close()
+
+
+class DurableCubeMachine(RuleBasedStateMachine):
+    """Interleave mutations, checkpoints and recover cycles vs an oracle."""
+
+    def __init__(self):
+        super().__init__()
+        self.root = tempfile.mkdtemp(prefix="durable-machine-")
+        self.cube = DurableCube(
+            SHAPE[1:], self.root, num_times=SHAPE[0], fsync="off"
+        )
+        self.dense = np.zeros(SHAPE, dtype=np.int64)
+
+    def teardown(self):
+        self.cube.close()
+        shutil.rmtree(self.root, ignore_errors=True)
+
+    @rule(
+        t=st.integers(0, SHAPE[0] - 1),
+        x=st.integers(0, 7),
+        y=st.integers(0, 7),
+        delta=st.integers(-4, 8),
+    )
+    def update(self, t, x, y, delta):
+        self.cube.update((t, x, y), delta)
+        self.dense[t, x, y] += delta
+
+    @rule(data=st.data())
+    def update_many(self, data):
+        n = data.draw(st.integers(1, 6))
+        points = np.column_stack(
+            [
+                data.draw(
+                    st.lists(st.integers(0, k - 1), min_size=n, max_size=n)
+                )
+                for k in SHAPE
+            ]
+        ).astype(np.int64)
+        deltas = np.asarray(
+            data.draw(st.lists(st.integers(-4, 8), min_size=n, max_size=n)),
+            dtype=np.int64,
+        )
+        self.cube.update_many(points, deltas)
+        np.add.at(self.dense, tuple(points.T), deltas)
+
+    @precondition(lambda self: self.cube.front.buffered_updates > 0)
+    @rule(limit=st.one_of(st.none(), st.integers(1, 4)))
+    def drain(self, limit):
+        self.cube.drain(limit)
+
+    @rule()
+    def checkpoint(self):
+        self.cube.checkpoint()
+
+    @rule()
+    def crash_and_recover(self):
+        self.cube.close()
+        self.cube = DurableCube.recover(self.root)
+
+    @rule(data=st.data())
+    def query_matches_oracle(self, data):
+        lower = tuple(data.draw(st.integers(0, k - 1)) for k in SHAPE)
+        upper = tuple(
+            data.draw(st.integers(low, k - 1))
+            for low, k in zip(lower, SHAPE)
+        )
+        expected = int(
+            self.dense[
+                lower[0] : upper[0] + 1,
+                lower[1] : upper[1] + 1,
+                lower[2] : upper[2] + 1,
+            ].sum()
+        )
+        assert self.cube.query(Box(lower, upper)) == expected
+        assert self.cube.total() == int(self.dense.sum())
+
+
+TestDurableCubeMachine = DurableCubeMachine.TestCase
+TestDurableCubeMachine.settings = settings(
+    max_examples=12, stateful_step_count=30, deadline=None
+)

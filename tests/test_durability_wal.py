@@ -1,0 +1,285 @@
+"""The write-ahead log: codec round trips, torn tails, segments, fsync.
+
+The codec properties are Hypothesis-driven: every record type with
+arbitrary (including negative) deltas and coordinates must survive
+``encode_record`` -> ``decode_payload`` bit-exactly, and a log truncated
+at *any* byte offset must replay exactly an intact prefix of what was
+written -- never garbage, never an error -- and accept appends again
+after the open-for-append repair.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import DomainError, StorageError
+from repro.durability.wal import (
+    _FRAME,
+    _HEADER,
+    SEGMENT_MAGIC,
+    CheckpointMarkerRecord,
+    DrainRecord,
+    OutOfOrderBatchRecord,
+    OutOfOrderRecord,
+    RetireRecord,
+    UpdateBatchRecord,
+    UpdateRecord,
+    WriteAheadLog,
+    decode_payload,
+    encode_record,
+    inspect_log,
+)
+
+# keep coordinates comfortably inside i64 so round trips are exact
+COORD = st.integers(-(2**62), 2**62)
+DELTA = st.integers(-(2**62), 2**62)
+
+
+def _batch(draw, cls, **kwargs):
+    n = draw(st.integers(1, 6))
+    ndim = draw(st.integers(1, 4))
+    points = np.array(
+        [[draw(COORD) for _ in range(ndim)] for _ in range(n)], dtype=np.int64
+    )
+    deltas = np.array([draw(DELTA) for _ in range(n)], dtype=np.int64)
+    return cls(points, deltas, **kwargs)
+
+
+@st.composite
+def update_batch_records(draw):
+    return _batch(draw, UpdateBatchRecord, mode=draw(st.sampled_from(["fast", "metered"])))
+
+
+@st.composite
+def oob_batch_records(draw):
+    return _batch(draw, OutOfOrderBatchRecord)
+
+
+@st.composite
+def point_records(draw):
+    cls = draw(st.sampled_from([UpdateRecord, OutOfOrderRecord]))
+    ndim = draw(st.integers(1, 5))
+    point = tuple(draw(COORD) for _ in range(ndim))
+    return cls(point, draw(DELTA))
+
+
+RECORDS = st.one_of(
+    point_records(),
+    update_batch_records(),
+    oob_batch_records(),
+    st.builds(RetireRecord, time=COORD),
+    st.builds(DrainRecord, limit=st.one_of(st.none(), st.integers(0, 2**32))),
+    st.builds(CheckpointMarkerRecord, checkpoint_id=st.integers(0, 2**62)),
+)
+
+
+class TestCodec:
+    @given(record=RECORDS, lsn=st.integers(1, 2**62))
+    def test_round_trip(self, record, lsn):
+        frame = encode_record(record, lsn)
+        length, crc = _FRAME.unpack_from(frame, 0)
+        payload = frame[_FRAME.size :]
+        assert length == len(payload)
+        assert crc == zlib.crc32(payload)
+        got_lsn, got = decode_payload(payload)
+        assert got_lsn == lsn
+        assert got == record
+
+    @given(record=RECORDS, lsn=st.integers(1, 2**32), flip=st.integers(0, 10**9))
+    def test_any_payload_corruption_is_detected(self, record, lsn, flip):
+        frame = bytearray(encode_record(record, lsn))
+        position = _FRAME.size + flip % (len(frame) - _FRAME.size)
+        frame[position] ^= 0x5A
+        length, crc = _FRAME.unpack_from(bytes(frame), 0)
+        assert zlib.crc32(bytes(frame[_FRAME.size :])) != crc
+
+    def test_unknown_type_rejected(self):
+        payload = struct.pack("<BQ", 200, 1)
+        with pytest.raises(StorageError):
+            decode_payload(payload)
+
+    def test_unknown_batch_mode_rejected(self):
+        record = UpdateBatchRecord(
+            np.zeros((1, 2), dtype=np.int64), np.ones(1, dtype=np.int64)
+        )
+        frame = bytearray(encode_record(record, 1))
+        # the mode code is the first body byte after the (type, lsn) prefix
+        frame[_FRAME.size + 9] = 99
+        with pytest.raises(StorageError):
+            decode_payload(bytes(frame[_FRAME.size :]))
+
+
+def _sample_records(count):
+    rng = np.random.default_rng(count)
+    out = []
+    for i in range(count):
+        kind = i % 4
+        if kind == 0:
+            out.append(UpdateRecord((i, int(rng.integers(0, 8))), int(rng.integers(-5, 9))))
+        elif kind == 1:
+            n = int(rng.integers(1, 5))
+            out.append(
+                UpdateBatchRecord(
+                    rng.integers(0, 16, size=(n, 3)).astype(np.int64),
+                    rng.integers(-4, 9, size=n).astype(np.int64),
+                )
+            )
+        elif kind == 2:
+            out.append(RetireRecord(i))
+        else:
+            out.append(DrainRecord(None if i % 8 == 3 else i))
+    return out
+
+
+class TestTornTail:
+    @given(count=st.integers(1, 12), cut=st.integers(0, 10**9))
+    @settings(max_examples=40, deadline=None)
+    def test_truncation_yields_exact_prefix(self, tmp_path_factory, count, cut):
+        directory = tmp_path_factory.mktemp("wal")
+        records = _sample_records(count)
+        with WriteAheadLog(directory, fsync="off") as wal:
+            for record in records:
+                wal.append(record)
+        (path,) = [directory / name for name in sorted(p.name for p in directory.iterdir())]
+        size = path.stat().st_size
+        keep = _HEADER.size + cut % (size - _HEADER.size + 1)
+        with open(path, "r+b") as handle:
+            handle.truncate(keep)
+        # read-only inspection reports the intact prefix without repair
+        info = inspect_log(directory)
+        survivors = info["records"]
+        assert survivors <= count
+        assert path.stat().st_size == keep
+        # open-for-append repairs the tail, replay yields the prefix
+        with WriteAheadLog(directory, fsync="off") as wal:
+            replayed = [record for _, record in wal.replay()]
+            assert replayed == records[:survivors]
+            new_lsn = wal.append(RetireRecord(9999))
+            assert new_lsn == survivors + 1
+        with WriteAheadLog(directory, fsync="off") as wal:
+            tail = [record for _, record in wal.replay()]
+        assert tail == records[:survivors] + [RetireRecord(9999)]
+
+    def test_truncated_header_is_an_error(self, tmp_path):
+        with WriteAheadLog(tmp_path, fsync="off") as wal:
+            wal.append(RetireRecord(1))
+        (path,) = [p for p in tmp_path.iterdir()]
+        with open(path, "r+b") as handle:
+            handle.truncate(_HEADER.size - 2)
+        with pytest.raises(StorageError):
+            WriteAheadLog(tmp_path, fsync="off")
+
+    def test_bad_magic_is_an_error(self, tmp_path):
+        (tmp_path / "wal-00000001.log").write_bytes(
+            _HEADER.pack(b"JUNK", 1, 1)
+        )
+        with pytest.raises(StorageError):
+            WriteAheadLog(tmp_path, fsync="off")
+
+    def test_future_wal_version_refused(self, tmp_path):
+        (tmp_path / "wal-00000001.log").write_bytes(
+            _HEADER.pack(SEGMENT_MAGIC, 999, 1)
+        )
+        with pytest.raises(StorageError, match="upgrade"):
+            WriteAheadLog(tmp_path, fsync="off")
+
+    def test_damage_in_non_final_segment_is_an_error(self, tmp_path):
+        with WriteAheadLog(tmp_path, fsync="off", segment_bytes=64) as wal:
+            for record in _sample_records(10):
+                wal.append(record)
+            names = wal.segments()
+        assert len(names) > 1
+        first = tmp_path / names[0]
+        data = bytearray(first.read_bytes())
+        data[-1] ^= 0xFF  # corrupt committed (non-tail) history
+        first.write_bytes(bytes(data))
+        with pytest.raises(StorageError, match="non-final"):
+            WriteAheadLog(tmp_path, fsync="off")
+
+
+class TestSegments:
+    def test_rolling_preserves_order_and_lsns(self, tmp_path):
+        records = _sample_records(30)
+        with WriteAheadLog(tmp_path, fsync="off", segment_bytes=128) as wal:
+            lsns = [wal.append(record) for record in records]
+            assert lsns == list(range(1, 31))
+            assert len(wal.segments()) > 2
+            wal.commit()  # replay reads the files, not the write buffer
+            replayed = list(wal.replay())
+        assert [lsn for lsn, _ in replayed] == lsns
+        assert [record for _, record in replayed] == records
+
+    def test_replay_after_lsn(self, tmp_path):
+        records = _sample_records(8)
+        with WriteAheadLog(tmp_path, fsync="off", segment_bytes=96) as wal:
+            for record in records:
+                wal.append(record)
+            wal.commit()
+            suffix = [record for _, record in wal.replay(after_lsn=5)]
+        assert suffix == records[5:]
+
+    def test_drop_covered_segments(self, tmp_path):
+        with WriteAheadLog(tmp_path, fsync="off", segment_bytes=96) as wal:
+            for record in _sample_records(20):
+                wal.append(record)
+            wal.commit()
+            segments_before = wal.segments()
+            # nothing covered: nothing dropped
+            assert wal.drop_covered_segments(0) == []
+            dropped = wal.drop_covered_segments(20)
+            # the active segment always stays, everything covered goes
+            assert wal.segments() == segments_before[len(dropped) :]
+            assert len(wal.segments()) >= 1
+            survivors = [lsn for lsn, _ in wal.replay()]
+            base = survivors[0] if survivors else 21
+            assert all(lsn >= base for lsn in survivors)
+
+    def test_inspect_log_counts_types(self, tmp_path):
+        with WriteAheadLog(tmp_path, fsync="off") as wal:
+            wal.append(UpdateRecord((0, 1), 2))
+            wal.append(RetireRecord(1))
+            wal.append(RetireRecord(2))
+        info = inspect_log(tmp_path)
+        assert info["records"] == 3
+        assert info["record_counts"] == {"update": 1, "retire": 2}
+        assert info["torn_tail"] is False
+
+
+class TestFsyncPolicy:
+    def test_unknown_policy_rejected(self, tmp_path):
+        with pytest.raises(DomainError):
+            WriteAheadLog(tmp_path, fsync="sometimes")
+
+    @pytest.mark.parametrize("policy", ["always", "batch", "off"])
+    def test_policies_accept_appends(self, tmp_path, policy):
+        with WriteAheadLog(tmp_path / policy, fsync=policy) as wal:
+            for record in _sample_records(5):
+                wal.append(record)
+        with WriteAheadLog(tmp_path / policy, fsync="off") as wal:
+            assert len(list(wal.replay())) == 5
+
+    def test_group_commit_resets_counter(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="batch", group_commit=4)
+        try:
+            for i in range(3):
+                wal.append(RetireRecord(i))
+            assert wal.appends_since_sync == 3
+            wal.append(RetireRecord(3))  # fourth append triggers the sync
+            assert wal.appends_since_sync == 0
+            wal.append(RetireRecord(4))
+            wal.commit()
+            assert wal.appends_since_sync == 0
+        finally:
+            wal.close()
+
+    def test_append_after_close_rejected(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="off")
+        wal.close()
+        with pytest.raises(StorageError):
+            wal.append(RetireRecord(0))
