@@ -29,6 +29,8 @@ BENCH_OOB_FILE = REPO_ROOT / "BENCH_oob.json"
 BENCH_BACKENDS_FILE = REPO_ROOT / "BENCH_backends.json"
 #: durability trail: logged-ingest overhead and recovery wall-clock
 BENCH_DURABILITY_FILE = REPO_ROOT / "BENCH_durability.json"
+#: concurrent-serving trail: snapshot readers vs the per-request baseline
+BENCH_CONCURRENT_FILE = REPO_ROOT / "BENCH_concurrent.json"
 
 
 def load_rows(path: Path | None = None) -> list[dict[str, Any]]:

@@ -32,6 +32,11 @@ from repro.core import (
     TimeInterval,
     get_operator,
 )
+from repro.concurrent import (
+    ParallelExecutor,
+    SnapshotCube,
+    SnapshotView,
+)
 from repro.core.directory import TimeDirectory
 from repro.core.extent import IntervalAggregator
 from repro.core.framework import AppendOnlyAggregator, BatchExecutor
@@ -106,6 +111,7 @@ __all__ = [
     "Operator",
     "OperatorError",
     "OutOfOrderBuffer",
+    "ParallelExecutor",
     "PersistentAggregateTree",
     "PreAggregatedArray",
     "PrefixSumTechnique",
@@ -113,6 +119,8 @@ __all__ = [
     "recommend_techniques",
     "RTree",
     "RecoveryError",
+    "SnapshotCube",
+    "SnapshotView",
     "SparseEvolvingDataCube",
     "ReproError",
     "StorageError",

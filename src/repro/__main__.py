@@ -116,6 +116,41 @@ def _cmd_checkpoint(directory: str) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Concurrent-serving stress driver over the snapshot front.
+
+    Races ``--readers`` snapshot readers against one scripted writer on
+    the chosen backend and validates every recorded answer against an
+    exact oracle for its pinned epoch; exits non-zero on any violation.
+    """
+    from repro.concurrent import run_stress
+
+    result = run_stress(
+        backend=args.backend,
+        buffered=args.buffered,
+        readers=args.readers,
+        writes=args.writes,
+        seed=args.seed,
+    )
+    print(
+        json.dumps(
+            {
+                "backend": result.backend,
+                "buffered": result.buffered,
+                "writes": result.writes,
+                "reads": result.reads,
+                "validated_answers": result.validated_answers,
+                "reads_per_second": round(result.reads_per_second, 1),
+                "elapsed_s": round(result.elapsed_s, 3),
+                "ok": result.ok,
+                "errors": result.errors,
+            },
+            indent=2,
+        )
+    )
+    return 0 if result.ok else 1
+
+
 def _cmd_log_info(directory: str) -> int:
     from pathlib import Path
 
@@ -147,6 +182,31 @@ def main(argv: list[str] | None = None) -> int:
     ):
         command = sub.add_parser(name, help=help_text)
         command.add_argument("directory", help="durable cube directory")
+    serve = sub.add_parser(
+        "serve",
+        help="stress concurrent snapshot readers against one writer",
+    )
+    serve.add_argument(
+        "--backend",
+        choices=("dense", "paged", "sparse"),
+        default="dense",
+        help="slice-storage backend (default: dense)",
+    )
+    serve.add_argument(
+        "--buffered",
+        action="store_true",
+        help="wrap the kernel in the G_d out-of-order buffer",
+    )
+    serve.add_argument(
+        "--readers", type=int, default=4, help="reader threads (default: 4)"
+    )
+    serve.add_argument(
+        "--writes",
+        type=int,
+        default=120,
+        help="scripted writer operations (default: 120)",
+    )
+    serve.add_argument("--seed", type=int, default=0, help="script seed")
     args = parser.parse_args(argv)
     if args.command == "demo":
         return _demo()
@@ -156,6 +216,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_recover(args.directory)
     if args.command == "log-info":
         return _cmd_log_info(args.directory)
+    if args.command == "serve":
+        return _cmd_serve(args)
     return _info()
 
 

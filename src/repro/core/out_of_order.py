@@ -169,6 +169,19 @@ class OutOfOrderBuffer:
             out[start : start + inside.shape[0]] = inside @ deltas
         return [int(v) for v in out]
 
+    def snapshot_columns(self) -> tuple[np.ndarray, np.ndarray]:
+        """Copies of the live (points, deltas) columns for epoch freezing.
+
+        Taken on the writer thread between operations; the copies are
+        immutable, so a pinned snapshot keeps answering with exactly the
+        buffered contribution that existed at publication even while the
+        live buffer grows or drains.
+        """
+        return (
+            self._points[: self._size].copy(),
+            self._deltas[: self._size].copy(),
+        )
+
     def entries(self) -> list[tuple[tuple[int, ...], int]]:
         """All buffered (point, delta) pairs in arrival order."""
         return [

@@ -50,6 +50,12 @@ class CheckpointManifest:
     config: dict = field(default_factory=dict)
     manifest_version: int = MANIFEST_VERSION
     archive_version: int = FORMAT_VERSION
+    #: epoch sequence the archive corresponds to when the cube was being
+    #: served concurrently (``None`` otherwise): the checkpoint pins that
+    #: epoch while the archive is written, so the snapshot it persists is
+    #: exactly the state concurrent readers of that epoch were answering
+    #: from
+    covered_epoch: int | None = None
 
 
 def manifest_path(directory) -> Path:
@@ -83,6 +89,11 @@ def read_manifest(directory) -> CheckpointManifest | None:
         config=dict(raw.get("config", {})),
         manifest_version=version,
         archive_version=int(raw.get("archive_version", FORMAT_VERSION)),
+        covered_epoch=(
+            int(raw["covered_epoch"])
+            if raw.get("covered_epoch") is not None
+            else None
+        ),
     )
 
 
@@ -122,6 +133,7 @@ def write_checkpoint(
     checkpoint_id: int,
     config: dict,
     wal=None,
+    covered_epoch: int | None = None,
 ) -> CheckpointManifest:
     """Snapshot ``front``, publish the manifest, and compact the log.
 
@@ -145,6 +157,7 @@ def write_checkpoint(
         checkpoint_file=name,
         live_segments=wal.segments() if wal is not None else [],
         config=dict(config),
+        covered_epoch=covered_epoch,
     )
     publish_manifest(directory, manifest)
     # Only after the new manifest is durable may covered history go away.

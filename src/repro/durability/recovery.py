@@ -295,21 +295,48 @@ class DurableCube:
 
         The checkpoint-marker record pins the log position the snapshot
         corresponds to; the segment is rolled so everything up to the
-        marker becomes droppable.  Returns the published manifest.
+        marker becomes droppable.  When the cube is being served
+        concurrently (a :class:`~repro.concurrent.snapshot.SnapshotCube`
+        is attached), the current epoch is pinned for the duration of
+        the archive write and its sequence is recorded in the manifest
+        as ``covered_epoch`` -- the archive then persists exactly the
+        state readers of that epoch were answering from, and the pin
+        keeps that epoch's slices from being rewritten underneath the
+        serializer.  Returns the published manifest.
         """
         checkpoint_id = self._manifest.checkpoint_id + 1
         covered_lsn = self.wal.append(CheckpointMarkerRecord(checkpoint_id))
         self.wal.commit()
         self.wal.roll_segment()
-        self._manifest = write_checkpoint(
-            self.directory,
-            self.front,
-            covered_lsn=covered_lsn,
-            checkpoint_id=checkpoint_id,
-            config=self._config,
-            wal=self.wal,
-        )
+        sink = getattr(self.cube, "_epoch_sink", None)
+        pinned = sink.pin() if sink is not None else None
+        try:
+            self._manifest = write_checkpoint(
+                self.directory,
+                self.front,
+                covered_lsn=covered_lsn,
+                checkpoint_id=checkpoint_id,
+                config=self._config,
+                wal=self.wal,
+                covered_epoch=pinned.sequence if pinned is not None else None,
+            )
+        finally:
+            if pinned is not None:
+                pinned.release()
         return self._manifest
+
+    def serve(self):
+        """Attach a snapshot-isolation front for concurrent readers.
+
+        Returns a :class:`~repro.concurrent.snapshot.SnapshotCube` over
+        this durable cube: route writes through it (one writer thread,
+        each one logged *then* applied and published as an epoch) and
+        pin epochs for lock-free reads from any thread.  Checkpoints
+        taken while serving record the epoch they cover in the manifest.
+        """
+        from repro.concurrent.snapshot import SnapshotCube
+
+        return SnapshotCube(self)
 
     def flush(self) -> None:
         """Force the log durable now (mostly useful with ``fsync="batch"``)."""

@@ -268,14 +268,27 @@ class _ScanResult:
     base_lsn: int
 
 
-def _scan_segment(path: Path, decode: bool = True) -> _ScanResult:
+def _scan_segment(
+    path: Path, decode: bool = True, allow_partial_header: bool = False
+) -> _ScanResult | None:
     """Walk a segment, stopping at the first damaged record.
 
     ``decode=False`` validates frames and extracts LSNs without building
     record objects (used for log-info and compaction decisions).
+
+    ``allow_partial_header=True`` returns ``None`` instead of raising
+    when the file is shorter than a segment header: a crash between
+    :meth:`WriteAheadLog.roll_segment` creating the file and the header
+    write completing leaves exactly this -- a torn tail that holds no
+    durable records.  Only legal for the *final* segment when an intact
+    predecessor proves the file was freshly rolled; a sole short
+    segment is indistinguishable from lost committed history and stays
+    a hard error.
     """
     data = path.read_bytes()
     if len(data) < _HEADER.size:
+        if allow_partial_header:
+            return None
         raise StorageError(f"{path.name}: truncated segment header")
     magic, version, base_lsn = _HEADER.unpack_from(data, 0)
     if magic != SEGMENT_MAGIC:
@@ -383,16 +396,27 @@ class WriteAheadLog:
             self.next_lsn = 1
             self._start_segment()
             return
+        seq, tail_path = segments[-1]
+        scan = _scan_segment(
+            tail_path, decode=False, allow_partial_header=len(segments) > 1
+        )
+        if scan is None:
+            # a crash landed between segment creation and header
+            # completion (a record arriving exactly on the segment-size
+            # boundary rolls first): the file holds no durable records.
+            # Drop it and re-open with the predecessor as the tail.
+            tail_path.unlink()
+            self._fsync_directory()
+            self._open_tail()
+            return
         # non-final segments must be fully intact
         for _, path in segments[:-1]:
-            scan = _scan_segment(path, decode=False)
-            if scan.torn:
+            prior = _scan_segment(path, decode=False)
+            if prior.torn:
                 raise StorageError(
                     f"{path.name}: damaged record in a non-final WAL "
                     "segment; committed history cannot be replayed"
                 )
-        seq, tail_path = segments[-1]
-        scan = _scan_segment(tail_path, decode=False)
         if scan.torn:
             with open(tail_path, "r+b") as handle:
                 handle.truncate(scan.valid_bytes)
@@ -489,6 +513,13 @@ class WriteAheadLog:
         anywhere else raises :class:`~repro.core.errors.StorageError`.
         """
         segments = self._segment_paths()
+        if len(segments) > 1:
+            tail = _scan_segment(
+                segments[-1][1], decode=False, allow_partial_header=True
+            )
+            if tail is None:
+                # pre-header tail garbage (crash during roll): no records
+                segments = segments[:-1]
         for position, (_, path) in enumerate(segments):
             scan = _scan_segment(path)
             if scan.torn and position != len(segments) - 1:
@@ -557,8 +588,23 @@ def inspect_log(directory) -> dict:
         )
     else:
         found = []
-    for _, path in found:
-        scan = _scan_segment(path)
+    for position, (_, path) in enumerate(found):
+        scan = _scan_segment(
+            path,
+            allow_partial_header=position == len(found) - 1 and position > 0,
+        )
+        if scan is None:
+            segments.append(
+                {
+                    "file": path.name,
+                    "base_lsn": None,
+                    "records": 0,
+                    "bytes": path.stat().st_size,
+                    "torn_tail": True,
+                }
+            )
+            torn = True
+            continue
         for _, record in scan.records:
             record_counts[record.type] = record_counts.get(record.type, 0) + 1
         segments.append(

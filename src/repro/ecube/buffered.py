@@ -159,6 +159,9 @@ class BufferedEvolvingDataCube:
             self.cube.update(point, delta)
         else:
             self.buffer.add(point, int(delta))
+            # a buffered late arrival changes answers without touching
+            # the kernel: publish it as a new epoch explicitly
+            self.cube.note_external_mutation()
             self._maybe_drain()
 
     def update_many(
@@ -186,8 +189,11 @@ class BufferedEvolvingDataCube:
         if points.shape[0] == 0:
             return
         if mode == "metered":
-            for point, delta in zip(points, deltas):
-                self.update(tuple(int(c) for c in point), int(delta))
+            # one logical write: snapshot readers must not observe the
+            # intermediate per-update states of the replay
+            with self.cube.publish_barrier():
+                for point, delta in zip(points, deltas):
+                    self.update(tuple(int(c) for c in point), int(delta))
             return
         if mode != "fast":
             raise DomainError(f"unknown execution mode {mode!r}")
@@ -198,12 +204,16 @@ class BufferedEvolvingDataCube:
             ([floor], np.maximum(np.maximum.accumulate(times[:-1]), floor))
         )
         in_order = times >= threshold
-        if bool(in_order.any()):
-            self.cube.update_many(points[in_order], deltas[in_order], mode="fast")
-        if not bool(in_order.all()):
-            self.buffer.add_many(points[~in_order], deltas[~in_order])
-        self.total_updates += int(points.shape[0])
-        self._maybe_drain()
+        with self.cube.publish_barrier():
+            if bool(in_order.any()):
+                self.cube.update_many(
+                    points[in_order], deltas[in_order], mode="fast"
+                )
+            if not bool(in_order.all()):
+                self.buffer.add_many(points[~in_order], deltas[~in_order])
+                self.cube.note_external_mutation()
+            self.total_updates += int(points.shape[0])
+            self._maybe_drain()
 
     def _maybe_drain(self) -> None:
         if (
@@ -300,17 +310,23 @@ class BufferedEvolvingDataCube:
         data-aging retired region are kept (they stay exact through query
         post-processing).  Returns ``(applied, kept)``.
         """
-        drained = self.buffer.drain(limit)
-        applied = 0
-        kept: list[tuple[tuple[int, ...], int]] = []
-        for point, delta in drained:
-            try:
-                self.cube.apply_out_of_order(point, delta)
-                applied += 1
-            except AgedOutError:
-                kept.append((point, delta))
-        if kept:
-            self.buffer.add_many(
-                [point for point, _ in kept], [delta for _, delta in kept]
-            )
+        # the buffer empties up front and refills with corrections as they
+        # land in the cube: none of the intermediate states answer
+        # correctly, so publication is deferred to the end of the drain
+        with self.cube.publish_barrier():
+            drained = self.buffer.drain(limit)
+            applied = 0
+            kept: list[tuple[tuple[int, ...], int]] = []
+            for point, delta in drained:
+                try:
+                    self.cube.apply_out_of_order(point, delta)
+                    applied += 1
+                except AgedOutError:
+                    kept.append((point, delta))
+            if kept:
+                self.buffer.add_many(
+                    [point for point, _ in kept], [delta for _, delta in kept]
+                )
+            if drained:
+                self.cube.note_external_mutation()
         return applied, len(kept)

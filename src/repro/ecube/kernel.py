@@ -93,6 +93,21 @@ class CubeKernel:
         # per-operation page-access total of the most recent entry point
         # (stays 0 for backends that charge cell accesses)
         self.last_op_page_accesses = 0
+        # -- epoch publication (snapshot-isolated concurrent reads) --------
+        # bumped once per answer-changing kernel operation; the serving
+        # front-end (repro.concurrent.SnapshotCube) uses it as the
+        # copy-on-publish watermark for the frozen cache arrays
+        self.epoch_version = 0
+        # bumped by wrapper components (the G_d buffer) whose mutations
+        # change answers without touching kernel state
+        self.external_version = 0
+        # the attached SnapshotCube (or None): receives publish() after
+        # every answer-changing operation and preserve_epochs() before
+        # every mutation that rewrites already-published history
+        self._epoch_sink = None
+        self._epoch_dirty = False
+        self._publish_barrier_depth = 0
+        self._publish_pending = False
         self.store = store
         store.bind(self)
 
@@ -116,7 +131,14 @@ class CubeKernel:
 
     @contextmanager
     def _op(self):
-        """Bracket one public entry point for per-operation cost scoping."""
+        """Bracket one public entry point for per-operation cost scoping.
+
+        The bracket is also the epoch-publication point: when the
+        outermost operation of an entry point mutated answer-affecting
+        state (:meth:`_note_mutation`), the epoch version advances once
+        and the attached snapshot front-end republishes -- nested entry
+        points (batch replays) publish exactly one epoch.
+        """
         opened = self.store.begin_op()
         try:
             yield
@@ -124,6 +146,67 @@ class CubeKernel:
             pages = self.store.end_op(opened)
             if pages is not None:
                 self.last_op_page_accesses = pages
+            if opened and self._epoch_dirty:
+                self._epoch_dirty = False
+                self.epoch_version += 1
+                self._notify_sink()
+
+    # -- epoch publication (snapshot-isolated concurrent reads) -------------------
+
+    def _note_mutation(self) -> None:
+        """Mark the current operation as answer-changing (epoch advance)."""
+        self._epoch_dirty = True
+
+    def _notify_sink(self) -> None:
+        sink = self._epoch_sink
+        if sink is None:
+            return
+        if self._publish_barrier_depth > 0:
+            self._publish_pending = True
+        else:
+            sink.publish()
+
+    def note_external_mutation(self) -> None:
+        """A wrapper component (e.g. the ``G_d`` buffer) changed answers.
+
+        Advances the external epoch version and republishes, so snapshot
+        readers see buffer-only writes (a historic update landing in
+        ``G_d`` without any kernel operation) as a new epoch too.
+        """
+        self.external_version += 1
+        self._notify_sink()
+
+    @contextmanager
+    def publish_barrier(self):
+        """Defer epoch publication until a multi-step operation completes.
+
+        A logical write that mutates in several kernel steps (a buffered
+        ``update_many`` split, a drain loop) must not expose its
+        intermediate states: inside the barrier, version bumps still
+        happen but the sink is notified only once, at barrier exit.
+        """
+        self._publish_barrier_depth += 1
+        try:
+            yield
+        finally:
+            self._publish_barrier_depth -= 1
+            if self._publish_barrier_depth == 0 and self._publish_pending:
+                self._publish_pending = False
+                sink = self._epoch_sink
+                if sink is not None:
+                    sink.publish()
+
+    def _prepare_historic_mutation(self) -> None:
+        """Preserve published epochs before rewriting historic content.
+
+        Out-of-order corrections, splices and retirement are the only
+        operations that change what already-published instances answer;
+        the snapshot front-end materializes every live epoch into
+        self-contained overlays *before* the first such rewrite.
+        """
+        sink = self._epoch_sink
+        if sink is not None:
+            sink.preserve_epochs()
 
     # -- introspection ---------------------------------------------------------
 
@@ -181,6 +264,9 @@ class CubeKernel:
         boundary = self.directory.floor_index(int(time) - 1)
         if boundary <= self._retired_below:
             return 0
+        # aging frees storage that published epochs may still be routing
+        # reads through: preserve them before the first payload is freed
+        self._prepare_historic_mutation()
         retired = 0
         for index in range(self._retired_below, boundary):
             _, payload = self.directory.at_index(index)
@@ -188,6 +274,8 @@ class CubeKernel:
                 payload.retire()
                 retired += 1
         self._retired_below = boundary
+        self.epoch_version += 1
+        self._notify_sink()
         return retired
 
     # -- updates (Figure 8) -------------------------------------------------------
@@ -207,6 +295,7 @@ class CubeKernel:
         self._check_time(time)
         delta = int(delta)
         with self._op():
+            self._note_mutation()
             cost_at_start = self.counter.snapshot()
 
             # Step 1: reserve a new time slice when time advances.
@@ -303,6 +392,10 @@ class CubeKernel:
                 f"time {time} is not historic; use update() for appends"
             )
         with self._op():
+            # corrections rewrite already-published instances: preserve
+            # every live epoch before the first slice cell changes
+            self._prepare_historic_mutation()
+            self._note_mutation()
             start_index = self.directory.floor_index(time)
             found_time, _ = (
                 self.directory.at_index(start_index)
@@ -713,6 +806,7 @@ class CubeKernel:
                 "AppendOnlyAggregator with an out-of-order buffer instead"
             )
         with self._op():
+            self._note_mutation()
             self.counter.record_fast_op(points.shape[0])
             fast = self.fast
             boundaries = np.nonzero(np.diff(times))[0] + 1
@@ -781,6 +875,8 @@ class CubeKernel:
         self._retired_below = int(np.asarray(arrays["retired_below"])[0])
         self.updates_applied = int(np.asarray(arrays["updates_applied"])[0])
         self.store.restore_cache(arrays, len(times))
+        self.epoch_version += 1
+        self._notify_sink()
 
     def replay_out_of_order(self, point: Sequence[int], delta: int) -> bool:
         """:meth:`apply_out_of_order` for log replay; guards data aging.

@@ -59,7 +59,7 @@ class DenseSlice:
     ``NoneType`` failure.
     """
 
-    __slots__ = ("values", "ps_flags", "ps_count", "fast_hits")
+    __slots__ = ("values", "ps_flags", "ps_count", "fast_hits", "mut_version")
 
     values: np.ndarray | None
     ps_flags: np.ndarray | None
@@ -73,6 +73,9 @@ class DenseSlice:
         self.ps_count = 0
         # fast-mode queries that touched this slice while still mixed
         self.fast_hits = 0
+        # seqlock generation for lock-free snapshot readers: odd while a
+        # value/flag pair is being rewritten (conversions, corrections)
+        self.mut_version = 0
 
     def retire(self) -> None:
         """Release the detail storage (moved to mass storage, Section 7)."""
@@ -102,7 +105,8 @@ class PagedSlice:
     memory here does not change page counts.
     """
 
-    __slots__ = ("store", "ps_flags", "ps_count", "fast_hits", "retired")
+    __slots__ = ("store", "ps_flags", "ps_count", "fast_hits", "retired",
+                 "mut_version")
 
     def __init__(
         self, shape: tuple[int, ...], page_size: int, cell_size: int,
@@ -113,6 +117,7 @@ class PagedSlice:
         self.ps_count = 0
         self.fast_hits = 0
         self.retired = False
+        self.mut_version = 0
 
     def retire(self) -> None:
         self.store = None
@@ -123,13 +128,14 @@ class PagedSlice:
 class SparseSlice:
     """One slice: touched cells only.  value map + PS flag set."""
 
-    __slots__ = ("values", "ps_cells", "fast_hits", "retired")
+    __slots__ = ("values", "ps_cells", "fast_hits", "retired", "mut_version")
 
     def __init__(self) -> None:
         self.values: dict[tuple[int, ...], int] = {}
         self.ps_cells: set[tuple[int, ...]] = set()
         self.fast_hits = 0
         self.retired = False
+        self.mut_version = 0
 
     @property
     def ps_count(self) -> int:
@@ -201,6 +207,10 @@ class SliceStore(Protocol):
     def snapshot_cache(self, arrays: dict) -> None: ...
 
     def restore_cache(self, arrays, num_slices: int) -> None: ...
+
+    def freeze_cache(self) -> tuple[np.ndarray, np.ndarray] | None: ...
+
+    def freeze_slice(self, payload) -> tuple[np.ndarray, np.ndarray]: ...
 
 
 # -- shared scaffolding --------------------------------------------------------
@@ -317,6 +327,17 @@ class ArrayCacheStore(BaseSliceStore):
         """(cache values, cache stamps) as shaped arrays."""
         return self.cache.values, self.cache.stamps
 
+    def freeze_cache(self) -> tuple[np.ndarray, np.ndarray] | None:
+        """Epoch-publication copies of (cache values, stamps); uncounted.
+
+        Runs on the writer thread between operations; the copies become
+        the immutable read-through target of a published
+        :class:`~repro.concurrent.snapshot.Epoch`.
+        """
+        if self.cache is None:
+            return None
+        return self.cache.freeze()
+
     def is_ps(self, payload, cell) -> bool:
         return bool(payload.ps_flags[cell])
 
@@ -422,22 +443,35 @@ class DenseStore(ArrayCacheStore):
         payload.values[cell] = value
 
     def mark_ps(self, payload, cell, ps_value: int) -> None:
-        # Historic content is final: persist the conversion.
-        payload.values[cell] = ps_value
-        if not payload.ps_flags[cell]:
-            payload.ps_count += 1
-        payload.ps_flags[cell] = True
+        # Historic content is final: persist the conversion.  The seqlock
+        # bump keeps the value/flag pair consistent for snapshot readers.
+        payload.mut_version += 1
+        try:
+            payload.values[cell] = ps_value
+            if not payload.ps_flags[cell]:
+                payload.ps_count += 1
+            payload.ps_flags[cell] = True
+        finally:
+            payload.mut_version += 1
 
     def oob_slice_add(self, payload, cell, delta: int) -> None:
         self.counter.write_cells()
-        payload.values[cell] = int(payload.values[cell]) + delta
+        payload.mut_version += 1
+        try:
+            payload.values[cell] = int(payload.values[cell]) + delta
+        finally:
+            payload.mut_version += 1
 
     def dominating_ps_add(self, payload, cell, dominating, delta: int) -> None:
         mask = payload.ps_flags & dominating
         touched = int(mask.sum())
         if touched:
             self.counter.write_cells(touched)
-            payload.values[mask] += delta
+            payload.mut_version += 1
+            try:
+                payload.values[mask] += delta
+            finally:
+                payload.mut_version += 1
 
     def clone_payload(self, floor_payload) -> DenseSlice:
         payload = self.new_slice()
@@ -506,11 +540,25 @@ class DenseStore(ArrayCacheStore):
     def slice_views(self, payload) -> tuple[np.ndarray, np.ndarray]:
         return payload.data()
 
+    def freeze_slice(self, payload) -> tuple[np.ndarray, np.ndarray]:
+        """Uncounted (values, flags) copies for lock-free snapshot readers.
+
+        Readers bracket this call with :attr:`DenseSlice.mut_version`
+        checks (seqlock) so the pair is mutually consistent even while
+        the writer converts or corrects cells.
+        """
+        values, flags = payload.data()
+        return values.copy(), flags.copy()
+
     def finalize_commit(self, payload, ps: np.ndarray) -> None:
         values, flags = payload.data()
-        values[...] = ps
-        flags[...] = True
-        payload.ps_count = self.kernel._num_slice_cells
+        payload.mut_version += 1
+        try:
+            values[...] = ps
+            flags[...] = True
+            payload.ps_count = self.kernel._num_slice_cells
+        finally:
+            payload.mut_version += 1
 
     def _bulk_copy(self, payload, writable: np.ndarray, values: np.ndarray) -> None:
         payload.values.reshape(-1)[writable] = values
@@ -582,15 +630,23 @@ class PagedStore(ArrayCacheStore):
         payload.store.write(cell, value, self.tracker)
 
     def mark_ps(self, payload, cell, ps_value: int) -> None:
-        payload.store.write(cell, ps_value, self.tracker)
-        if not payload.ps_flags[cell]:
-            payload.ps_count += 1
-        payload.ps_flags[cell] = True
+        payload.mut_version += 1
+        try:
+            payload.store.write(cell, ps_value, self.tracker)
+            if not payload.ps_flags[cell]:
+                payload.ps_count += 1
+            payload.ps_flags[cell] = True
+        finally:
+            payload.mut_version += 1
 
     def oob_slice_add(self, payload, cell, delta: int) -> None:
         store = payload.store
         self.tracker.record_write(store.store_id, store.page_of(cell))
-        store.cells[tuple(cell)] += delta
+        payload.mut_version += 1
+        try:
+            store.cells[tuple(cell)] += delta
+        finally:
+            payload.mut_version += 1
 
     def dominating_ps_add(self, payload, cell, dominating, delta: int) -> None:
         mask = payload.ps_flags & dominating
@@ -598,7 +654,11 @@ class PagedStore(ArrayCacheStore):
         if flat.size == 0:
             return
         store = payload.store
-        store.cells.reshape(-1)[flat] += delta
+        payload.mut_version += 1
+        try:
+            store.cells.reshape(-1)[flat] += delta
+        finally:
+            payload.mut_version += 1
         for page in np.unique(flat // store.cells_per_page):
             self.tracker.record_write(store.store_id, int(page))
 
@@ -718,11 +778,32 @@ class PagedStore(ArrayCacheStore):
             tracker.record_read(store.store_id, page)
         return store.cells, payload.ps_flags
 
+    def freeze_slice(self, payload) -> tuple[np.ndarray, np.ndarray]:
+        """Uncounted (cells, flags) copies for lock-free snapshot readers.
+
+        Snapshot reads bypass the page tracker deliberately: they model
+        replica serving from memory, not the paper's I/O cost trace, and
+        must not perturb the metered golden counts.
+        """
+        store = payload.store
+        if store is None:
+            from repro.core.errors import AgedOutError
+
+            raise AgedOutError(
+                "slice detail was retired by data aging; its storage is "
+                "no longer accessible"
+            )
+        return store.cells.copy(), payload.ps_flags.copy()
+
     def finalize_commit(self, payload, ps: np.ndarray) -> None:
         store = payload.store
-        store.cells[...] = ps
-        payload.ps_flags[...] = True
-        payload.ps_count = self.kernel._num_slice_cells
+        payload.mut_version += 1
+        try:
+            store.cells[...] = ps
+            payload.ps_flags[...] = True
+            payload.ps_count = self.kernel._num_slice_cells
+        finally:
+            payload.mut_version += 1
         tracker = self.tracker
         for page in range(store.num_pages):
             tracker.record_write(store.store_id, page)
@@ -828,12 +909,20 @@ class SparseStore(BaseSliceStore):
         payload.values[cell] = value
 
     def mark_ps(self, payload, cell, ps_value: int) -> None:
-        payload.values[cell] = ps_value
-        payload.ps_cells.add(cell)
+        payload.mut_version += 1
+        try:
+            payload.values[cell] = ps_value
+            payload.ps_cells.add(cell)
+        finally:
+            payload.mut_version += 1
 
     def oob_slice_add(self, payload, cell, delta: int) -> None:
         self.counter.write_cells()
-        payload.values[cell] = payload.values.get(cell, 0) + delta
+        payload.mut_version += 1
+        try:
+            payload.values[cell] = payload.values.get(cell, 0) + delta
+        finally:
+            payload.mut_version += 1
 
     def dominating_ps_add(self, payload, cell, dominating, delta: int) -> None:
         touched = [
@@ -843,8 +932,12 @@ class SparseStore(BaseSliceStore):
         ]
         if touched:
             self.counter.write_cells(len(touched))
-            for ps_cell in touched:
-                payload.values[ps_cell] += delta
+            payload.mut_version += 1
+            try:
+                for ps_cell in touched:
+                    payload.values[ps_cell] += delta
+            finally:
+                payload.mut_version += 1
 
     def clone_payload(self, floor_payload) -> SparseSlice:
         payload = SparseSlice()
@@ -979,14 +1072,53 @@ class SparseStore(BaseSliceStore):
             flags[cell] = True
         return values, flags
 
+    def freeze_cache(self) -> tuple[np.ndarray, np.ndarray] | None:
+        """Epoch-publication densified (values, stamps) copies; uncounted.
+
+        An untouched cell freezes as value 0 with a *current* stamp, so
+        snapshot routing sends it to the live slice dict (where it is
+        implicitly zero too) -- consistent with the live read path.
+        """
+        if not self.kernel.directory:
+            return None
+        values, stamps = self.cache_views()
+        return values.copy(), stamps.copy()
+
+    def freeze_slice(self, payload) -> tuple[np.ndarray, np.ndarray]:
+        """Uncounted densified (values, flags) copies for snapshot readers.
+
+        Iterating the live dicts can raise ``RuntimeError`` if the writer
+        resizes them mid-walk; readers bracket the call with
+        :attr:`SparseSlice.mut_version` checks and retry.
+        """
+        if payload.retired:
+            from repro.core.errors import AgedOutError
+
+            raise AgedOutError(
+                "slice detail was retired by data aging; its storage is "
+                "no longer accessible"
+            )
+        shape = self.kernel.slice_shape
+        values = np.zeros(shape, dtype=np.int64)
+        flags = np.zeros(shape, dtype=bool)
+        for cell, value in payload.values.items():
+            values[cell] = value
+        for cell in payload.ps_cells:
+            flags[cell] = True
+        return values, flags
+
     def finalize_commit(self, payload, ps: np.ndarray) -> None:
         # bulk conversion densifies the slice: every cell now holds a
         # (usually non-zero) PS value; materialized_cells records it
         cells = [tuple(int(c) for c in idx) for idx in np.ndindex(*ps.shape)]
-        payload.values = {
-            cell: int(value) for cell, value in zip(cells, ps.reshape(-1))
-        }
-        payload.ps_cells = set(cells)
+        payload.mut_version += 1
+        try:
+            payload.values = {
+                cell: int(value) for cell, value in zip(cells, ps.reshape(-1))
+            }
+            payload.ps_cells = set(cells)
+        finally:
+            payload.mut_version += 1
 
     # -- fast-mode batch update -----------------------------------------------
 

@@ -2,11 +2,35 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings
 
 from repro.core.types import Box
 from repro.metrics import CostCounter
+
+# Hypothesis profiles: the stateful suites (test_stateful*.py) build
+# their settings on top of whichever profile is loaded here (conftest
+# imports before any test module), so these defaults reach them too.
+#
+# * "ci" derandomizes: every CI run executes the same example sequence,
+#   so a red build is reproducible locally by loading the same profile.
+# * "dev" keeps random exploration but prints the failing example blob
+#   (`@reproduce_failure(...)`) so any failure can be replayed exactly.
+#
+# Select explicitly with HYPOTHESIS_PROFILE=ci|dev; otherwise the CI
+# environment variable picks "ci".
+settings.register_profile(
+    "ci", derandomize=True, print_blob=True, deadline=None
+)
+settings.register_profile("dev", print_blob=True, deadline=None)
+settings.load_profile(
+    os.environ.get(
+        "HYPOTHESIS_PROFILE", "ci" if os.environ.get("CI") else "dev"
+    )
+)
 
 
 @pytest.fixture

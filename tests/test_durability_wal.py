@@ -283,3 +283,101 @@ class TestFsyncPolicy:
         wal.close()
         with pytest.raises(StorageError):
             wal.append(RetireRecord(0))
+
+
+class TestSegmentBoundaryTear:
+    """A torn final record landing exactly on a segment boundary.
+
+    ``append`` rolls to a fresh segment *before* writing a record that
+    would overflow the active one, so a crash at that moment leaves the
+    new segment file with a partial (or empty) header.  That file holds
+    no durable records: opening for append must truncate it away and
+    resume on the predecessor instead of raising ``StorageError``.
+    """
+
+    def _rolled_log(self, directory, count=30):
+        with WriteAheadLog(directory, fsync="off", segment_bytes=200) as wal:
+            for record in _sample_records(count):
+                wal.append(record)
+            names = wal.segments()
+            next_lsn = wal.next_lsn
+        assert len(names) > 1
+        return names, next_lsn
+
+    @pytest.mark.parametrize("header_bytes", [0, 1, 6, _HEADER.size - 1])
+    def test_partial_header_tail_is_truncated(self, tmp_path, header_bytes):
+        _, next_lsn = self._rolled_log(tmp_path)
+        seq = max(
+            int(p.name[4:12]) for p in tmp_path.glob("wal-*.log")
+        )
+        partial = tmp_path / f"wal-{seq + 1:08d}.log"
+        partial.write_bytes(
+            _HEADER.pack(SEGMENT_MAGIC, 1, next_lsn)[:header_bytes]
+        )
+        with WriteAheadLog(tmp_path, fsync="off", segment_bytes=200) as wal:
+            assert not partial.exists()
+            assert wal.next_lsn == next_lsn
+            replayed = list(wal.replay())
+            assert len(replayed) == next_lsn - 1
+            # and the log accepts appends again
+            assert wal.append(RetireRecord(7)) == next_lsn
+
+    def test_partial_header_after_torn_predecessor(self, tmp_path):
+        """fsync=off can tear the predecessor too; both repairs compose."""
+        _, next_lsn = self._rolled_log(tmp_path)
+        paths = sorted(tmp_path.glob("wal-*.log"))
+        # tear the (current) final segment's last record mid-frame...
+        tail = paths[-1]
+        tail.write_bytes(tail.read_bytes()[:-3])
+        # ...and add a header-less just-rolled segment after it
+        seq = int(tail.name[4:12])
+        (tmp_path / f"wal-{seq + 1:08d}.log").write_bytes(b"EC")
+        with WriteAheadLog(tmp_path, fsync="off", segment_bytes=200) as wal:
+            survivors = list(wal.replay())
+            assert survivors  # intact prefix, no error
+            assert wal.next_lsn == survivors[-1][0] + 1
+
+    def test_sole_short_segment_stays_an_error(self, tmp_path):
+        """Without an intact predecessor a short file could be lost
+        committed history; recovery must not guess."""
+        (tmp_path / "wal-00000001.log").write_bytes(b"ECWL")
+        with pytest.raises(StorageError, match="truncated segment header"):
+            WriteAheadLog(tmp_path, fsync="off")
+
+    def test_inspect_log_reports_partial_tail_instead_of_raising(
+        self, tmp_path
+    ):
+        self._rolled_log(tmp_path)
+        seq = max(int(p.name[4:12]) for p in tmp_path.glob("wal-*.log"))
+        (tmp_path / f"wal-{seq + 1:08d}.log").write_bytes(b"ECWL\x01")
+        info = inspect_log(tmp_path)
+        assert info["torn_tail"] is True
+        tail_entry = info["segments"][-1]
+        assert tail_entry["records"] == 0
+        assert tail_entry["base_lsn"] is None
+        assert tail_entry["torn_tail"] is True
+
+    def test_durable_cube_recovers_over_boundary_tear(self, tmp_path):
+        from repro.durability.recovery import WAL_SUBDIR, DurableCube
+
+        directory = tmp_path / "cube"
+        with DurableCube(
+            (4, 4),
+            directory,
+            buffered=False,
+            fsync="off",
+            segment_bytes=256,
+            num_times=64,
+        ) as cube:
+            for t in range(40):
+                cube.update((t, t % 4, (t * 3) % 4), 1 + t % 5)
+            expected_total = cube.total()
+        wal_dir = directory / WAL_SUBDIR
+        seq = max(int(p.name[4:12]) for p in wal_dir.glob("wal-*.log"))
+        assert seq > 1
+        (wal_dir / f"wal-{seq + 1:08d}.log").write_bytes(b"ECWL")
+        recovered = DurableCube.recover(directory)
+        try:
+            assert recovered.total() == expected_total
+        finally:
+            recovered.close()
