@@ -1,23 +1,39 @@
 """Machine-readable benchmark trail.
 
-Benchmarks append one row per measured configuration to
-``BENCH_engine.json`` at the repository root, so successive PRs
+Benchmarks record one row per measured configuration into a
+``BENCH_*.json`` file at the repository root, so successive PRs
 accumulate a perf trajectory instead of overwriting each other's
-numbers.  Each row is a flat object::
+numbers.  Since schema 2 the file is an object::
 
-    {"bench": "weather4_batch_query", "mode": "fast",
-     "wall_s": 0.0123, "cell_accesses": 45678, ...}
+    {"schema": 2,
+     "rows": [
+       {"bench": "weather4_batch_query", "mode": "fast",
+        "wall_s": 0.0123, "cell_accesses": 45678,
+        "commit": "ab12cd3", "timestamp": "2026-08-08T12:00:00Z",
+        "runs": [ ...previous results, oldest first... ]},
+       ...]}
 
-plus any extra keyword fields the caller supplies (speedups, batch
-sizes, dataset scales).  The file is a JSON array; a corrupt or missing
-file is replaced rather than crashing the benchmark run.
+Rows are unique per ``(bench, mode)``: re-recording a configuration
+replaces the current row and pushes the superseded result onto that
+row's ``runs`` history, so the trajectory is still fully preserved but
+"the latest number for mode X" is always ``rows``' single entry rather
+than whichever duplicate happened to be appended last.  Each result
+carries the commit and UTC timestamp it was measured at.
+
+Legacy flat-array files (schema 1) are migrated transparently on the
+first write; a corrupt or missing file is replaced rather than crashing
+the benchmark run.
 """
 
 from __future__ import annotations
 
 import json
+import subprocess
+from datetime import datetime, timezone
 from pathlib import Path
 from typing import Any
+
+SCHEMA_VERSION = 2
 
 #: repository root (benchmarks/ lives directly below it)
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -31,15 +47,61 @@ BENCH_BACKENDS_FILE = REPO_ROOT / "BENCH_backends.json"
 BENCH_DURABILITY_FILE = REPO_ROOT / "BENCH_durability.json"
 #: concurrent-serving trail: snapshot readers vs the per-request baseline
 BENCH_CONCURRENT_FILE = REPO_ROOT / "BENCH_concurrent.json"
+#: sharded-serving trail: process-parallel scatter/gather vs one process
+BENCH_SHARD_FILE = REPO_ROOT / "BENCH_shard.json"
+
+
+def _commit() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except OSError:
+        return "unknown"
+    return out.stdout.strip() or "unknown"
+
+
+def _timestamp() -> str:
+    return datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
+
+
+def _migrate(rows: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    """Fold a schema-1 flat append-trail into deduped schema-2 rows."""
+    merged: dict[tuple[str, str], dict[str, Any]] = {}
+    for row in rows:
+        key = (str(row.get("bench")), str(row.get("mode")))
+        current = dict(row)
+        history = current.pop("runs", [])
+        if key in merged:
+            previous = merged[key]
+            history = previous.pop("runs", []) + [previous] + history
+        current["runs"] = history
+        merged[key] = current
+    return list(merged.values())
+
+
+def load_document(path: Path | None = None) -> dict[str, Any]:
+    """Read a trail file, migrating legacy flat arrays to schema 2."""
+    target = BENCH_FILE if path is None else path
+    try:
+        data = json.loads(target.read_text())
+    except (OSError, json.JSONDecodeError):
+        return {"schema": SCHEMA_VERSION, "rows": []}
+    if isinstance(data, list):  # schema 1: flat append-only array
+        return {"schema": SCHEMA_VERSION, "rows": _migrate(data)}
+    if not isinstance(data, dict) or not isinstance(data.get("rows"), list):
+        return {"schema": SCHEMA_VERSION, "rows": []}
+    data["schema"] = SCHEMA_VERSION
+    return data
 
 
 def load_rows(path: Path | None = None) -> list[dict[str, Any]]:
-    target = BENCH_FILE if path is None else path
-    try:
-        rows = json.loads(target.read_text())
-    except (OSError, json.JSONDecodeError):
-        return []
-    return rows if isinstance(rows, list) else []
+    """The current (deduped) rows of a trail file."""
+    return load_document(path)["rows"]
 
 
 def record(
@@ -50,16 +112,35 @@ def record(
     path: Path | None = None,
     **extra: Any,
 ) -> dict[str, Any]:
-    """Append one result row; returns the row as written."""
+    """Record one result; returns the row as written.
+
+    Replaces any existing ``(bench, mode)`` row, pushing the superseded
+    result (without its own history) onto the new row's ``runs`` list.
+    """
     row: dict[str, Any] = {
         "bench": str(bench),
         "mode": str(mode),
         "wall_s": round(float(wall_s), 6),
         "cell_accesses": int(cell_accesses),
+        "commit": _commit(),
+        "timestamp": _timestamp(),
     }
     row.update(extra)
     target = BENCH_FILE if path is None else path
-    rows = load_rows(target)
-    rows.append(row)
-    target.write_text(json.dumps(rows, indent=2) + "\n")
+    document = load_document(target)
+    rows = document["rows"]
+    history: list[dict[str, Any]] = []
+    for index, existing in enumerate(rows):
+        if existing.get("bench") == row["bench"] and (
+            existing.get("mode") == row["mode"]
+        ):
+            previous = dict(existing)
+            history = previous.pop("runs", []) + [previous]
+            row["runs"] = history
+            rows[index] = row
+            break
+    else:
+        row["runs"] = history
+        rows.append(row)
+    target.write_text(json.dumps(document, indent=2) + "\n")
     return row

@@ -65,6 +65,10 @@ def test_batch_query_speedup(query_setup, bench_weather4):
     fast_cells = (fast_cube.counter.snapshot() - before).cell_accesses
 
     assert fast_answers == metered_answers
+    # the fast engine answers from frozen arrays, so its metered charge
+    # must stay at or below the metered engine's; an inflation here means
+    # fast queries are billing the counter for whole-slice freezes again
+    assert 0 < fast_cells <= metered_cells, (fast_cells, metered_cells)
     speedup = metered_wall / max(fast_wall, 1e-9)
     record(
         "weather4_batch_query", "metered", metered_wall, metered_cells,

@@ -117,18 +117,23 @@ def _cmd_checkpoint(directory: str) -> int:
 
 
 def _cmd_serve(args) -> int:
-    """Concurrent-serving stress driver over the snapshot front.
+    """Serve a sharded cube over TCP, or run the legacy stress driver.
 
-    Races ``--readers`` snapshot readers against one scripted writer on
-    the chosen backend and validates every recorded answer against an
-    exact oracle for its pinned epoch; exits non-zero on any violation.
+    The default mode partitions the cube across ``--shards`` worker
+    processes (plus ``--readers`` reader processes attaching their
+    shared-memory epochs) and answers length-prefixed JSON requests on
+    ``--host``/``--port`` until SIGTERM drains the listener.  With
+    ``--stress`` it instead races snapshot reader *threads* against one
+    scripted writer and validates every answer against an exact oracle.
     """
+    if not args.stress:
+        return _cmd_serve_sharded(args)
     from repro.concurrent import run_stress
 
     result = run_stress(
         backend=args.backend,
         buffered=args.buffered,
-        readers=args.readers,
+        readers=args.readers or 4,
         writes=args.writes,
         seed=args.seed,
     )
@@ -149,6 +154,48 @@ def _cmd_serve(args) -> int:
         )
     )
     return 0 if result.ok else 1
+
+
+def _cmd_serve_sharded(args) -> int:
+    import asyncio
+
+    from repro.sharding import ShardServer, ShardedCube
+
+    shape = tuple(int(n) for n in args.shape.split(","))
+    cube = ShardedCube(
+        shape,
+        shards=args.shards,
+        processes=not args.inline,
+        readers=args.readers if not args.inline else 0,
+        backend=args.backend,
+        num_times=args.num_times,
+        durable_dir=args.durable_dir,
+    )
+    server = ShardServer(cube, host=args.host, port=args.port)
+
+    async def run() -> None:
+        await server.start()
+        print(
+            json.dumps(
+                {
+                    "listening": f"{server.host}:{server.port}",
+                    "shards": cube.partitioner.num_shards,
+                    "readers": len(cube.router.readers),
+                    "processes": cube.processes,
+                    "slice_shape": list(cube.slice_shape),
+                }
+            ),
+            flush=True,
+        )
+        await server.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        cube.close()
+    return 0
 
 
 def _cmd_log_info(directory: str) -> int:
@@ -184,7 +231,7 @@ def main(argv: list[str] | None = None) -> int:
         command.add_argument("directory", help="durable cube directory")
     serve = sub.add_parser(
         "serve",
-        help="stress concurrent snapshot readers against one writer",
+        help="serve a sharded cube over TCP (or --stress the snapshot tier)",
     )
     serve.add_argument(
         "--backend",
@@ -195,18 +242,51 @@ def main(argv: list[str] | None = None) -> int:
     serve.add_argument(
         "--buffered",
         action="store_true",
-        help="wrap the kernel in the G_d out-of-order buffer",
+        help="[stress] wrap the kernel in the G_d out-of-order buffer",
     )
     serve.add_argument(
-        "--readers", type=int, default=4, help="reader threads (default: 4)"
+        "--readers",
+        type=int,
+        default=0,
+        help="reader processes (stress mode: reader threads, default 4)",
     )
     serve.add_argument(
         "--writes",
         type=int,
         default=120,
-        help="scripted writer operations (default: 120)",
+        help="[stress] scripted writer operations (default: 120)",
     )
-    serve.add_argument("--seed", type=int, default=0, help="script seed")
+    serve.add_argument("--seed", type=int, default=0, help="[stress] script seed")
+    serve.add_argument(
+        "--stress",
+        action="store_true",
+        help="run the legacy snapshot-tier stress driver instead of serving",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=2, help="shard worker processes (default: 2)"
+    )
+    serve.add_argument(
+        "--shape",
+        default="16,16",
+        help="comma-separated non-TT cell dimensions (default: 16,16)",
+    )
+    serve.add_argument(
+        "--num-times", type=int, default=None, help="TT capacity hint"
+    )
+    serve.add_argument(
+        "--inline",
+        action="store_true",
+        help="keep every shard in-process (no workers; for debugging)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=0, help="TCP port (default: ephemeral)"
+    )
+    serve.add_argument(
+        "--durable-dir",
+        default=None,
+        help="give every shard a WAL + checkpoint directory under this path",
+    )
     args = parser.parse_args(argv)
     if args.command == "demo":
         return _demo()

@@ -10,12 +10,20 @@ the design notes.
 from repro.concurrent.executor import ParallelExecutor
 from repro.concurrent.snapshot import Epoch, SnapshotCube, SnapshotView
 from repro.concurrent.stress import StressResult, run_stress
+from repro.concurrent.vectorized import (
+    PreparedEpoch,
+    epoch_query_many,
+    prepare_epoch,
+)
 
 __all__ = [
     "Epoch",
     "ParallelExecutor",
+    "PreparedEpoch",
     "SnapshotCube",
     "SnapshotView",
     "StressResult",
+    "epoch_query_many",
+    "prepare_epoch",
     "run_stress",
 ]

@@ -10,11 +10,17 @@ Each worker thread keeps its own :class:`~repro.ecube.fastpath.FastSliceEngine`
 and :class:`~repro.ecube.slices.ECubeSliceEngine`: the engines memoize
 term tables in plain dicts, which are cheap to reuse across batches but
 must not be shared between threads mid-gather.
+
+The threads share one GIL, so CPU-bound batches gain little past
+``threads=1`` -- the default.  Asking for more emits a
+:class:`RuntimeWarning` pointing at :mod:`repro.sharding`, the
+process-parallel serving tier that actually scales with cores.
 """
 
 from __future__ import annotations
 
 import threading
+import warnings
 from collections.abc import Sequence
 from concurrent.futures import ThreadPoolExecutor
 
@@ -32,9 +38,20 @@ class ParallelExecutor:
     def __init__(
         self,
         cube: SnapshotCube,
-        threads: int = 4,
+        threads: int | None = None,
         chunk_size: int | None = None,
     ) -> None:
+        if threads is None:
+            threads = 1
+        elif threads > 1:
+            warnings.warn(
+                "ParallelExecutor threads share one GIL: CPU-bound query "
+                "batches gain little past threads=1.  For real parallelism "
+                "use repro.sharding.ShardedCube (process workers over "
+                "shared-memory epochs).",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         if threads < 1:
             raise DomainError(f"need at least one serving thread, got {threads}")
         if chunk_size is not None and chunk_size < 1:

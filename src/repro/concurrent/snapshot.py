@@ -126,6 +126,33 @@ class Epoch:
             f"pins={self.pins}, detached={self.detached})"
         )
 
+    def to_shared_memory(self, exporter) -> dict:
+        """Publish this epoch through a sharding ``EpochExporter``.
+
+        Only the exporter's current epoch can be exported (the exporter
+        reuses slice freezes across epochs and must see them in
+        publication order); a picklable descriptor is returned.
+        """
+        from repro.core.errors import DomainError
+
+        if exporter.snap._current is not self:
+            raise DomainError(
+                "only the snapshot front's current epoch can be exported"
+            )
+        return exporter.export()
+
+    @classmethod
+    def from_shared_memory(cls, descriptor: dict, cache) -> "Epoch":
+        """Attach a detached epoch from an exported descriptor.
+
+        ``cache`` is a :class:`repro.sharding.shm.BlockCache`; the
+        resulting epoch's arrays are read-only zero-copy views into the
+        shared blocks.
+        """
+        from repro.sharding.shm import epoch_from_shared_memory
+
+        return epoch_from_shared_memory(descriptor, cache)
+
 
 class SnapshotView:
     """A reader's handle on one pinned epoch.

@@ -1,0 +1,227 @@
+"""Vectorized batch evaluation of a frozen :class:`Epoch`.
+
+:class:`~repro.concurrent.snapshot.SnapshotView` answers each box with a
+per-slice Python dispatch -- fine for interactive reads, but the serving
+tier wants to amortize work across a whole ``query_many`` batch.  This
+module prepares an epoch once (:func:`prepare_epoch`) and then answers
+arbitrarily many batches with flat NumPy work per touched slice:
+
+* every historic slice is normalized to a prefix-sum array -- fully
+  converted slices are used as-is (zero-copy, which is what makes
+  shared-memory epochs cheap to serve), mixed slices are materialized
+  through ``effective_ddc`` + ``ddc_to_ps``;
+* the epoch-latest instance reads from the frozen cache, whose DDC
+  content is bulk-converted to PS once per epoch;
+* a batch then costs two ``searchsorted`` calls plus ``2^(d-1)``
+  fancy-indexed gathers per touched slice
+  (:meth:`~repro.ecube.fastpath.FastSliceEngine.ps_range_batch`).
+
+Answers are bit-identical to :meth:`SnapshotView.query_many` on the same
+epoch: prefix sums of int64 counts are exact, so evaluating a range as a
+PS corner gather instead of a DDC term gather changes the access pattern,
+never the integer result.  The rare slice whose DDC state is
+unrecoverable (a converted cell whose lazy copy was skipped) falls back
+to the per-box ``SnapshotView`` routing.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.errors import AgedOutError, DomainError
+from repro.core.types import Box
+from repro.ecube.fastpath import FastSliceEngine
+from repro.ecube.slices import ECubeSliceEngine
+
+from repro.concurrent.snapshot import Epoch, SnapshotView
+
+#: Element budget for the chunked G_d mask-and-dot (mirrors
+#: :mod:`repro.concurrent.snapshot`).
+_GD_ELEMENT_BUDGET = 4_000_000
+
+
+class PreparedEpoch:
+    """One epoch normalized for vectorized batch serving.
+
+    ``ps`` holds one prefix-sum array per answerable slice index (the
+    epoch-latest instance included); indices in ``fallback`` could not be
+    normalized and answer through the per-box view instead.
+    """
+
+    __slots__ = ("epoch", "fast", "ps", "fallback", "view")
+
+    def __init__(
+        self,
+        epoch: Epoch,
+        fast: FastSliceEngine,
+        ps: dict[int, np.ndarray],
+        fallback: frozenset[int],
+        view: SnapshotView,
+    ) -> None:
+        self.epoch = epoch
+        self.fast = fast
+        self.ps = ps
+        self.fallback = fallback
+        self.view = view
+
+    @property
+    def sequence(self) -> int:
+        return self.epoch.sequence
+
+    def query(self, box: Box) -> int:
+        return int(self.query_many([box])[0])
+
+    def query_many(self, boxes: Sequence[Box]) -> np.ndarray:
+        """Batch range aggregates; int64 array in input order."""
+        return epoch_query_many(self, boxes)
+
+
+def prepare_epoch(
+    epoch: Epoch,
+    cube=None,
+    fast: FastSliceEngine | None = None,
+    metered: ECubeSliceEngine | None = None,
+) -> PreparedEpoch:
+    """Normalize ``epoch`` for vectorized serving.
+
+    ``cube`` (the owning :class:`SnapshotCube`) is only needed when the
+    epoch is not detached: live slices are then frozen through the
+    ordinary seqlock path.  Detached epochs -- in particular epochs
+    attached from shared memory -- prepare without touching any kernel.
+    """
+    if fast is None:
+        fast = FastSliceEngine(epoch.slice_shape)
+    view = SnapshotView(cube, epoch, fast, metered, owns_pin=False)
+    ps: dict[int, np.ndarray] = {}
+    fallback: set[int] = set()
+    for index in range(epoch.retired_below, max(epoch.num_slices - 1, 0)):
+        values, flags = view._slice_arrays(index)
+        if bool(flags.all()):
+            ps[index] = values
+            continue
+        effective = fast.effective_ddc(
+            values, flags, epoch.cache_stamps, epoch.cache_values, index
+        )
+        if effective is None:
+            fallback.add(index)
+        else:
+            ps[index] = fast.ddc_to_ps(effective)
+    if epoch.num_slices and epoch.cache_values is not None:
+        # the epoch-latest instance: the frozen cache is its DDC array
+        ps[epoch.num_slices - 1] = fast.ddc_to_ps(epoch.cache_values)
+    return PreparedEpoch(epoch, fast, ps, frozenset(fallback), view)
+
+
+def epoch_query_many(prepared: PreparedEpoch, boxes: Sequence[Box]) -> np.ndarray:
+    """Vectorized ``query_many`` against a prepared epoch.
+
+    Matches :meth:`SnapshotView.query_many` answer for answer, including
+    the :class:`AgedOutError` contract for prefixes falling inside the
+    data-aging retired region.
+    """
+    boxes = list(boxes)
+    epoch = prepared.epoch
+    ndim = 1 + len(epoch.slice_shape)
+    for box in boxes:
+        if box.ndim != ndim:
+            raise DomainError(f"box arity {box.ndim} != cube arity {ndim}")
+    if not boxes:
+        return np.zeros(0, dtype=np.int64)
+    results = np.zeros(len(boxes), dtype=np.int64)
+    if epoch.num_slices:
+        _slice_contributions(prepared, boxes, results)
+    if epoch.gd_points is not None and epoch.gd_points.shape[0]:
+        results += _gd_many(epoch, boxes)
+    return results
+
+
+def _slice_contributions(
+    prepared: PreparedEpoch, boxes: list[Box], results: np.ndarray
+) -> None:
+    epoch = prepared.epoch
+    shape = epoch.slice_shape
+    n = len(boxes)
+    lowers = np.asarray([box.lower for box in boxes], dtype=np.int64)
+    uppers = np.asarray([box.upper for box in boxes], dtype=np.int64)
+    upper_idx = np.searchsorted(epoch.times, uppers[:, 0], side="right") - 1
+    lower_idx = np.searchsorted(epoch.times, lowers[:, 0] - 1, side="right") - 1
+    # clamp the cell dimensions exactly like Box.clip_to on the slice
+    # shape; SnapshotView raises DomainError for a box whose cell range
+    # misses the domain entirely, and so do we
+    sizes = np.asarray(shape, dtype=np.int64)
+    cl = np.maximum(lowers[:, 1:], 0)
+    cu = np.minimum(uppers[:, 1:], sizes - 1)
+    if bool(np.any(cl > cu)):
+        bad = int(np.argmax(np.any(cl > cu, axis=1)))
+        raise DomainError(
+            f"box {boxes[bad]} is empty after clipping to {tuple(shape)}"
+        )
+    # one (box, slice, sign) job per prefix of the time difference
+    job_slices = np.concatenate([upper_idx, lower_idx])
+    job_boxes = np.concatenate([np.arange(n), np.arange(n)])
+    job_signs = np.concatenate(
+        [np.ones(n, dtype=np.int64), -np.ones(n, dtype=np.int64)]
+    )
+    live = job_slices >= 0
+    job_slices = job_slices[live]
+    if job_slices.size == 0:
+        return
+    job_boxes = job_boxes[live]
+    job_signs = job_signs[live]
+    if bool(np.any(job_slices < epoch.retired_below)):
+        offender = int(job_slices[np.argmax(job_slices < epoch.retired_below)])
+        time = int(epoch.times[offender])
+        raise AgedOutError(
+            f"the instance at time {time} was retired by data aging; "
+            "only queries at or after the retirement boundary (or open "
+            "prefixes from the beginning of time) remain answerable"
+        )
+    order = np.argsort(job_slices, kind="stable")
+    job_slices = job_slices[order]
+    job_boxes = job_boxes[order]
+    job_signs = job_signs[order]
+    distinct, starts = np.unique(job_slices, return_index=True)
+    bounds = np.append(starts, job_slices.size)
+    empty = np.zeros(n, dtype=bool)  # clip already rejected empties
+    for k, slice_index in enumerate(distinct):
+        slice_index = int(slice_index)
+        rows = slice(int(bounds[k]), int(bounds[k + 1]))
+        box_ids = job_boxes[rows]
+        signs = job_signs[rows]
+        ps = prepared.ps.get(slice_index)
+        if ps is not None:
+            values = prepared.fast.ps_range_batch(
+                ps, cl[box_ids], cu[box_ids], empty[box_ids]
+            )
+        else:
+            # unrecoverable mixed slice: per-box view routing
+            slice_boxes = [
+                Box(tuple(cl[i]), tuple(cu[i])) for i in box_ids
+            ]
+            values = np.asarray(
+                prepared.view._slice_batch(slice_index, slice_boxes),
+                dtype=np.int64,
+            )
+        # add.at, not fancy assignment: a box whose two prefixes land on
+        # the same slice contributes twice (with cancelling signs)
+        np.add.at(results, box_ids, signs * values)
+
+
+def _gd_many(epoch: Epoch, boxes: list[Box]) -> np.ndarray:
+    points = epoch.gd_points
+    deltas = epoch.gd_deltas
+    lowers = np.asarray([box.lower for box in boxes], dtype=np.int64)
+    uppers = np.asarray([box.upper for box in boxes], dtype=np.int64)
+    out = np.empty(len(boxes), dtype=np.int64)
+    ndim = points.shape[1]
+    chunk = max(1, _GD_ELEMENT_BUDGET // max(1, points.shape[0] * ndim))
+    for start in range(0, len(boxes), chunk):
+        low = lowers[start : start + chunk, None, :]
+        up = uppers[start : start + chunk, None, :]
+        inside = (
+            (points[None, :, :] >= low) & (points[None, :, :] <= up)
+        ).all(axis=2)
+        out[start : start + inside.shape[0]] = inside @ deltas
+    return out

@@ -19,6 +19,7 @@ from repro.core.errors import (
     OperatorError,
     RecoveryError,
     ReproError,
+    ShardUnavailableError,
     StorageError,
 )
 from repro.core.operators import (
@@ -50,6 +51,7 @@ __all__ = [
     "OperatorError",
     "RecoveryError",
     "ReproError",
+    "ShardUnavailableError",
     "StorageError",
     "AVERAGE",
     "COUNT",

@@ -54,3 +54,12 @@ class AgedOutError(ReproError):
     the retired region (other than the open prefix from the beginning of
     time) raise this error.
     """
+
+
+class ShardUnavailableError(ReproError):
+    """A shard worker or reader process died or stopped responding.
+
+    The router surfaces this instead of hanging on a dead pipe; the
+    sharded cube is left usable for the shards that survive, but answers
+    requiring the lost shard are refused.
+    """

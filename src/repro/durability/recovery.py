@@ -63,7 +63,14 @@ def _build_front(config: dict, counter: CostCounter | None):
     num_times = config.get("num_times")
     copy_budget = config.get("copy_budget")
     if config.get("buffered", True):
-        return BufferedEvolvingDataCube(
+        cube_cls = BufferedEvolvingDataCube
+        if config.get("global_order_buffer"):
+            # shard workers obey the router's *global* append-order
+            # classification (lazy import: sharding sits above durability)
+            from repro.sharding.buffered import ShardBufferedCube
+
+            cube_cls = ShardBufferedCube
+        return cube_cls(
             slice_shape,
             num_times=num_times,
             counter=counter,
@@ -103,6 +110,11 @@ def _build_front(config: dict, counter: CostCounter | None):
             copy_budget=copy_budget,
         )
     raise DomainError(f"unknown storage backend {backend!r}")
+
+
+#: Public alias -- shard workers build non-durable fronts from the same
+#: config dictionaries the durable manifest records.
+build_front = _build_front
 
 
 class DurableCube:
@@ -147,6 +159,7 @@ class DurableCube:
         fsync: str = "batch",
         segment_bytes: int = 4 << 20,
         group_commit: int = 256,
+        global_order_buffer: bool = False,
     ) -> None:
         self.directory = Path(directory)
         if read_manifest(self.directory) is not None:
@@ -167,6 +180,7 @@ class DurableCube:
             "fsync": fsync,
             "segment_bytes": int(segment_bytes),
             "group_commit": int(group_commit),
+            "global_order_buffer": bool(global_order_buffer),
         }
         self.front = _build_front(self._config, counter)
         self.buffered = bool(buffered)

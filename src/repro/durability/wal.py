@@ -171,7 +171,10 @@ WalRecord = (
     | CheckpointMarkerRecord
 )
 
-_MODE_CODES = {"fast": 0, "metered": 1}
+#: "buffer" is the sharded tier's escape hatch: the router classified
+#: these points as globally historic, so replay must re-buffer them
+#: rather than re-deriving orderedness from the shard-local timeline
+_MODE_CODES = {"fast": 0, "metered": 1, "buffer": 2}
 _MODE_NAMES = {code: name for name, code in _MODE_CODES.items()}
 
 

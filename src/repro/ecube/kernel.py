@@ -695,7 +695,12 @@ class CubeKernel:
                 values, flags, stamps, cache_values, slice_index
             )
             if effective is not None:
-                counter.read_cells(self._num_slice_cells)
+                # Only the per-box gathered term cells are charged, the
+                # same tally the one-box mixed_range path produces: the
+                # effective-DDC array is a transient evaluation artifact,
+                # not a cost-model access (charging the whole slice here
+                # billed num_slice_cells per batch and inflated fast-mode
+                # query cost ~80x over the metered reference).
                 for box in slice_boxes:
                     value, cells = fast.ddc_range(effective, box)
                     counter.read_cells(cells)

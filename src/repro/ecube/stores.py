@@ -208,9 +208,9 @@ class SliceStore(Protocol):
 
     def restore_cache(self, arrays, num_slices: int) -> None: ...
 
-    def freeze_cache(self) -> tuple[np.ndarray, np.ndarray] | None: ...
+    def freeze_cache(self, out=None) -> tuple[np.ndarray, np.ndarray] | None: ...
 
-    def freeze_slice(self, payload) -> tuple[np.ndarray, np.ndarray]: ...
+    def freeze_slice(self, payload, out=None) -> tuple[np.ndarray, np.ndarray]: ...
 
 
 # -- shared scaffolding --------------------------------------------------------
@@ -327,16 +327,23 @@ class ArrayCacheStore(BaseSliceStore):
         """(cache values, cache stamps) as shaped arrays."""
         return self.cache.values, self.cache.stamps
 
-    def freeze_cache(self) -> tuple[np.ndarray, np.ndarray] | None:
+    def freeze_cache(self, out=None) -> tuple[np.ndarray, np.ndarray] | None:
         """Epoch-publication copies of (cache values, stamps); uncounted.
 
         Runs on the writer thread between operations; the copies become
         the immutable read-through target of a published
-        :class:`~repro.concurrent.snapshot.Epoch`.
+        :class:`~repro.concurrent.snapshot.Epoch`.  ``out`` -- a
+        preallocated ``(values, stamps)`` pair, e.g. views into a
+        shared-memory block -- avoids the intermediate copy when the
+        freeze target is not process-local heap.
         """
         if self.cache is None:
             return None
-        return self.cache.freeze()
+        if out is None:
+            return self.cache.freeze()
+        np.copyto(out[0], self.cache.values)
+        np.copyto(out[1], self.cache.stamps)
+        return out
 
     def is_ps(self, payload, cell) -> bool:
         return bool(payload.ps_flags[cell])
@@ -439,8 +446,17 @@ class DenseStore(ArrayCacheStore):
         return int(payload.values[cell])
 
     def copy_write(self, payload, cell, value: int) -> None:
+        # Copy landings are answer-neutral for live epoch readers (their
+        # frozen stamps still route the cell through the cache), but they
+        # do change slice content: the version bump makes cross-process
+        # epoch exporters re-freeze the slice instead of reusing a block
+        # frozen before the landing.
         self.counter.write_cells()
-        payload.values[cell] = value
+        payload.mut_version += 1
+        try:
+            payload.values[cell] = value
+        finally:
+            payload.mut_version += 1
 
     def mark_ps(self, payload, cell, ps_value: int) -> None:
         # Historic content is final: persist the conversion.  The seqlock
@@ -527,7 +543,11 @@ class DenseStore(ArrayCacheStore):
                 if not payload.retired and not payload.ps_flags[cell]:
                     with self.counter.copying():
                         self.counter.write_cells()
-                        payload.values[cell] = value
+                        payload.mut_version += 1
+                        try:
+                            payload.values[cell] = value
+                        finally:
+                            payload.mut_version += 1
                     used += 1
                 cache.restamp(cell, stamp + 1)
                 scanned = 0
@@ -540,15 +560,20 @@ class DenseStore(ArrayCacheStore):
     def slice_views(self, payload) -> tuple[np.ndarray, np.ndarray]:
         return payload.data()
 
-    def freeze_slice(self, payload) -> tuple[np.ndarray, np.ndarray]:
+    def freeze_slice(self, payload, out=None) -> tuple[np.ndarray, np.ndarray]:
         """Uncounted (values, flags) copies for lock-free snapshot readers.
 
         Readers bracket this call with :attr:`DenseSlice.mut_version`
         checks (seqlock) so the pair is mutually consistent even while
-        the writer converts or corrects cells.
+        the writer converts or corrects cells.  Writer-thread callers may
+        pass ``out`` (e.g. shared-memory views) to freeze in place.
         """
         values, flags = payload.data()
-        return values.copy(), flags.copy()
+        if out is None:
+            return values.copy(), flags.copy()
+        np.copyto(out[0], values)
+        np.copyto(out[1], flags)
+        return out
 
     def finalize_commit(self, payload, ps: np.ndarray) -> None:
         values, flags = payload.data()
@@ -561,7 +586,11 @@ class DenseStore(ArrayCacheStore):
             payload.mut_version += 1
 
     def _bulk_copy(self, payload, writable: np.ndarray, values: np.ndarray) -> None:
-        payload.values.reshape(-1)[writable] = values
+        payload.mut_version += 1
+        try:
+            payload.values.reshape(-1)[writable] = values
+        finally:
+            payload.mut_version += 1
         self.counter.write_cells(int(writable.size))
 
 
@@ -627,7 +656,11 @@ class PagedStore(ArrayCacheStore):
 
     def copy_write(self, payload, cell, value: int) -> None:
         # page charge only: external-memory copies cost I/O, not cell work
-        payload.store.write(cell, value, self.tracker)
+        payload.mut_version += 1
+        try:
+            payload.store.write(cell, value, self.tracker)
+        finally:
+            payload.mut_version += 1
 
     def mark_ps(self, payload, cell, ps_value: int) -> None:
         payload.mut_version += 1
@@ -744,12 +777,16 @@ class PagedStore(ArrayCacheStore):
             writable = linear[~flags_flat[linear]]
             with self.counter.copying():
                 if writable.size:
-                    store.write_page(
-                        page,
-                        writable.tolist(),
-                        flat_values[writable].tolist(),
-                        self.tracker,
-                    )
+                    payload.mut_version += 1
+                    try:
+                        store.write_page(
+                            page,
+                            writable.tolist(),
+                            flat_values[writable].tolist(),
+                            self.tracker,
+                        )
+                    finally:
+                        payload.mut_version += 1
                     self.counter.write_cells(int(writable.size))
                 else:
                     # every pending cell on the page was already converted
@@ -778,7 +815,7 @@ class PagedStore(ArrayCacheStore):
             tracker.record_read(store.store_id, page)
         return store.cells, payload.ps_flags
 
-    def freeze_slice(self, payload) -> tuple[np.ndarray, np.ndarray]:
+    def freeze_slice(self, payload, out=None) -> tuple[np.ndarray, np.ndarray]:
         """Uncounted (cells, flags) copies for lock-free snapshot readers.
 
         Snapshot reads bypass the page tracker deliberately: they model
@@ -793,7 +830,11 @@ class PagedStore(ArrayCacheStore):
                 "slice detail was retired by data aging; its storage is "
                 "no longer accessible"
             )
-        return store.cells.copy(), payload.ps_flags.copy()
+        if out is None:
+            return store.cells.copy(), payload.ps_flags.copy()
+        np.copyto(out[0], store.cells)
+        np.copyto(out[1], payload.ps_flags)
+        return out
 
     def finalize_commit(self, payload, ps: np.ndarray) -> None:
         store = payload.store
@@ -810,7 +851,11 @@ class PagedStore(ArrayCacheStore):
 
     def _bulk_copy(self, payload, writable: np.ndarray, values: np.ndarray) -> None:
         store = payload.store
-        store.cells.reshape(-1)[writable] = values
+        payload.mut_version += 1
+        try:
+            store.cells.reshape(-1)[writable] = values
+        finally:
+            payload.mut_version += 1
         for page in np.unique(writable // store.cells_per_page):
             self.tracker.record_write(store.store_id, int(page))
 
@@ -906,7 +951,11 @@ class SparseStore(BaseSliceStore):
 
     def copy_write(self, payload, cell, value: int) -> None:
         self.counter.write_cells()
-        payload.values[cell] = value
+        payload.mut_version += 1
+        try:
+            payload.values[cell] = value
+        finally:
+            payload.mut_version += 1
 
     def mark_ps(self, payload, cell, ps_value: int) -> None:
         payload.mut_version += 1
@@ -1033,7 +1082,11 @@ class SparseStore(BaseSliceStore):
             if not payload.retired and cell not in payload.ps_cells:
                 with self.counter.copying():
                     self.counter.write_cells()
-                    payload.values[cell] = value
+                    payload.mut_version += 1
+                    try:
+                        payload.values[cell] = value
+                    finally:
+                        payload.mut_version += 1
                 used += 1
             self._cache[cell] = (value, stamp + 1)
         self._touch()
@@ -1072,7 +1125,7 @@ class SparseStore(BaseSliceStore):
             flags[cell] = True
         return values, flags
 
-    def freeze_cache(self) -> tuple[np.ndarray, np.ndarray] | None:
+    def freeze_cache(self, out=None) -> tuple[np.ndarray, np.ndarray] | None:
         """Epoch-publication densified (values, stamps) copies; uncounted.
 
         An untouched cell freezes as value 0 with a *current* stamp, so
@@ -1082,9 +1135,13 @@ class SparseStore(BaseSliceStore):
         if not self.kernel.directory:
             return None
         values, stamps = self.cache_views()
-        return values.copy(), stamps.copy()
+        if out is None:
+            return values.copy(), stamps.copy()
+        np.copyto(out[0], values)
+        np.copyto(out[1], stamps)
+        return out
 
-    def freeze_slice(self, payload) -> tuple[np.ndarray, np.ndarray]:
+    def freeze_slice(self, payload, out=None) -> tuple[np.ndarray, np.ndarray]:
         """Uncounted densified (values, flags) copies for snapshot readers.
 
         Iterating the live dicts can raise ``RuntimeError`` if the writer
@@ -1099,8 +1156,13 @@ class SparseStore(BaseSliceStore):
                 "no longer accessible"
             )
         shape = self.kernel.slice_shape
-        values = np.zeros(shape, dtype=np.int64)
-        flags = np.zeros(shape, dtype=bool)
+        if out is None:
+            values = np.zeros(shape, dtype=np.int64)
+            flags = np.zeros(shape, dtype=bool)
+        else:
+            values, flags = out
+            values[...] = 0
+            flags[...] = False
         for cell, value in payload.values.items():
             values[cell] = value
         for cell in payload.ps_cells:
@@ -1157,10 +1219,20 @@ class SparseStore(BaseSliceStore):
                     _, payload = kernel.directory.at_index(index)
                     if payload.retired:
                         continue
-                    for cell, value, stamp in stale:
-                        if stamp <= index and cell not in payload.ps_cells:
+                    landed = [
+                        (cell, value)
+                        for cell, value, stamp in stale
+                        if stamp <= index and cell not in payload.ps_cells
+                    ]
+                    if not landed:
+                        continue
+                    payload.mut_version += 1
+                    try:
+                        for cell, value in landed:
                             counter.write_cells()
                             payload.values[cell] = value
+                    finally:
+                        payload.mut_version += 1
             for cell, value, _ in stale:
                 self._cache[cell] = (value, last_index)
         sums = np.zeros(affected.size, dtype=np.int64)

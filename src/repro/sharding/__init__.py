@@ -1,0 +1,42 @@
+"""Sharded, process-parallel serving over shared-memory epochs.
+
+Breaks the GIL ceiling of the thread-based serving tier: the cube is
+partitioned along its non-TT dimensions (:mod:`repro.sharding.partition`),
+each shard runs in its own worker process, and every published epoch's
+frozen arrays live in ``multiprocessing.shared_memory`` blocks
+(:mod:`repro.sharding.shm`) that reader processes attach zero-copy.  The
+prefix-difference query is additive over any disjoint partition of the
+cell domain, so per-shard answers sum to the exact unsharded answer
+(:mod:`repro.sharding.router`).
+
+Public surface: :class:`ShardedCube` (the front),
+:class:`ShardRouter` (decomposition / scatter-gather),
+:class:`GridPartitioner` (the default partitioner) and the
+:class:`ShardServer` TCP front (:mod:`repro.sharding.server`).
+"""
+
+from repro.sharding.buffered import ShardBufferedCube
+from repro.sharding.cube import ShardedCube
+from repro.sharding.partition import GridPartitioner, ShardExtent
+from repro.sharding.router import ShardRouter
+from repro.sharding.server import ShardClient, ShardServer
+from repro.sharding.shm import (
+    BlockCache,
+    EpochExporter,
+    epoch_from_shared_memory,
+    leaked_segments,
+)
+
+__all__ = [
+    "BlockCache",
+    "EpochExporter",
+    "GridPartitioner",
+    "ShardBufferedCube",
+    "ShardClient",
+    "ShardExtent",
+    "ShardRouter",
+    "ShardServer",
+    "ShardedCube",
+    "epoch_from_shared_memory",
+    "leaked_segments",
+]

@@ -1,0 +1,306 @@
+"""The sharded, process-parallel cube front (:class:`ShardedCube`).
+
+Partitions the cell domain into rectangles (one shard each), runs one
+worker process per shard and serves queries from reader processes that
+attach the workers' shared-memory epochs zero-copy.  The public surface
+mirrors the single-process fronts -- ``update`` / ``update_many`` /
+``apply_out_of_order`` / ``drain`` / ``retire_before`` / ``query`` /
+``query_many`` / ``total`` -- and answers are bit-identical to an
+unsharded :class:`~repro.concurrent.snapshot.SnapshotCube` over the same
+stream (see :mod:`repro.sharding.router` for the contracts).
+
+Three execution modes:
+
+* ``processes=False`` -- every shard lives in this process (no pipes,
+  no shared memory).  Deterministic and cheap; what the property tests
+  use.
+* ``processes=True, readers=0`` -- worker processes publish epochs into
+  shared memory; this process attaches them and evaluates queries.
+* ``processes=True, readers=N`` -- N reader processes each serve a
+  contiguous chunk of every query batch.
+
+Durability: pass ``durable_dir`` to give every shard its own WAL +
+checkpoint directory (``shard-00/``, ``shard-01/``, ...) beside a
+``sharding.json`` manifest; :meth:`ShardedCube.recover` rebuilds the
+fleet shard by shard and re-derives the global time state by probing.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.core.errors import DomainError, StorageError
+from repro.core.types import Box
+
+from repro.sharding.partition import GridPartitioner
+from repro.sharding.router import (
+    InlineHandle,
+    ReaderHandle,
+    ShardRouter,
+    WorkerHandle,
+)
+from repro.sharding.shm import SHM_PREFIX, unlink_by_prefix
+from repro.sharding.worker import ReaderState, reader_main, worker_main
+
+MANIFEST_NAME = "sharding.json"
+
+
+def _context(start_method: str | None):
+    if start_method is not None:
+        return multiprocessing.get_context(start_method)
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+class ShardedCube:
+    """A cube partitioned across worker processes over shared-memory epochs."""
+
+    def __init__(
+        self,
+        slice_shape: Sequence[int],
+        *,
+        shards: int = 2,
+        partitioner: GridPartitioner | None = None,
+        processes: bool = True,
+        readers: int = 0,
+        backend: str = "dense",
+        buffered: bool = True,
+        num_times: int | None = None,
+        durable_dir=None,
+        drain_threshold: float | None = None,
+        page_size: int | None = None,
+        cell_size: int | None = None,
+        fsync: str = "batch",
+        timeout: float = 60.0,
+        start_method: str | None = None,
+        _recover: bool = False,
+    ) -> None:
+        self.slice_shape = tuple(int(n) for n in slice_shape)
+        if partitioner is None:
+            partitioner = GridPartitioner.for_shards(self.slice_shape, shards)
+        elif partitioner.slice_shape != self.slice_shape:
+            raise DomainError(
+                f"partitioner covers {partitioner.slice_shape}, cube is "
+                f"{self.slice_shape}"
+            )
+        self.partitioner = partitioner
+        self.processes = bool(processes)
+        self.buffered = bool(buffered)
+        self.backend = backend
+        self.durable_dir = Path(durable_dir) if durable_dir is not None else None
+        if readers and not self.processes:
+            raise DomainError(
+                "reader processes require process workers (processes=True)"
+            )
+        self._timeout = float(timeout)
+        self._closed = False
+        self._sweep_prefixes: list[str] = []
+        if self.durable_dir is not None and not _recover:
+            self._write_manifest(num_times, fsync)
+        configs = []
+        for extent in partitioner.extents:
+            config = {
+                "shard_id": extent.shard_id,
+                "slice_shape": extent.shape,
+                "backend": backend,
+                "buffered": self.buffered,
+                "num_times": num_times,
+                "drain_threshold": drain_threshold,
+                "page_size": page_size,
+                "cell_size": cell_size,
+                "fsync": fsync,
+                "use_shm": self.processes,
+                "recover": _recover,
+            }
+            if self.durable_dir is not None:
+                config["durable_dir"] = str(
+                    self.durable_dir / f"shard-{extent.shard_id:02d}"
+                )
+            configs.append(config)
+        if not self.processes:
+            handles = [InlineHandle(c["shard_id"], c) for c in configs]
+            router_readers: list[ReaderHandle] = []
+            reader_state = ReaderState(partitioner)
+        else:
+            ctx = _context(start_method)
+            handles = []
+            for config in configs:
+                parent, child = ctx.Pipe()
+                process = ctx.Process(
+                    target=worker_main, args=(child, config), daemon=True
+                )
+                process.start()
+                child.close()
+                handle = WorkerHandle(
+                    config["shard_id"], process, parent, timeout=self._timeout
+                )
+                self._sweep_prefixes.append(
+                    f"{SHM_PREFIX}-s{config['shard_id']}-{process.pid}-"
+                )
+                handles.append(handle)
+            for handle in handles:  # handshake carries the initial epoch
+                status, _, descriptor = self._handshake(handle)
+                if status != "ok":  # pragma: no cover - broken bootstrap
+                    raise StorageError(
+                        f"shard {handle.shard_id} failed to start: {descriptor}"
+                    )
+                handle.descriptor = descriptor
+            router_readers = []
+            reader_config = {"partitioner": partitioner.to_config()}
+            for index in range(int(readers)):
+                parent, child = ctx.Pipe()
+                process = ctx.Process(
+                    target=reader_main, args=(child, reader_config), daemon=True
+                )
+                process.start()
+                child.close()
+                reader = ReaderHandle(index, process, parent, timeout=self._timeout)
+                reader.recv()  # handshake
+                router_readers.append(reader)
+            reader_state = ReaderState(partitioner) if not router_readers else None
+        self.router = ShardRouter(
+            partitioner,
+            handles,
+            readers=router_readers,
+            reader_state=reader_state,
+            buffered=self.buffered,
+        )
+        if _recover:
+            self.router.probe_state()
+
+    def _handshake(self, handle: WorkerHandle):
+        import time
+
+        deadline = time.monotonic() + self._timeout
+        while not handle.conn.poll(0.05):
+            if not handle.is_alive():
+                raise StorageError(
+                    f"shard {handle.shard_id} worker died during startup"
+                )
+            if time.monotonic() > deadline:  # pragma: no cover - stuck start
+                raise StorageError(f"shard {handle.shard_id} startup timed out")
+        return handle.conn.recv()
+
+    # -- durability ------------------------------------------------------------
+
+    def _write_manifest(self, num_times, fsync) -> None:
+        self.durable_dir.mkdir(parents=True, exist_ok=True)
+        path = self.durable_dir / MANIFEST_NAME
+        if path.exists():
+            raise StorageError(
+                f"{self.durable_dir} already holds a sharded cube; open it "
+                "with ShardedCube.recover"
+            )
+        manifest = {
+            "partitioner": self.partitioner.to_config(),
+            "slice_shape": list(self.slice_shape),
+            "shards": self.partitioner.num_shards,
+            "backend": self.backend,
+            "buffered": self.buffered,
+            "num_times": num_times,
+            "fsync": fsync,
+        }
+        path.write_text(json.dumps(manifest, indent=2))
+
+    @classmethod
+    def recover(
+        cls,
+        durable_dir,
+        *,
+        processes: bool = True,
+        readers: int = 0,
+        timeout: float = 60.0,
+        start_method: str | None = None,
+    ) -> "ShardedCube":
+        """Rebuild a sharded cube from its per-shard durable directories."""
+        durable_dir = Path(durable_dir)
+        path = durable_dir / MANIFEST_NAME
+        if not path.exists():
+            raise StorageError(f"{durable_dir} holds no sharded cube manifest")
+        manifest = json.loads(path.read_text())
+        return cls(
+            manifest["slice_shape"],
+            partitioner=GridPartitioner.from_config(manifest["partitioner"]),
+            processes=processes,
+            readers=readers,
+            backend=manifest.get("backend", "dense"),
+            buffered=manifest.get("buffered", True),
+            num_times=manifest.get("num_times"),
+            durable_dir=durable_dir,
+            fsync=manifest.get("fsync", "batch"),
+            timeout=timeout,
+            start_method=start_method,
+            _recover=True,
+        )
+
+    # -- cube API (delegated) --------------------------------------------------
+
+    @property
+    def ndim(self) -> int:
+        return 1 + len(self.slice_shape)
+
+    def update(self, point: Sequence[int], delta: int) -> None:
+        self.router.update(point, delta)
+
+    def update_many(self, points, deltas, mode: str = "fast") -> None:
+        self.router.update_many(points, deltas, mode=mode)
+
+    def apply_out_of_order(self, point: Sequence[int], delta: int) -> None:
+        self.router.apply_out_of_order(point, delta)
+
+    def drain(self, limit: int | None = None) -> tuple[int, int]:
+        return self.router.drain(limit)
+
+    def retire_before(self, time: int) -> int:
+        return self.router.retire_before(time)
+
+    def query(self, box: Box) -> int:
+        return self.router.query(box)
+
+    def query_many(self, boxes: Sequence[Box], mode: str = "fast") -> list[int]:
+        return self.router.query_many(boxes, mode=mode)
+
+    def total(self) -> int:
+        return self.router.total()
+
+    def checkpoint(self) -> list:
+        return self.router.checkpoint()
+
+    def log_info(self) -> list[dict]:
+        return self.router.log_info()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut everything down and reclaim shared memory.
+
+        Workers unlink their own blocks on a clean close; blocks orphaned
+        by a crashed worker are swept here by name prefix, so no
+        ``/dev/shm`` segment survives the cube.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self.router.close()
+        for prefix in self._sweep_prefixes:
+            unlink_by_prefix(prefix)
+
+    def __enter__(self) -> "ShardedCube":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        mode = (
+            f"processes={self.processes}, readers={len(self.router.readers)}"
+            if not self._closed
+            else "closed"
+        )
+        return (
+            f"ShardedCube(shape={self.slice_shape}, "
+            f"shards={self.partitioner.num_shards}, {mode})"
+        )

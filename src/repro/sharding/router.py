@@ -1,0 +1,551 @@
+"""Scatter-gather routing across shard workers.
+
+The router owns the *global* view of the update stream that sharding
+would otherwise lose:
+
+* the transaction-time discipline -- "is this update historic?" -- is
+  decided here against the globally newest occurring time, never by a
+  shard against its local directory (see :mod:`repro.sharding.buffered`);
+* the data-aging boundary after ``retire_before`` is the newest *global*
+  occurring time below the threshold.  Individual shards retain locally
+  deeper history (their own boundary can only be older), so the router
+  enforces the oracle's :class:`AgedOutError` contract before any shard
+  is consulted;
+* queries decompose over the partition rectangles and the per-shard
+  answers **sum**: the prefix-difference aggregate is additive over any
+  disjoint partition of the cell domain.
+
+The worker protocol is synchronous and single-outstanding per pipe:
+``(op, payload, release_below)`` down, ``(status, result, descriptor)``
+up.  Every reply to a mutating op carries the shard's freshly published
+epoch descriptor; ``release_below`` piggybacks the garbage-collection
+horizon for older shared-memory epochs on the next request, so the
+steady state holds exactly one live epoch per shard.
+
+A dead worker never hangs the router: requests poll the pipe with the
+process's liveness and a deadline, surfacing
+:class:`~repro.core.errors.ShardUnavailableError` instead.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.errors import (
+    AgedOutError,
+    AppendOrderError,
+    DomainError,
+    ShardUnavailableError,
+)
+from repro.core.types import Box
+
+from repro.sharding.partition import GridPartitioner
+from repro.sharding.worker import MUTATING_OPS, ReaderState, ShardWorkerState
+
+_AGED_OUT_TEMPLATE = (
+    "the prefix at time {time} needs detail that was retired by data "
+    "aging; only queries at or after the retirement boundary (or open "
+    "prefixes from the beginning of time) remain answerable"
+)
+
+
+class InlineHandle:
+    """A shard worker living in this process (no pipe, no shm)."""
+
+    def __init__(self, shard_id: int, config: dict) -> None:
+        self.shard_id = shard_id
+        self.state = ShardWorkerState(config)
+        self.descriptor = self.state.publish()
+        self._pending = None
+
+    def is_alive(self) -> bool:
+        return True
+
+    def send(self, op: str, payload=None) -> None:
+        try:
+            result, mutated = self.state.apply(op, payload)
+        except BaseException as exc:
+            if op in MUTATING_OPS:
+                # a failed op may have partially applied (and published)
+                self.descriptor = self.state.publish()
+            self._pending = ("error", exc)
+            return
+        if mutated:
+            self.descriptor = self.state.publish()
+        self._pending = ("ok", result)
+
+    def recv(self):
+        status, result = self._pending
+        self._pending = None
+        if status == "error":
+            raise result
+        return result
+
+    def request(self, op: str, payload=None):
+        self.send(op, payload)
+        return self.recv()
+
+    def close(self) -> None:
+        self.state.close()
+
+
+class WorkerHandle:
+    """A shard worker process behind a duplex pipe."""
+
+    def __init__(self, shard_id, process, conn, timeout: float = 60.0) -> None:
+        self.shard_id = shard_id
+        self.process = process
+        self.conn = conn
+        self.timeout = timeout
+        self.descriptor = None
+        #: epochs below this sequence are released on the next request
+        self._release: int | None = None
+        self._waiting = False
+
+    def is_alive(self) -> bool:
+        return self.process.is_alive()
+
+    def _dead(self, why: str) -> ShardUnavailableError:
+        return ShardUnavailableError(
+            f"shard {self.shard_id} worker is unavailable ({why})"
+        )
+
+    def send(self, op: str, payload=None) -> None:
+        if not self.is_alive():
+            raise self._dead("process died")
+        try:
+            self.conn.send((op, payload, self._release))
+        except (BrokenPipeError, OSError) as exc:
+            raise self._dead(f"pipe broken: {exc}") from exc
+        self._waiting = True
+
+    def recv(self):
+        import time
+
+        deadline = time.monotonic() + self.timeout
+        while not self.conn.poll(0.05):
+            if not self.is_alive() and not self.conn.poll(0):
+                raise self._dead("process died mid-request")
+            if time.monotonic() > deadline:
+                raise self._dead(f"no reply within {self.timeout}s")
+        self._waiting = False
+        try:
+            status, result, descriptor = self.conn.recv()
+        except (EOFError, OSError) as exc:
+            raise self._dead(f"pipe closed: {exc}") from exc
+        if descriptor is not None:
+            self.descriptor = descriptor
+            if not (isinstance(descriptor, tuple) and descriptor[0] == "inline"):
+                self._release = descriptor["sequence"]
+        if status == "error":
+            raise result
+        return result
+
+    def request(self, op: str, payload=None):
+        self.send(op, payload)
+        return self.recv()
+
+    def close(self, timeout: float = 5.0) -> None:
+        try:
+            if self.is_alive():
+                self.conn.send(("close", None, self._release))
+                self.process.join(timeout)
+        except (BrokenPipeError, OSError):
+            pass
+        if self.process.is_alive():  # pragma: no cover - stuck worker
+            self.process.terminate()
+            self.process.join(timeout)
+        self.conn.close()
+
+
+class ReaderHandle:
+    """A query-serving reader process behind a duplex pipe."""
+
+    def __init__(self, index, process, conn, timeout: float = 60.0) -> None:
+        self.index = index
+        self.process = process
+        self.conn = conn
+        self.timeout = timeout
+
+    def is_alive(self) -> bool:
+        return self.process.is_alive()
+
+    def _dead(self, why: str) -> ShardUnavailableError:
+        return ShardUnavailableError(f"reader {self.index} is unavailable ({why})")
+
+    def send(self, op: str, payload=None) -> None:
+        if not self.is_alive():
+            raise self._dead("process died")
+        try:
+            self.conn.send((op, payload))
+        except (BrokenPipeError, OSError) as exc:
+            raise self._dead(f"pipe broken: {exc}") from exc
+
+    def recv(self):
+        import time
+
+        deadline = time.monotonic() + self.timeout
+        while not self.conn.poll(0.05):
+            if not self.is_alive() and not self.conn.poll(0):
+                raise self._dead("process died mid-request")
+            if time.monotonic() > deadline:
+                raise self._dead(f"no reply within {self.timeout}s")
+        try:
+            reply = self.conn.recv()
+        except (EOFError, OSError) as exc:
+            raise self._dead(f"pipe closed: {exc}") from exc
+        status, result = reply
+        if status == "error":
+            raise result
+        return result
+
+    def close(self, timeout: float = 5.0) -> None:
+        try:
+            if self.is_alive():
+                self.conn.send(("close", None))
+                self.process.join(timeout)
+        except (BrokenPipeError, OSError):
+            pass
+        if self.process.is_alive():  # pragma: no cover - stuck reader
+            self.process.terminate()
+            self.process.join(timeout)
+        self.conn.close()
+
+
+class ShardRouter:
+    """Decompose the cube API across shard workers and sum the answers."""
+
+    def __init__(
+        self,
+        partitioner: GridPartitioner,
+        handles: Sequence,
+        readers: Sequence[ReaderHandle] = (),
+        reader_state: ReaderState | None = None,
+        buffered: bool = True,
+    ) -> None:
+        self.partitioner = partitioner
+        self.handles = list(handles)
+        self.readers = list(readers)
+        self.reader_state = reader_state
+        self.buffered = buffered
+        #: newest occurring time across all shards (None = empty)
+        self.latest_time: int | None = None
+        #: oldest occurring time across all shards
+        self.min_time: int | None = None
+        #: global data-aging boundary (newest global time < threshold)
+        self.boundary_time: int | None = None
+
+    # -- state bootstrap (recovery) --------------------------------------------
+
+    def probe_state(self) -> None:
+        """Rebuild the global time state from the shards (after recovery)."""
+        states = self._scatter_all("probe_state", None)
+        lasts = [s["max_time"] for s in states if s["max_time"] is not None]
+        firsts = [s["min_time"] for s in states if s["min_time"] is not None]
+        bounds = [
+            s["boundary_time"] for s in states if s["boundary_time"] is not None
+        ]
+        self.latest_time = max(lasts) if lasts else None
+        self.min_time = min(firsts) if firsts else None
+        self.boundary_time = max(bounds) if bounds else None
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _scatter(self, targets: Sequence, op: str, payloads) -> list:
+        """Send to every target, then gather every reply (in order).
+
+        Every reply is drained even when one raises (the protocol is
+        single-outstanding per pipe; leaving a reply queued would corrupt
+        the next exchange) -- the first error is re-raised afterwards.
+        """
+        for handle, payload in zip(targets, payloads):
+            handle.send(op, payload)
+        results: list = []
+        error: BaseException | None = None
+        for handle in targets:
+            try:
+                results.append(handle.recv())
+            except BaseException as exc:
+                if error is None:
+                    error = exc
+                results.append(None)
+        if error is not None:
+            raise error
+        return results
+
+    def _scatter_all(self, op: str, payload) -> list:
+        return self._scatter(self.handles, op, [payload] * len(self.handles))
+
+    def _validate_points(self, points: np.ndarray) -> None:
+        shape = self.partitioner.slice_shape
+        if points.ndim != 2 or points.shape[1] != 1 + len(shape):
+            raise DomainError(
+                f"points have arity {points.shape[-1]}, cube has {1 + len(shape)}"
+            )
+        cells = points[:, 1:]
+        if bool((cells < 0).any()) or bool(
+            (cells >= np.asarray(shape, dtype=np.int64)).any()
+        ):
+            bad = int(
+                np.argmax(
+                    ((cells < 0) | (cells >= np.asarray(shape, dtype=np.int64))).any(
+                        axis=1
+                    )
+                )
+            )
+            raise DomainError(
+                f"point {tuple(int(c) for c in points[bad])} falls outside "
+                f"the cell domain {tuple(shape)}"
+            )
+
+    def _localize(self, points: np.ndarray, shard_id: int) -> np.ndarray:
+        origin = self.partitioner.extents[shard_id].origin
+        local = points.copy()
+        local[:, 1:] -= np.asarray(origin, dtype=np.int64)
+        return local
+
+    def _note_appends(self, times: np.ndarray) -> None:
+        if times.size == 0:
+            return
+        newest = int(times.max())
+        oldest = int(times.min())
+        self.latest_time = (
+            newest if self.latest_time is None else max(self.latest_time, newest)
+        )
+        self.min_time = (
+            oldest if self.min_time is None else min(self.min_time, oldest)
+        )
+
+    def _note_first(self, first: int | None) -> None:
+        if first is None:
+            return
+        self.min_time = (
+            int(first) if self.min_time is None else min(self.min_time, int(first))
+        )
+
+    # -- writes ----------------------------------------------------------------
+
+    def update(self, point: Sequence[int], delta: int) -> None:
+        point = np.asarray([tuple(int(c) for c in point)], dtype=np.int64)
+        self._validate_points(point)
+        time = int(point[0, 0])
+        shard_id = int(self.partitioner.shard_of_cells(point[:, 1:])[0])
+        local = self._localize(point, shard_id)
+        historic = self.latest_time is not None and time < self.latest_time
+        if not historic:
+            self.handles[shard_id].request(
+                "update", (tuple(int(c) for c in local[0]), int(delta))
+            )
+            self._note_appends(point[:, 0])
+            return
+        if not self.buffered:
+            raise AppendOrderError(
+                f"update at time {time} violates the append-only discipline "
+                f"(latest occurring time is {self.latest_time}); use "
+                "apply_out_of_order or a buffered sharded cube"
+            )
+        self.handles[shard_id].request(
+            "ingest",
+            (
+                local,
+                np.asarray([int(delta)], dtype=np.int64),
+                np.asarray([True]),
+                "metered",
+            ),
+        )
+
+    def update_many(self, points, deltas, mode: str = "fast") -> None:
+        points = np.asarray(points, dtype=np.int64)
+        deltas = np.asarray(deltas, dtype=np.int64)
+        # validate the whole batch before any shard sees a point: a bad
+        # batch must leave every shard unchanged, same as the oracle
+        if deltas.shape != (points.shape[0],):
+            raise DomainError("need exactly one delta per point")
+        if points.shape[0] == 0:
+            return
+        self._validate_points(points)
+        times = points[:, 0]
+        # the oracle classifies each point against the running latest
+        # occurring time *at that point in the stream* (buffered points
+        # do not advance it); reproduce that with a prefix running max
+        floor = (
+            self.latest_time
+            if self.latest_time is not None
+            else np.iinfo(np.int64).min
+        )
+        if times.shape[0] > 1:
+            running = np.concatenate(
+                (
+                    [floor],
+                    np.maximum(np.maximum.accumulate(times[:-1]), floor),
+                )
+            )
+        else:
+            running = np.asarray([floor], dtype=np.int64)
+        historic = times < running
+        if bool(historic.any()) and not self.buffered:
+            bad = int(np.argmax(historic))
+            raise AppendOrderError(
+                f"update at time {int(times[bad])} violates the append-only "
+                "discipline; use a buffered sharded cube for out-of-order "
+                "streams"
+            )
+        shard_ids = self.partitioner.shard_of_cells(points[:, 1:])
+        targets = []
+        payloads = []
+        for shard_id in np.unique(shard_ids):
+            mask = shard_ids == shard_id
+            targets.append(self.handles[int(shard_id)])
+            payloads.append(
+                (
+                    self._localize(points[mask], int(shard_id)),
+                    deltas[mask],
+                    historic[mask],
+                    mode,
+                )
+            )
+        self._scatter(targets, "ingest", payloads)
+        self._note_appends(times[~historic])
+
+    def apply_out_of_order(self, point: Sequence[int], delta: int) -> None:
+        point = np.asarray([tuple(int(c) for c in point)], dtype=np.int64)
+        self._validate_points(point)
+        time = int(point[0, 0])
+        if self.latest_time is None:
+            raise AppendOrderError(
+                "cannot apply an out-of-order correction to an empty cube"
+            )
+        if time >= self.latest_time:
+            raise AppendOrderError(
+                f"time {time} is not historic (latest occurring time is "
+                f"{self.latest_time}); use update for in-order points"
+            )
+        if self.boundary_time is not None and time < self.boundary_time:
+            raise AgedOutError(
+                f"the correction at time {time} targets detail that was "
+                "retired by data aging"
+            )
+        shard_id = int(self.partitioner.shard_of_cells(point[:, 1:])[0])
+        local = self._localize(point, shard_id)
+        first, _ = self.handles[shard_id].request(
+            "oob", (tuple(int(c) for c in local[0]), int(delta))
+        )
+        self._note_first(first)
+
+    def drain(self, limit: int | None = None) -> tuple[int, int]:
+        """Drain every shard's ``G_d`` buffer (``limit`` applies per shard)."""
+        applied = kept = 0
+        for a, k, first, _ in self._scatter_all("drain", limit):
+            applied += a
+            kept += k
+            self._note_first(first)
+        return applied, kept
+
+    def retire_before(self, time: int) -> int:
+        """Retire detail below ``time``; boundary is the *global* newest
+        occurring time under the threshold.
+
+        The per-shard retired counts are shard-granular (a time occurring
+        in several shards is counted once per shard), so the return value
+        can exceed the unsharded count; answers are unaffected.
+        """
+        time = int(time)
+        probes = self._scatter_all("probe_retire", time)
+        candidates = [p for p in probes if p is not None]
+        if candidates:
+            boundary = max(candidates)
+            self.boundary_time = (
+                boundary
+                if self.boundary_time is None
+                else max(self.boundary_time, boundary)
+            )
+        return sum(self._scatter_all("retire", time))
+
+    # -- reads -----------------------------------------------------------------
+
+    def _check_boxes(self, boxes: list[Box]) -> None:
+        shape = self.partitioner.slice_shape
+        ndim = 1 + len(shape)
+        for box in boxes:
+            if box.ndim != ndim:
+                raise DomainError(f"box arity {box.ndim} != cube arity {ndim}")
+            for axis, size in enumerate(shape):
+                if max(box.lower[1 + axis], 0) > min(box.upper[1 + axis], size - 1):
+                    raise DomainError(
+                        f"box {box} is empty after clipping to {tuple(shape)}"
+                    )
+            if self.boundary_time is None or self.min_time is None:
+                continue
+            for prefix in (box.upper[0], box.lower[0] - 1):
+                if self.min_time <= prefix < self.boundary_time:
+                    raise AgedOutError(_AGED_OUT_TEMPLATE.format(time=prefix))
+
+    def _descriptors(self) -> dict[int, object]:
+        descriptors: dict[int, object] = {}
+        for shard_id, handle in enumerate(self.handles):
+            if not handle.is_alive():
+                raise ShardUnavailableError(
+                    f"shard {shard_id} worker died; its data is unreachable"
+                )
+            descriptors[shard_id] = handle.descriptor
+        return descriptors
+
+    def query_many(self, boxes: Sequence[Box], mode: str = "fast") -> list[int]:
+        """Batch range aggregates, bit-identical to the unsharded cube.
+
+        ``mode`` is accepted for API compatibility; sharded serving
+        always runs the vectorized epoch path.
+        """
+        del mode
+        boxes = list(boxes)
+        if not boxes:
+            return []
+        self._check_boxes(boxes)
+        descriptors = self._descriptors()
+        live_readers = [r for r in self.readers if r.is_alive()]
+        if not live_readers:
+            if self.reader_state is None:
+                raise ShardUnavailableError(
+                    "every reader process died; restart the sharded cube"
+                )
+            return self.reader_state.query_many(descriptors, boxes)
+        chunks = np.array_split(np.arange(len(boxes)), len(live_readers))
+        targets = []
+        payloads = []
+        for reader, chunk in zip(live_readers, chunks):
+            if chunk.size == 0:
+                continue
+            targets.append(reader)
+            payloads.append((descriptors, [boxes[i] for i in chunk]))
+        replies = self._scatter(targets, "query", payloads)
+        results: list[int] = []
+        for reply in replies:
+            results.extend(reply)
+        return results
+
+    def query(self, box: Box) -> int:
+        return self.query_many([box])[0]
+
+    def total(self) -> int:
+        return sum(self._scatter_all("total", None))
+
+    # -- durability ------------------------------------------------------------
+
+    def checkpoint(self) -> list:
+        """Checkpoint every durable shard; returns the manifests."""
+        return self._scatter_all("checkpoint", None)
+
+    def log_info(self) -> list[dict]:
+        return self._scatter_all("log_info", None)
+
+    # -- shutdown --------------------------------------------------------------
+
+    def close(self) -> None:
+        for reader in self.readers:
+            reader.close()
+        for handle in self.handles:
+            handle.close()
+        if self.reader_state is not None:
+            self.reader_state.close()

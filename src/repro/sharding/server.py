@@ -1,0 +1,289 @@
+"""Asyncio TCP front for a sharded cube (:class:`ShardServer`).
+
+Wire protocol: length-prefixed JSON.  Each frame is a 4-byte big-endian
+length followed by a UTF-8 JSON document; requests carry ``{"op": ...}``
+plus op-specific fields, responses ``{"ok": true, "result": ...}`` or
+``{"ok": false, "error": "<ErrorClass>", "message": ...}``.
+
+Ops
+---
+
+``ping`` | ``total`` | ``query {box: {lower, upper}}`` |
+``query_many {boxes: [...]}`` | ``update {point, delta}`` |
+``update_many {points, deltas, mode?}`` | ``drain {limit?}`` |
+``retire {time}``
+
+The router is synchronous and single-outstanding, so every request runs
+on a one-thread executor -- the event loop stays responsive (accepting
+connections, reading frames) while at most one cube operation is in
+flight, which is exactly the serialization the router requires.
+
+Graceful drain: SIGTERM (or :meth:`ShardServer.shutdown`) stops the
+listener, lets every in-flight request finish, answers anything already
+buffered on open connections, then closes them.  The cube itself is left
+open -- the caller owns its lifecycle.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import signal
+import socket
+import struct
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.core.errors import ReproError
+from repro.core.types import Box
+
+_HEADER = struct.Struct(">I")
+MAX_FRAME = 64 << 20
+
+
+def _encode(message: dict) -> bytes:
+    data = json.dumps(message).encode("utf-8")
+    return _HEADER.pack(len(data)) + data
+
+
+def _box_from_wire(spec: dict) -> Box:
+    return Box(
+        tuple(int(c) for c in spec["lower"]),
+        tuple(int(c) for c in spec["upper"]),
+    )
+
+
+class ShardServer:
+    """Serve a (sharded) cube over length-prefixed JSON on TCP."""
+
+    def __init__(self, cube, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.cube = cube
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+        self._executor = ThreadPoolExecutor(max_workers=1)
+        self._draining = False
+        self._connections: set[asyncio.StreamWriter] = set()
+        self._inflight = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self, install_sigterm: bool = True) -> None:
+        """Run until :meth:`shutdown` (or SIGTERM) drains the server."""
+        if self._server is None:
+            await self.start()
+        loop = asyncio.get_running_loop()
+        if install_sigterm:
+            with contextlib.suppress(NotImplementedError, ValueError):
+                loop.add_signal_handler(
+                    signal.SIGTERM,
+                    lambda: asyncio.ensure_future(self.shutdown()),
+                )
+        with contextlib.suppress(asyncio.CancelledError):
+            await self._server.serve_forever()
+        await self._drained()
+
+    async def shutdown(self) -> None:
+        """Stop accepting, finish in-flight requests, close connections."""
+        if self._draining:
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self._drained()
+
+    async def _drained(self) -> None:
+        await self._idle.wait()
+        for writer in list(self._connections):
+            with contextlib.suppress(Exception):
+                writer.close()
+        self._executor.shutdown(wait=True)
+
+    # -- the per-connection loop -----------------------------------------------
+
+    async def _serve_connection(self, reader, writer) -> None:
+        self._connections.add(writer)
+        try:
+            while not self._draining:
+                try:
+                    header = await reader.readexactly(_HEADER.size)
+                except (asyncio.IncompleteReadError, ConnectionResetError):
+                    break
+                (length,) = _HEADER.unpack(header)
+                if length > MAX_FRAME:
+                    writer.write(
+                        _encode(
+                            {
+                                "ok": False,
+                                "error": "ProtocolError",
+                                "message": f"frame of {length} bytes refused",
+                            }
+                        )
+                    )
+                    await writer.drain()
+                    break
+                payload = await reader.readexactly(length)
+                try:
+                    request = json.loads(payload)
+                except ValueError:
+                    response = {
+                        "ok": False,
+                        "error": "ProtocolError",
+                        "message": "request is not valid JSON",
+                    }
+                else:
+                    response = await self._dispatch(request)
+                writer.write(_encode(response))
+                await writer.drain()
+        finally:
+            self._connections.discard(writer)
+            with contextlib.suppress(Exception):
+                writer.close()
+
+    async def _dispatch(self, request: dict) -> dict:
+        loop = asyncio.get_running_loop()
+        self._inflight += 1
+        self._idle.clear()
+        try:
+            return await loop.run_in_executor(
+                self._executor, self._apply, request
+            )
+        finally:
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._idle.set()
+
+    def _apply(self, request: dict) -> dict:
+        op = request.get("op")
+        try:
+            if op == "ping":
+                return {"ok": True, "result": "pong"}
+            if op == "total":
+                return {"ok": True, "result": self.cube.total()}
+            if op == "query":
+                box = _box_from_wire(request["box"])
+                return {"ok": True, "result": self.cube.query(box)}
+            if op == "query_many":
+                boxes = [_box_from_wire(b) for b in request["boxes"]]
+                return {"ok": True, "result": self.cube.query_many(boxes)}
+            if op == "update":
+                self.cube.update(
+                    tuple(int(c) for c in request["point"]),
+                    int(request["delta"]),
+                )
+                return {"ok": True, "result": None}
+            if op == "update_many":
+                self.cube.update_many(
+                    request["points"],
+                    request["deltas"],
+                    mode=request.get("mode", "fast"),
+                )
+                return {"ok": True, "result": None}
+            if op == "drain":
+                applied, kept = self.cube.drain(request.get("limit"))
+                return {"ok": True, "result": [applied, kept]}
+            if op == "retire":
+                return {
+                    "ok": True,
+                    "result": self.cube.retire_before(int(request["time"])),
+                }
+            return {
+                "ok": False,
+                "error": "ProtocolError",
+                "message": f"unknown op {op!r}",
+            }
+        except ReproError as exc:
+            return {
+                "ok": False,
+                "error": type(exc).__name__,
+                "message": str(exc),
+            }
+
+
+class ShardClient:
+    """Tiny synchronous client for :class:`ShardServer` (tests, CLI)."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+
+    def request(self, message: dict) -> dict:
+        self._sock.sendall(_encode(message))
+        header = self._recv_exact(_HEADER.size)
+        (length,) = _HEADER.unpack(header)
+        return json.loads(self._recv_exact(length))
+
+    def _recv_exact(self, n: int) -> bytes:
+        chunks = []
+        while n:
+            chunk = self._sock.recv(n)
+            if not chunk:
+                raise ConnectionError("server closed the connection")
+            chunks.append(chunk)
+            n -= len(chunk)
+        return b"".join(chunks)
+
+    # convenience wrappers -----------------------------------------------------
+
+    def _result(self, message: dict):
+        reply = self.request(message)
+        if not reply.get("ok"):
+            raise RuntimeError(f"{reply.get('error')}: {reply.get('message')}")
+        return reply.get("result")
+
+    def ping(self) -> bool:
+        return self._result({"op": "ping"}) == "pong"
+
+    def total(self) -> int:
+        return self._result({"op": "total"})
+
+    @staticmethod
+    def _box_payload(box) -> dict:
+        # accept both the library's Box type and a bare (lower, upper) pair
+        lower = getattr(box, "lower", None)
+        if lower is not None:
+            return {"lower": list(lower), "upper": list(box.upper)}
+        lo, up = box
+        return {"lower": list(lo), "upper": list(up)}
+
+    def query(self, lower, upper=None) -> int:
+        box = lower if upper is None else (lower, upper)
+        return self._result({"op": "query", "box": self._box_payload(box)})
+
+    def query_many(self, boxes) -> list[int]:
+        return self._result(
+            {
+                "op": "query_many",
+                "boxes": [self._box_payload(box) for box in boxes],
+            }
+        )
+
+    def update(self, point, delta: int) -> None:
+        self._result({"op": "update", "point": list(point), "delta": delta})
+
+    def update_many(self, points, deltas, mode: str = "fast") -> None:
+        self._result(
+            {
+                "op": "update_many",
+                "points": [list(p) for p in points],
+                "deltas": list(deltas),
+                "mode": mode,
+            }
+        )
+
+    def close(self) -> None:
+        self._sock.close()
+
+    def __enter__(self) -> "ShardClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

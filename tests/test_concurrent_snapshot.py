@@ -195,6 +195,7 @@ class TestEpochSemantics:
 
 
 class TestParallelExecutorDifferential:
+    @pytest.mark.filterwarnings("ignore::RuntimeWarning")
     @pytest.mark.parametrize("threads", [1, 2, 4, 8])
     def test_bit_identical_to_serial(self, rng, threads):
         counter = CostCounter()
@@ -217,6 +218,19 @@ class TestParallelExecutorDifferential:
         assert after.page_accesses == golden.page_accesses
         snap.close()
 
+    def test_default_is_single_thread_and_multi_thread_warns(self, rng):
+        cube, dense = _filled_cube(rng, updates=40)
+        snap = SnapshotCube(cube)
+        with ParallelExecutor(snap) as executor:  # no warning expected
+            assert executor.threads == 1
+            boxes = [random_box(rng, dense.shape) for _ in range(20)]
+            assert executor.query_many(boxes) == cube.query_many(boxes)
+        with pytest.warns(RuntimeWarning, match="sharding"):
+            executor = ParallelExecutor(snap, threads=2)
+        executor.close()
+        snap.close()
+
+    @pytest.mark.filterwarnings("ignore::RuntimeWarning")
     def test_concurrent_batches_share_one_executor(self, rng):
         cube, dense = _filled_cube(rng)
         snap = SnapshotCube(cube)
@@ -239,6 +253,7 @@ class TestParallelExecutorDifferential:
                 thread.join()
         assert not errors
 
+    @pytest.mark.filterwarnings("ignore::RuntimeWarning")
     def test_invalid_thread_count_rejected(self, rng):
         cube, _ = _filled_cube(rng, updates=10)
         snap = SnapshotCube(cube)

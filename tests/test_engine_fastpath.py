@@ -140,6 +140,22 @@ class TestFastMeteredEquivalence:
         # fast queries must not have perturbed subsequent metered answers
         assert [fast.query(box) for box in boxes] == expected
 
+    def test_fast_queries_never_charge_more_than_metered(self, rng):
+        shape = (8, 5, 5)
+        updates = random_append_stream(rng, shape, 80)
+        metered = build_metered(shape, updates)
+        fast = build_metered(shape, updates)
+        boxes = [random_box(rng, shape) for _ in range(30)]
+        before = metered.counter.snapshot()
+        expected = [metered.query(box) for box in boxes]
+        metered_cells = (metered.counter.snapshot() - before).cell_accesses
+        before = fast.counter.snapshot()
+        assert fast.query_many(boxes, mode="fast") == expected
+        fast_cells = (fast.counter.snapshot() - before).cell_accesses
+        # the fast engine answers from frozen arrays; its metered charge
+        # is the stamps it reads, never a whole-slice freeze
+        assert 0 < fast_cells <= metered_cells, (fast_cells, metered_cells)
+
     @given(seed=st.integers(0, 10_000))
     @settings(max_examples=20, deadline=None)
     def test_update_many_matches_metered_stream(self, seed):

@@ -1,0 +1,275 @@
+"""Sharded serving: differential equivalence, shared memory, fault paths.
+
+The contract under test is exact: a :class:`ShardedCube` over any grid
+partition answers every query bit-identically to one unsharded
+:class:`SnapshotCube` fed the same stream -- through appends,
+out-of-order corrections, drains and retirement.  The inline-mode tests
+prove the decomposition itself (no processes involved); the process
+tests cover the pipes, the shared-memory epoch export and the crash /
+leak discipline.  Process tests are deliberately small: this suite runs
+under GNU timeout in CI and must stay cheap on a single core.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.concurrent import SnapshotCube
+from repro.core.errors import AgedOutError, DomainError, ShardUnavailableError
+from repro.core.types import Box
+from repro.ecube.buffered import BufferedEvolvingDataCube
+from repro.sharding import (
+    BlockCache,
+    EpochExporter,
+    GridPartitioner,
+    ShardedCube,
+    leaked_segments,
+)
+from repro.sharding.shm import descriptor_blocks
+
+from .conftest import random_box
+
+BACKENDS = ("dense", "paged", "sparse")
+
+
+def _mixed_stream(rng, shape, updates, shuffle=0.1):
+    """A time-sorted stream with a fraction swapped out of order."""
+    num_times = shape[0]
+    times = np.sort(rng.integers(0, num_times, size=updates))
+    columns = [times]
+    for size in shape[1:]:
+        columns.append(rng.integers(0, size, size=updates))
+    points = np.column_stack(columns).astype(np.int64)
+    deltas = rng.integers(1, 6, size=updates).astype(np.int64)
+    index = np.arange(updates)
+    swap = rng.choice(updates, size=max(1, int(shuffle * updates)), replace=False)
+    index[np.sort(swap)] = swap
+    return points[index], deltas[index]
+
+
+def _differential(oracle, cube, rng, shape, points, deltas, batches=4):
+    """Drive both cubes through the same mixed workload, comparing answers."""
+    for batch in np.array_split(np.arange(len(points)), batches):
+        oracle.update_many(points[batch], deltas[batch])
+        cube.update_many(points[batch], deltas[batch])
+        boxes = [random_box(rng, shape) for _ in range(40)]
+        assert cube.query_many(boxes) == oracle.query_many(boxes)
+        assert cube.total() == oracle.total()
+    applied_o, _ = oracle.drain()
+    applied_c, _ = cube.drain()
+    assert applied_c == applied_o
+    boxes = [random_box(rng, shape) for _ in range(40)]
+    assert cube.query_many(boxes) == oracle.query_many(boxes)
+    oracle.retire_before(shape[0] // 2)
+    cube.retire_before(shape[0] // 2)
+    for box in [random_box(rng, shape) for _ in range(60)]:
+        try:
+            expected = oracle.query(box)
+        except AgedOutError:
+            expected = None
+        try:
+            got = cube.query(box)
+        except AgedOutError:
+            got = None
+        assert got == expected, box
+
+
+class TestInlineDifferential:
+    """Decomposition correctness, no processes: fast and deterministic."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_mixed_workload_matches_snapshot_oracle(self, rng, backend):
+        shape = (16, 6, 7)
+        oracle = SnapshotCube(BufferedEvolvingDataCube(shape[1:], backend=backend))
+        cube = ShardedCube(
+            shape[1:], shards=3, processes=False, backend=backend
+        )
+        points, deltas = _mixed_stream(rng, shape, updates=160)
+        _differential(oracle, cube, rng, shape, points, deltas)
+        cube.close()
+        oracle.close()
+
+    def test_single_update_and_out_of_order_routing(self, rng):
+        shape = (10, 5, 5)
+        oracle = SnapshotCube(BufferedEvolvingDataCube(shape[1:]))
+        cube = ShardedCube(shape[1:], shards=4, processes=False)
+        for t in (0, 1, 3, 3, 7):
+            point = (t, int(rng.integers(5)), int(rng.integers(5)))
+            oracle.update(point, 2)
+            cube.update(point, 2)
+        correction = (2, 4, 4)
+        oracle.apply_out_of_order(correction, 5)
+        cube.apply_out_of_order(correction, 5)
+        boxes = [random_box(rng, shape) for _ in range(30)]
+        assert cube.query_many(boxes) == oracle.query_many(boxes)
+        assert cube.total() == oracle.total()
+        cube.close()
+        oracle.close()
+
+    def test_domain_errors_are_validated_at_the_router(self):
+        cube = ShardedCube((4, 4), shards=2, processes=False)
+        with pytest.raises(DomainError):
+            cube.update((0, 9, 0), 1)  # cell outside the domain
+        with pytest.raises(DomainError):
+            cube.update((0, 1), 1)  # wrong arity
+        with pytest.raises(DomainError):
+            cube.query(Box((0, 5, 0), (0, 9, 0)))  # empty after clipping
+        # boxes overhanging the domain clip exactly like the oracle
+        cube.update((0, 1, 1), 3)
+        assert cube.query(Box((0, 0, 0), (0, 7, 7))) == 3
+        cube.close()
+
+    @settings(max_examples=12, deadline=None)
+    @given(data=st.data())
+    def test_any_grid_gives_identical_answers(self, data):
+        """Partition invariance: the grid is not allowed to matter."""
+        shape = (8, 6, 6)
+        grid = (
+            data.draw(st.integers(1, 3), label="grid0"),
+            data.draw(st.integers(1, 3), label="grid1"),
+        )
+        seed = data.draw(st.integers(0, 2**20), label="seed")
+        rng = np.random.default_rng(seed)
+        points, deltas = _mixed_stream(rng, shape, updates=60)
+        oracle = SnapshotCube(BufferedEvolvingDataCube(shape[1:]))
+        cube = ShardedCube(
+            shape[1:],
+            partitioner=GridPartitioner(shape[1:], grid),
+            processes=False,
+        )
+        oracle.update_many(points, deltas)
+        cube.update_many(points, deltas)
+        boxes = [random_box(rng, shape) for _ in range(25)]
+        assert cube.query_many(boxes) == oracle.query_many(boxes)
+        oracle.drain()
+        cube.drain()
+        assert cube.query_many(boxes) == oracle.query_many(boxes)
+        assert cube.total() == oracle.total()
+        cube.close()
+        oracle.close()
+
+
+class TestSharedMemoryEpochs:
+    def test_epoch_roundtrip_through_shared_memory(self, rng):
+        shape = (12, 5, 5)
+        cube = BufferedEvolvingDataCube(shape[1:])
+        snap = SnapshotCube(cube)
+        exporter = EpochExporter(snap, tag="t0-")
+        cache = BlockCache()
+        try:
+            points, deltas = _mixed_stream(rng, shape, updates=80)
+            for batch in np.array_split(np.arange(len(points)), 3):
+                snap.update_many(points[batch], deltas[batch])
+                descriptor = snap._current.to_shared_memory(exporter)
+                remote = type(snap._current).from_shared_memory(
+                    descriptor, cache
+                )
+                boxes = [random_box(rng, shape) for _ in range(30)]
+                with snap.pin() as view:
+                    expected = view.query_many(boxes)
+                from repro.concurrent.vectorized import (
+                    epoch_query_many,
+                    prepare_epoch,
+                )
+                answers = epoch_query_many(prepare_epoch(remote), boxes)
+                assert np.array_equal(answers, expected)
+        finally:
+            # drop the epoch's views before closing the mappings they alias
+            del remote
+            cache.close_all()
+            exporter.close()
+        assert not leaked_segments()
+
+    def test_only_the_current_epoch_exports(self, rng):
+        cube = BufferedEvolvingDataCube((4, 4))
+        snap = SnapshotCube(cube)
+        exporter = EpochExporter(snap, tag="t1-")
+        try:
+            snap.update((0, 1, 1), 3)
+            stale = snap._current
+            snap.update((1, 2, 2), 4)
+            with pytest.raises(DomainError):
+                stale.to_shared_memory(exporter)
+            descriptor = snap._current.to_shared_memory(exporter)
+            assert descriptor_blocks(descriptor)
+        finally:
+            exporter.close()
+        assert not leaked_segments()
+
+
+class TestProcessMode:
+    """Worker processes + shared-memory serving; kept intentionally small."""
+
+    @pytest.mark.parametrize("readers", [0, 1])
+    def test_differential_vs_oracle(self, rng, readers):
+        shape = (12, 6, 6)
+        oracle = SnapshotCube(BufferedEvolvingDataCube(shape[1:]))
+        cube = ShardedCube(
+            shape[1:], shards=2, processes=True, readers=readers, timeout=120.0
+        )
+        try:
+            points, deltas = _mixed_stream(rng, shape, updates=120)
+            _differential(oracle, cube, rng, shape, points, deltas, batches=3)
+        finally:
+            cube.close()
+            oracle.close()
+        assert not leaked_segments()
+
+    def test_crashed_worker_raises_instead_of_hanging(self, rng):
+        cube = ShardedCube((6, 6), shards=2, processes=True, timeout=120.0)
+        try:
+            points, deltas = _mixed_stream(rng, (8, 6, 6), updates=40, shuffle=0)
+            cube.update_many(points, deltas)
+            victim = cube.router.handles[0]
+            victim.process.terminate()
+            victim.process.join(timeout=30)
+            with pytest.raises(ShardUnavailableError):
+                cube.update_many(points, deltas)
+            with pytest.raises(ShardUnavailableError):
+                cube.query_many(
+                    [random_box(np.random.default_rng(0), (8, 6, 6))]
+                )
+        finally:
+            cube.close()
+        # the sweep reclaims segments orphaned by the killed worker
+        assert not leaked_segments()
+
+    def test_durable_shards_recover(self, rng, tmp_path):
+        shape = (10, 6, 6)
+        points, deltas = _mixed_stream(rng, shape, updates=80)
+        boxes = [random_box(rng, shape) for _ in range(30)]
+        cube = ShardedCube(
+            shape[1:],
+            shards=2,
+            processes=True,
+            durable_dir=tmp_path / "fleet",
+            fsync="off",
+            timeout=120.0,
+        )
+        try:
+            cube.update_many(points, deltas)
+            expected = cube.query_many(boxes)
+            expected_total = cube.total()
+        finally:
+            cube.close()
+        recovered = ShardedCube.recover(
+            tmp_path / "fleet", processes=True, timeout=120.0
+        )
+        try:
+            assert recovered.query_many(boxes) == expected
+            assert recovered.total() == expected_total
+            # the global order state survives: draining the buffered
+            # corrections still matches a fresh oracle fed the stream
+            oracle = SnapshotCube(BufferedEvolvingDataCube(shape[1:]))
+            oracle.update_many(points, deltas)
+            applied_o, _ = oracle.drain()
+            applied_r, _ = recovered.drain()
+            assert applied_r == applied_o
+            assert recovered.query_many(boxes) == oracle.query_many(boxes)
+            oracle.close()
+        finally:
+            recovered.close()
+        assert not leaked_segments()
