@@ -17,11 +17,14 @@ query batch four ways:
 
 Every mode must agree bit-for-bit, and single-thread batch serving (the
 executor's default) must beat the metered baseline by >= 2.5x aggregate
-throughput.  The thread sweep is recorded to document -- not excuse --
-the GIL ceiling: thread counts past 1 buy nothing for this CPU-bound
-work, which is why the executor now defaults to one thread and real
-scaling lives in ``repro.sharding`` (see ``BENCH_shard.json``).  Rows
-accumulate in ``BENCH_concurrent.json``.
+throughput.  The thread sweep records the multi-thread floor for the
+active kernel backend (each row carries ``kernels``): on the pure-NumPy
+fallback it documents the GIL ceiling -- thread counts past 1 buy
+nothing for this CPU-bound work, which is why the executor defaults to
+one thread and process scaling lives in ``repro.sharding`` (see
+``BENCH_shard.json``) -- while the compiled nogil kernels let the same
+sweep show genuine thread parallelism.  Rows accumulate in
+``BENCH_concurrent.json``.
 """
 
 from __future__ import annotations
@@ -34,6 +37,7 @@ import numpy as np
 
 from _record import BENCH_CONCURRENT_FILE, record
 from repro.concurrent import ParallelExecutor, SnapshotCube
+from repro.ecube import compiled
 from repro.ecube.ecube import EvolvingDataCube
 from repro.metrics import CostCounter
 from repro.workloads.queries import uni_queries
@@ -122,6 +126,7 @@ def test_concurrent_serving_throughput(bench_weather4):
             queries=NUM_QUERIES,
             queries_per_s=round(NUM_QUERIES / max(wall, 1e-9)),
             speedup_vs_baseline=round(rows["baseline"] / max(wall, 1e-9), 2),
+            kernels=compiled.backend_name(),
         )
 
     speedup = rows["baseline"] / max(rows["threads-1"], 1e-9)

@@ -156,11 +156,33 @@ def _cmd_serve(args) -> int:
     return 0 if result.ok else 1
 
 
+def _sweep_leaked_shm() -> list[str]:
+    """Unlink shared-memory segments orphaned by a crashed server.
+
+    A SIGKILLed server never drops its epoch refcounts, so its segments
+    survive in ``/dev/shm`` and would eventually exhaust it across
+    restarts.  Nothing else can legitimately own our prefix when a new
+    server starts, so startup sweeps the whole prefix.
+    """
+    from repro.sharding.shm import SHM_PREFIX, leaked_segments, unlink_by_prefix
+
+    leaked = leaked_segments(SHM_PREFIX)
+    if leaked:
+        unlink_by_prefix(SHM_PREFIX)
+    return leaked
+
+
 def _cmd_serve_sharded(args) -> int:
     import asyncio
 
     from repro.sharding import ShardServer, ShardedCube
 
+    swept = _sweep_leaked_shm()
+    if swept:
+        print(
+            json.dumps({"swept_leaked_shm_segments": swept}),
+            flush=True,
+        )
     shape = tuple(int(n) for n in args.shape.split(","))
     cube = ShardedCube(
         shape,

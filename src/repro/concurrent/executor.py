@@ -11,10 +11,14 @@ and :class:`~repro.ecube.slices.ECubeSliceEngine`: the engines memoize
 term tables in plain dicts, which are cheap to reuse across batches but
 must not be shared between threads mid-gather.
 
-The threads share one GIL, so CPU-bound batches gain little past
-``threads=1`` -- the default.  Asking for more emits a
-:class:`RuntimeWarning` pointing at :mod:`repro.sharding`, the
-process-parallel serving tier that actually scales with cores.
+With the pure-NumPy kernel fallback the threads share one GIL, so
+CPU-bound batches gain little past ``threads=1`` -- the default -- and
+asking for more emits a :class:`RuntimeWarning` pointing at
+:mod:`repro.sharding`, the process-parallel serving tier that scales
+with cores regardless.  When the compiled kernel layer is active
+(:data:`repro.ecube.compiled.NUMBA_ACTIVE`), the hot loops run with the
+GIL released (``nogil=True``), multi-threaded serving genuinely
+parallelises, and no warning is emitted.
 """
 
 from __future__ import annotations
@@ -26,6 +30,7 @@ from concurrent.futures import ThreadPoolExecutor
 
 from repro.core.errors import DomainError
 from repro.core.types import Box
+from repro.ecube import compiled
 from repro.ecube.fastpath import FastSliceEngine
 from repro.ecube.slices import ECubeSliceEngine
 
@@ -43,7 +48,10 @@ class ParallelExecutor:
     ) -> None:
         if threads is None:
             threads = 1
-        elif threads > 1:
+        elif threads > 1 and not compiled.NUMBA_ACTIVE:
+            # the compiled kernels release the GIL (nogil=True); only the
+            # pure-NumPy fallback leaves threads serialised enough that
+            # asking for more deserves a nudge toward process sharding
             warnings.warn(
                 "ParallelExecutor threads share one GIL: CPU-bound query "
                 "batches gain little past threads=1.  For real parallelism "

@@ -146,7 +146,10 @@ def write_checkpoint(
     temp = directory / (name + ".tmp")
     arrays = snapshot_arrays(front)
     with open(temp, "wb") as handle:
-        np.savez_compressed(handle, **arrays)
+        # uncompressed (ZIP_STORED) so recovery can mmap the members and
+        # serve straight off the file (repro.storage.mmap_npz); legacy
+        # compressed archives still load through the np.load fallback
+        np.savez(handle, **arrays)
         handle.flush()
         os.fsync(handle.fileno())
     os.replace(temp, directory / name)

@@ -52,6 +52,7 @@ from repro.durability.wal import (
 )
 from repro.ecube.buffered import BufferedEvolvingDataCube
 from repro.metrics import CostCounter
+from repro.storage.mmap_npz import open_checkpoint
 
 WAL_SUBDIR = "wal"
 
@@ -408,7 +409,11 @@ class DurableCube:
                 raise RecoveryError(
                     f"manifest names missing checkpoint {manifest.checkpoint_file}"
                 )
-            with np.load(archive_path) as archive:
+            # mmap-backed when the archive is uncompressed: slice arrays
+            # are adopted as read-only views and the recovered cube
+            # serves queries straight off the checkpoint file (stores
+            # promote a slice to heap copies on first write)
+            with open_checkpoint(archive_path) as archive:
                 cube = self.front.cube if self.buffered else self.front
                 cube.copy_budget = int(archive["copy_budget"][0])
                 cube.restore_state(archive)

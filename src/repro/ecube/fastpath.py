@@ -46,6 +46,7 @@ import numpy as np
 
 from repro.core.errors import DomainError
 from repro.core.types import Box
+from repro.ecube import compiled
 from repro.preagg.ddc import DDCTechnique
 from repro.preagg.prefix_sum import PrefixSumTechnique
 from repro.preagg.term_tables import TermTableSet, gather_dot, gathered_cell_count
@@ -64,9 +65,32 @@ class FastSliceEngine:
         if not self.shape:
             raise DomainError("slice shape must have at least one dimension")
         self.ddc_techniques = [DDCTechnique(n) for n in self.shape]
-        self.ddc_tables = TermTableSet(self.ddc_techniques)
-        self.ps_tables = TermTableSet([PrefixSumTechnique(n) for n in self.shape])
+        # term tables are only needed by the per-box paths (fallbacks,
+        # updates); the stacked batch path runs entirely on compiled
+        # kernels, so building them is deferred to first use
+        self._ddc_tables: TermTableSet | None = None
+        self._ps_tables: TermTableSet | None = None
         self.num_cells = int(np.prod(self.shape))
+        # row-major element strides of one slice, for the compiled
+        # flat-offset corner gather (repro.ecube.compiled)
+        self._elem_strides = np.array(
+            [int(np.prod(self.shape[axis + 1 :])) for axis in range(len(self.shape))],
+            dtype=np.int64,
+        )
+
+    @property
+    def ddc_tables(self) -> TermTableSet:
+        if self._ddc_tables is None:
+            self._ddc_tables = TermTableSet(self.ddc_techniques)
+        return self._ddc_tables
+
+    @property
+    def ps_tables(self) -> TermTableSet:
+        if self._ps_tables is None:
+            self._ps_tables = TermTableSet(
+                [PrefixSumTechnique(n) for n in self.shape]
+            )
+        return self._ps_tables
 
     # -- degenerate ranges ----------------------------------------------------
 
@@ -106,33 +130,54 @@ class FastSliceEngine:
         the slice shape; rows flagged ``empty`` contribute 0.  Answers
         equal ``ps_range`` row by row (the per-axis term set of the PS
         technique is exactly ``{upper: +1, lower-1: -1 if lower > 0}``,
-        so the product over axes is the ``2^(d-1)`` corner gather below),
-        but the whole batch costs ``2^(d-1)`` fancy-indexed gathers of
-        size ``n`` instead of ``n`` Python-level term lookups.
+        so the product over axes is the ``2^(d-1)`` corner gather), but
+        the whole batch runs in one compiled corner-gather kernel
+        (:data:`repro.ecube.compiled.ps_corner_gather`) instead of ``n``
+        Python-level term lookups.
         """
         n = int(lowers.shape[0])
         out = np.zeros(n, dtype=np.int64)
         if n == 0:
             return out
-        ndim = len(self.shape)
-        live = ~np.asarray(empty, dtype=bool)
-        for corner in range(1 << ndim):
-            index = []
-            ok = live.copy()
-            sign = 1
-            for axis in range(ndim):
-                if corner >> axis & 1:
-                    sign = -sign
-                    low = lowers[:, axis] - 1
-                    ok &= low >= 0
-                    index.append(np.maximum(low, 0))
-                else:
-                    index.append(uppers[:, axis])
-            values = ps_values[tuple(index)]
-            if sign < 0:
-                np.subtract(out, values, out=out, where=ok)
-            else:
-                np.add(out, values, out=out, where=ok)
+        live = np.nonzero(~np.asarray(empty, dtype=bool))[0]
+        if live.size == 0:
+            return out
+        sub = np.zeros(live.size, dtype=np.int64)
+        compiled.ps_corner_gather(
+            np.ascontiguousarray(ps_values, dtype=np.int64).reshape(-1),
+            self._elem_strides,
+            np.zeros(live.size, dtype=np.int64),
+            np.ascontiguousarray(lowers[live], dtype=np.int64),
+            np.ascontiguousarray(uppers[live], dtype=np.int64),
+            sub,
+        )
+        out[live] = sub
+        return out
+
+    def ps_range_batch_stacked(
+        self,
+        stack: np.ndarray,
+        rows: np.ndarray,
+        lowers: np.ndarray,
+        uppers: np.ndarray,
+    ) -> np.ndarray:
+        """PS corner gather over a ``(k, *shape)`` stack of PS arrays.
+
+        ``rows[i]`` selects the stack row answering box ``i`` -- one
+        compiled kernel call answers a whole multi-slice batch, which is
+        what removes the per-slice Python dispatch from ``query_many``.
+        """
+        out = np.zeros(rows.shape[0], dtype=np.int64)
+        if rows.shape[0] == 0:
+            return out
+        compiled.ps_corner_gather(
+            stack.reshape(-1),
+            self._elem_strides,
+            rows.astype(np.int64) * np.int64(self.num_cells),
+            np.ascontiguousarray(lowers, dtype=np.int64),
+            np.ascontiguousarray(uppers, dtype=np.int64),
+            out,
+        )
         return out
 
     # -- mixed slices ---------------------------------------------------------
@@ -204,20 +249,27 @@ class FastSliceEngine:
         slice_index: int,
     ) -> np.ndarray | None:
         """The slice's complete DDC array, or ``None`` if unrecoverable."""
-        newer = stamps > slice_index
-        if bool(np.any(ps_flags & newer)):
-            return None
-        return np.where(~ps_flags & newer, slice_values, cache_values)
+        out = np.empty(self.shape, dtype=np.int64)
+        ok = compiled.effective_ddc(
+            np.ascontiguousarray(slice_values, dtype=np.int64).reshape(-1),
+            np.ascontiguousarray(ps_flags, dtype=bool).reshape(-1),
+            np.ascontiguousarray(stamps, dtype=np.int64).reshape(-1),
+            np.ascontiguousarray(cache_values, dtype=np.int64).reshape(-1),
+            int(slice_index),
+            out.reshape(-1),
+        )
+        return out if ok else None
 
     def ddc_to_ps(self, ddc_values: np.ndarray) -> np.ndarray:
-        """Bulk DDC -> PS: deaggregate per axis, then cumsum per axis."""
-        raw = ddc_values
-        for axis, technique in enumerate(self.ddc_techniques):
-            raw = technique.deaggregate(raw, axis=axis)
-        ps = raw
-        for axis in range(len(self.shape)):
-            ps = np.cumsum(ps, axis=axis, dtype=np.int64)
-        return ps
+        """Bulk DDC -> PS via the log-step Fenwick path recurrence.
+
+        Identical integers to deaggregate-per-axis + cumsum-per-axis,
+        in ``O(log n)`` whole-array adds per axis
+        (:func:`repro.ecube.compiled.fenwick_to_ps_inplace`).
+        """
+        return compiled.fenwick_to_ps_inplace(
+            np.array(ddc_values, dtype=np.int64), self.shape
+        )
 
     # -- update support --------------------------------------------------------
 

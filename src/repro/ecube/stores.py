@@ -38,6 +38,7 @@ from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
 import numpy as np
 
+from repro.ecube import compiled
 from repro.ecube.cache import SliceCache
 from repro.storage.layout import DEFAULT_CELL_SIZE, DEFAULT_PAGE_SIZE
 from repro.storage.pages import PageAccessTracker, PagedArray
@@ -45,6 +46,19 @@ from repro.storage.pages import PageAccessTracker, PagedArray
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (kernel imports us)
     from repro.ecube.fastpath import FastSliceEngine
     from repro.ecube.kernel import CubeKernel
+
+
+def _adopt_array(raw, dtype) -> np.ndarray:
+    """Restore-time array adoption: zero-copy for read-only sources.
+
+    A read-only input (an mmap view over a checkpoint archive,
+    :mod:`repro.storage.mmap_npz`) is adopted as-is -- the owning store
+    promotes it to a heap copy on first write.  A writable input is
+    copied, preserving the no-aliasing contract of dict-based
+    ``state_arrays``/``restore_state`` round trips.
+    """
+    array = np.asarray(raw, dtype=dtype)
+    return array if not array.flags.writeable else array.copy()
 
 
 # -- slice payloads ------------------------------------------------------------
@@ -384,6 +398,7 @@ class ArrayCacheStore(BaseSliceStore):
         if stale.size:
             # forced lazy copies: each incompletely-copied historic slice
             # receives the pre-update cache values of its stale cells
+            stale = stale.astype(np.int64, copy=False)
             stale_stamps = stamps_flat[stale]
             first = max(int(stale_stamps.min()), kernel._retired_below)
             with self.counter.copying():
@@ -394,11 +409,15 @@ class ArrayCacheStore(BaseSliceStore):
                     targets = stale[stale_stamps <= index]
                     if targets.size == 0:
                         continue
-                    writable = targets[~self._flags_flat(payload)[targets]]
+                    writable = compiled.select_writable(
+                        targets, self._flags_flat(payload)
+                    )
                     if writable.size:
                         self._bulk_copy(payload, writable, cache_flat[writable])
             cache.bulk_restamp(stale, last_index)
-        np.add.at(cache_flat, all_flat, all_deltas)
+        compiled.scatter_add(
+            cache_flat, all_flat.astype(np.int64, copy=False), all_deltas
+        )
         self.counter.write_cells(int(all_flat.size))
 
     def sync_copies(self) -> int:
@@ -410,7 +429,9 @@ class ArrayCacheStore(BaseSliceStore):
         last_index = cache.last_index
         stamps_flat = cache.flat_stamps
         cache_flat = cache.flat_values
-        pending = np.nonzero(stamps_flat < last_index)[0]
+        pending = np.nonzero(stamps_flat < last_index)[0].astype(
+            np.int64, copy=False
+        )
         copied = 0
         first = max(cache.min_stamp_index(), kernel._retired_below)
         with self.counter.copying():
@@ -421,7 +442,9 @@ class ArrayCacheStore(BaseSliceStore):
                 targets = pending[stamps_flat[pending] <= index]
                 if targets.size == 0:
                     continue
-                writable = targets[~self._flags_flat(payload)[targets]]
+                writable = compiled.select_writable(
+                    targets, self._flags_flat(payload)
+                )
                 if writable.size:
                     self._bulk_copy(payload, writable, cache_flat[writable])
                     copied += int(writable.size)
@@ -442,6 +465,18 @@ class DenseStore(ArrayCacheStore):
 
     # -- slice primitives ------------------------------------------------------
 
+    @staticmethod
+    def _promote(payload) -> None:
+        """Heap-copy a checkpoint-mmap'd slice before its first write.
+
+        Restored slices may serve reads directly off read-only mmap
+        views of the checkpoint archive; any mutation first promotes
+        both arrays so the archive file is never written through.
+        """
+        if payload.values is not None and not payload.values.flags.writeable:
+            payload.values = payload.values.copy()
+            payload.ps_flags = payload.ps_flags.copy()
+
     def slice_peek(self, payload, cell) -> int:
         return int(payload.values[cell])
 
@@ -452,6 +487,7 @@ class DenseStore(ArrayCacheStore):
         # epoch exporters re-freeze the slice instead of reusing a block
         # frozen before the landing.
         self.counter.write_cells()
+        self._promote(payload)
         payload.mut_version += 1
         try:
             payload.values[cell] = value
@@ -461,6 +497,7 @@ class DenseStore(ArrayCacheStore):
     def mark_ps(self, payload, cell, ps_value: int) -> None:
         # Historic content is final: persist the conversion.  The seqlock
         # bump keeps the value/flag pair consistent for snapshot readers.
+        self._promote(payload)
         payload.mut_version += 1
         try:
             payload.values[cell] = ps_value
@@ -472,6 +509,7 @@ class DenseStore(ArrayCacheStore):
 
     def oob_slice_add(self, payload, cell, delta: int) -> None:
         self.counter.write_cells()
+        self._promote(payload)
         payload.mut_version += 1
         try:
             payload.values[cell] = int(payload.values[cell]) + delta
@@ -483,6 +521,7 @@ class DenseStore(ArrayCacheStore):
         touched = int(mask.sum())
         if touched:
             self.counter.write_cells(touched)
+            self._promote(payload)
             payload.mut_version += 1
             try:
                 payload.values[mask] += delta
@@ -512,12 +551,12 @@ class DenseStore(ArrayCacheStore):
         if f"slice_{index}_retired" in arrays:
             payload.retire()
         else:
-            payload.values = np.asarray(
-                arrays[f"slice_{index}_values"], dtype=np.int64
-            ).copy()
-            payload.ps_flags = np.asarray(
-                arrays[f"slice_{index}_flags"], dtype=bool
-            ).copy()
+            payload.values = _adopt_array(
+                arrays[f"slice_{index}_values"], np.int64
+            )
+            payload.ps_flags = _adopt_array(
+                arrays[f"slice_{index}_flags"], bool
+            )
             payload.ps_count = int(payload.ps_flags.sum())
         return payload
 
@@ -543,6 +582,7 @@ class DenseStore(ArrayCacheStore):
                 if not payload.retired and not payload.ps_flags[cell]:
                     with self.counter.copying():
                         self.counter.write_cells()
+                        self._promote(payload)
                         payload.mut_version += 1
                         try:
                             payload.values[cell] = value
@@ -576,6 +616,7 @@ class DenseStore(ArrayCacheStore):
         return out
 
     def finalize_commit(self, payload, ps: np.ndarray) -> None:
+        self._promote(payload)
         values, flags = payload.data()
         payload.mut_version += 1
         try:
@@ -586,6 +627,7 @@ class DenseStore(ArrayCacheStore):
             payload.mut_version += 1
 
     def _bulk_copy(self, payload, writable: np.ndarray, values: np.ndarray) -> None:
+        self._promote(payload)
         payload.mut_version += 1
         try:
             payload.values.reshape(-1)[writable] = values
@@ -651,11 +693,25 @@ class PagedStore(ArrayCacheStore):
             self.counter,
         )
 
+    @staticmethod
+    def _promote(payload) -> None:
+        """Heap-copy a slice that still aliases a read-only checkpoint mmap.
+
+        Restored slices adopt the archive's arrays zero-copy; the first
+        mutation lands here and pays for the copy, so the checkpoint file
+        itself is never written through.
+        """
+        store = payload.store
+        if store is not None and not store.cells.flags.writeable:
+            store.cells = store.cells.copy()
+            payload.ps_flags = payload.ps_flags.copy()
+
     def slice_peek(self, payload, cell) -> int:
         return payload.store.read(cell, self.tracker)
 
     def copy_write(self, payload, cell, value: int) -> None:
         # page charge only: external-memory copies cost I/O, not cell work
+        self._promote(payload)
         payload.mut_version += 1
         try:
             payload.store.write(cell, value, self.tracker)
@@ -663,6 +719,7 @@ class PagedStore(ArrayCacheStore):
             payload.mut_version += 1
 
     def mark_ps(self, payload, cell, ps_value: int) -> None:
+        self._promote(payload)
         payload.mut_version += 1
         try:
             payload.store.write(cell, ps_value, self.tracker)
@@ -673,6 +730,7 @@ class PagedStore(ArrayCacheStore):
             payload.mut_version += 1
 
     def oob_slice_add(self, payload, cell, delta: int) -> None:
+        self._promote(payload)
         store = payload.store
         self.tracker.record_write(store.store_id, store.page_of(cell))
         payload.mut_version += 1
@@ -686,6 +744,7 @@ class PagedStore(ArrayCacheStore):
         flat = np.nonzero(mask.reshape(-1))[0]
         if flat.size == 0:
             return
+        self._promote(payload)
         store = payload.store
         payload.mut_version += 1
         try:
@@ -722,12 +781,10 @@ class PagedStore(ArrayCacheStore):
         if f"slice_{index}_retired" in arrays:
             payload.retire()
         else:
-            payload.store.cells[...] = np.asarray(
-                arrays[f"slice_{index}_values"], dtype=np.int64
+            payload.store.cells = _adopt_array(
+                arrays[f"slice_{index}_values"], np.int64
             )
-            payload.ps_flags[...] = np.asarray(
-                arrays[f"slice_{index}_flags"], dtype=bool
-            )
+            payload.ps_flags = _adopt_array(arrays[f"slice_{index}_flags"], bool)
             payload.ps_count = int(payload.ps_flags.sum())
         return payload
 
@@ -777,6 +834,7 @@ class PagedStore(ArrayCacheStore):
             writable = linear[~flags_flat[linear]]
             with self.counter.copying():
                 if writable.size:
+                    self._promote(payload)
                     payload.mut_version += 1
                     try:
                         store.write_page(
@@ -837,6 +895,7 @@ class PagedStore(ArrayCacheStore):
         return out
 
     def finalize_commit(self, payload, ps: np.ndarray) -> None:
+        self._promote(payload)
         store = payload.store
         payload.mut_version += 1
         try:
@@ -850,6 +909,7 @@ class PagedStore(ArrayCacheStore):
             tracker.record_write(store.store_id, page)
 
     def _bulk_copy(self, payload, writable: np.ndarray, values: np.ndarray) -> None:
+        self._promote(payload)
         store = payload.store
         payload.mut_version += 1
         try:

@@ -70,16 +70,16 @@ def unlink_by_prefix(prefix: str) -> int:
             shm = shared_memory.SharedMemory(name=name)
         except (FileNotFoundError, OSError):  # pragma: no cover - race
             continue
-        _unregister(shm)
         try:
             shm.close()
         except BufferError:  # pragma: no cover - still mapped here
             pass
         try:
+            # a successful unlink also drops the attach's tracker entry
             shm.unlink()
             removed += 1
         except FileNotFoundError:  # pragma: no cover - race
-            pass
+            _unregister(shm)
     return removed
 
 

@@ -1,0 +1,162 @@
+"""Zero-copy (mmap-backed) reading of uncompressed ``.npz`` archives.
+
+Checkpoint archives are written with :func:`numpy.savez` -- a plain ZIP
+container whose members are *stored*, not deflated -- so every member's
+``.npy`` payload sits contiguously in the file.  :class:`MmapArchive`
+maps the whole archive once (``mmap.ACCESS_READ``) and serves each
+member as a :func:`numpy.frombuffer` view over the mapping:
+
+* no decompression, no per-array heap copies -- recovery cost is page
+  faults on first touch, proportional to what is actually read;
+* every returned array is **read-only** (the mapping is read-only), so
+  a restore path that adopts the views cannot scribble on the
+  checkpoint file by accident -- mutation requires an explicit
+  promote-to-heap copy at the write site.
+
+Legacy compressed archives (``np.savez_compressed``, the pre-mmap
+checkpoint format) are detected by their member compression method and
+served through :func:`numpy.load` instead; :func:`open_checkpoint`
+picks transparently, so both formats recover.
+
+The ZIP member walk uses :mod:`zipfile` for the central directory, then
+reads each member's *local* header to find the payload offset (the
+local name/extra lengths are authoritative and may differ from the
+central directory's).  The ``.npy`` headers are parsed with
+:mod:`numpy.lib.format`'s public header readers.
+"""
+
+from __future__ import annotations
+
+import io
+import mmap
+import struct
+import zipfile
+from pathlib import Path
+
+import numpy as np
+from numpy.lib import format as npy_format
+
+from repro.core.errors import StorageError
+
+#: fixed part of a ZIP local file header; name/extra lengths at 26/28
+_LOCAL_HEADER_SIZE = 30
+
+
+class _NotMappable(Exception):
+    """Archive cannot be served zero-copy (compressed or exotic member)."""
+
+
+class MmapArchive:
+    """Read-only mapping interface over an uncompressed ``.npz`` archive.
+
+    Quacks like :class:`numpy.lib.npyio.NpzFile` for the operations the
+    restore paths use: ``in``, ``[]``, ``keys()`` and context-manager
+    close.  Arrays keep the mapping alive through their base buffer, so
+    they stay valid after :meth:`close` (which only drops this object's
+    handles; the OS unmaps when the last array goes away).
+    """
+
+    def __init__(self, path) -> None:
+        self._path = Path(path)
+        with open(self._path, "rb") as handle:
+            self._mmap = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        try:
+            self._members = self._scan_members()
+        except (zipfile.BadZipFile, struct.error, OSError) as exc:
+            raise StorageError(f"unreadable archive {self._path}: {exc}") from exc
+        self._cache: dict[str, np.ndarray] = {}
+
+    def _scan_members(self) -> dict[str, tuple[int, int]]:
+        """Member name (sans ``.npy``) -> (payload offset, payload size)."""
+        members: dict[str, tuple[int, int]] = {}
+        with open(self._path, "rb") as handle, zipfile.ZipFile(handle) as archive:
+            for info in archive.infolist():
+                if info.compress_type != zipfile.ZIP_STORED:
+                    raise _NotMappable(info.filename)
+                name = info.filename
+                if name.endswith(".npy"):
+                    name = name[: -len(".npy")]
+                name_len, extra_len = struct.unpack_from(
+                    "<HH", self._mmap, info.header_offset + 26
+                )
+                offset = (
+                    info.header_offset + _LOCAL_HEADER_SIZE + name_len + extra_len
+                )
+                members[name] = (offset, info.file_size)
+        return members
+
+    # -- mapping interface ----------------------------------------------------
+
+    def keys(self):
+        return self._members.keys()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._members
+
+    def __iter__(self):
+        return iter(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        cached = self._cache.get(name)
+        if cached is not None:
+            return cached
+        if name not in self._members:
+            raise KeyError(name)
+        offset, size = self._members[name]
+        array = self._read_member(offset, size)
+        self._cache[name] = array
+        return array
+
+    def _read_member(self, offset: int, size: int) -> np.ndarray:
+        header = io.BytesIO(self._mmap[offset : offset + min(size, 4096)])
+        version = npy_format.read_magic(header)
+        if version == (1, 0):
+            shape, fortran, dtype = npy_format.read_array_header_1_0(header)
+        elif version == (2, 0):
+            shape, fortran, dtype = npy_format.read_array_header_2_0(header)
+        else:
+            raise _NotMappable(f"npy format version {version}")
+        if dtype.hasobject:
+            raise _NotMappable("object arrays cannot be memory-mapped")
+        count = 1
+        for n in shape:
+            count *= int(n)
+        array = np.frombuffer(
+            self._mmap, dtype=dtype, count=count, offset=offset + header.tell()
+        )
+        return array.reshape(shape, order="F" if fortran else "C")
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Drop this object's references; served arrays stay valid.
+
+        The mapping itself is not unmapped here: arrays returned by
+        ``[]`` hold it through their buffer, and ``mmap.close`` would
+        refuse anyway while such exports exist.
+        """
+        self._cache = {}
+        self._members = {}
+
+    def __enter__(self) -> "MmapArchive":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def open_checkpoint(path):
+    """Open a checkpoint archive, zero-copy when the format allows.
+
+    Uncompressed (``np.savez``) archives are served as read-only mmap
+    views through :class:`MmapArchive`; legacy compressed archives fall
+    back to :func:`numpy.load`.  Both results support ``in`` / ``[]`` /
+    context-manager close.
+    """
+    try:
+        return MmapArchive(path)
+    except _NotMappable:
+        return np.load(path)

@@ -17,12 +17,14 @@ metered golden costs.
 from __future__ import annotations
 
 import threading
+import warnings
 
 import numpy as np
 import pytest
 
 from repro.concurrent import ParallelExecutor, SnapshotCube, run_stress
 from repro.core.errors import AgedOutError, DomainError
+from repro.ecube import compiled
 from repro.core.types import Box
 from repro.durability.recovery import DurableCube
 from repro.ecube.buffered import BufferedEvolvingDataCube
@@ -225,8 +227,15 @@ class TestParallelExecutorDifferential:
             assert executor.threads == 1
             boxes = [random_box(rng, dense.shape) for _ in range(20)]
             assert executor.query_many(boxes) == cube.query_many(boxes)
-        with pytest.warns(RuntimeWarning, match="sharding"):
-            executor = ParallelExecutor(snap, threads=2)
+        if compiled.NUMBA_ACTIVE:
+            # nogil compiled kernels: multi-thread serving is genuine
+            # parallelism, so asking for threads must NOT warn
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                executor = ParallelExecutor(snap, threads=2)
+        else:
+            with pytest.warns(RuntimeWarning, match="sharding"):
+                executor = ParallelExecutor(snap, threads=2)
         executor.close()
         snap.close()
 

@@ -10,6 +10,9 @@ all three front-ends.
 
 from __future__ import annotations
 
+import os
+import subprocess
+import sys
 from collections import Counter
 
 import numpy as np
@@ -20,6 +23,7 @@ from hypothesis import strategies as st
 from repro.core.errors import AgedOutError, AppendOrderError, DomainError
 from repro.core.framework import AppendOnlyAggregator, BatchExecutor
 from repro.core.types import Box
+from repro.ecube import compiled
 from repro.ecube.buffered import BufferedEvolvingDataCube
 from repro.ecube.cache import SliceCache
 from repro.ecube.disk import DiskEvolvingDataCube
@@ -29,7 +33,15 @@ from repro.ecube.sparse import SparseEvolvingDataCube
 from repro.ecube.slices import ECubeSliceEngine
 from repro.metrics import CostCounter
 from repro.preagg.ddc import DDCTechnique
-from repro.preagg.term_tables import TermTable, TermTableSet
+from repro.preagg.prefix_sum import PrefixSumTechnique
+from repro.preagg.term_tables import (
+    TermTable,
+    TermTableSet,
+    ddc_gather_counts,
+    fenwick_term_counts,
+    gathered_cell_count,
+    ps_gather_counts,
+)
 
 from tests.conftest import brute_box_sum, random_box
 
@@ -479,3 +491,83 @@ class TestFastSliceEngine:
         cube.update_many([(0, 1, 1), (1, 2, 2)], [1, 2], mode="fast")
         cube.query_many([Box((0, 0, 0), (1, 3, 3))], mode="fast")
         assert cube.counter.snapshot().fast_ops == 3
+
+
+class TestCompiledLayer:
+    """The compiled-kernel layer: backend selection and clean fallback."""
+
+    def test_backend_name_matches_active_flag(self):
+        name = compiled.backend_name()
+        assert name in ("numba", "numpy")
+        assert (name == "numba") == compiled.NUMBA_ACTIVE
+
+    def test_env_override_forces_numpy_backend(self):
+        code = (
+            "from repro.ecube import compiled\n"
+            "assert compiled.backend_name() == 'numpy', compiled.backend_name()\n"
+            "assert not compiled.NUMBA_ACTIVE\n"
+        )
+        env = dict(os.environ, REPRO_NO_NUMBA="1")
+        result = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, env=env,
+        )
+        assert result.returncode == 0, result.stderr
+
+    def test_fallback_import_neither_warns_nor_fails(self):
+        # importing and exercising the engine with the compiled layer
+        # unavailable must be silent: -W error turns any warning fatal
+        code = (
+            "import repro\n"
+            "from repro.core.types import Box\n"
+            "from repro.ecube.ecube import EvolvingDataCube\n"
+            "cube = EvolvingDataCube((4, 4))\n"
+            "cube.update_many([(0, 1, 1), (1, 2, 2)], [1, 2], mode='fast')\n"
+            "print(cube.query_many([Box((0, 0, 0), (1, 3, 3))], mode='fast')[0])\n"
+        )
+        env = dict(os.environ, REPRO_NO_NUMBA="1")
+        result = subprocess.run(
+            [sys.executable, "-W", "error", "-c", code],
+            capture_output=True, text=True, env=env,
+        )
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.strip() == "3"
+        assert result.stderr == ""
+
+
+class TestGatherCountParity:
+    """Closed-form bulk charges equal the per-box term-table tallies."""
+
+    @pytest.mark.parametrize("n", [1, 2, 5, 8, 16, 33, 64, 100])
+    def test_fenwick_term_counts_closed_form(self, n):
+        technique = DDCTechnique(n)
+        pairs = [
+            (low, up) for low in range(n) for up in range(low, n)
+        ]
+        lowers = np.array([p[0] for p in pairs], dtype=np.int64)
+        uppers = np.array([p[1] for p in pairs], dtype=np.int64)
+        counts = fenwick_term_counts(lowers, uppers)
+        for (low, up), count in zip(pairs, counts.tolist()):
+            assert count == len(technique.range_terms(low, up)), (low, up)
+
+    def test_gather_counts_match_gathered_cell_count(self, rng):
+        shape = (13, 7, 21)
+        ddc_tables = TermTableSet([DDCTechnique(n) for n in shape])
+        ps_tables = TermTableSet([PrefixSumTechnique(n) for n in shape])
+        lowers = np.column_stack(
+            [rng.integers(0, n, size=50) for n in shape]
+        ).astype(np.int64)
+        uppers = np.column_stack(
+            [rng.integers(0, n, size=50) for n in shape]
+        ).astype(np.int64)
+        uppers = np.maximum(lowers, uppers)
+        ddc_counts = ddc_gather_counts(lowers, uppers)
+        ps_counts = ps_gather_counts(lowers)
+        for i in range(lowers.shape[0]):
+            low, up = lowers[i].tolist(), uppers[i].tolist()
+            assert ddc_counts[i] == gathered_cell_count(
+                ddc_tables.range_arrays(low, up)[0]
+            )
+            assert ps_counts[i] == gathered_cell_count(
+                ps_tables.range_arrays(low, up)[0]
+            )

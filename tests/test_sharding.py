@@ -273,3 +273,36 @@ class TestProcessMode:
         finally:
             recovered.close()
         assert not leaked_segments()
+
+
+class TestServeStartupSweep:
+    def test_sweeps_segments_leaked_by_a_killed_server(self):
+        """``repro serve`` startup unlinks orphaned segments of our prefix.
+
+        A SIGKILLed server never drops its epoch refcounts; the next
+        startup must reclaim /dev/shm rather than exhaust it.
+        """
+        from multiprocessing import shared_memory
+
+        from repro.__main__ import _sweep_leaked_shm
+        from repro.sharding.shm import SHM_PREFIX, _unregister
+
+        if not leaked_segments():
+            pass  # a clean slate; other suites assert this too
+        orphan = shared_memory.SharedMemory(
+            create=True, name=f"{SHM_PREFIX}-test-orphan-0", size=64
+        )
+        _unregister(orphan)  # simulate the dead owner: tracker forgot it
+        orphan.close()
+        try:
+            assert orphan.name in leaked_segments()
+            swept = _sweep_leaked_shm()
+            assert orphan.name in swept
+            assert not leaked_segments()
+            # idempotent: a clean start sweeps nothing
+            assert _sweep_leaked_shm() == []
+        finally:
+            try:
+                orphan.unlink()
+            except FileNotFoundError:
+                pass
