@@ -49,6 +49,8 @@ BENCH_DURABILITY_FILE = REPO_ROOT / "BENCH_durability.json"
 BENCH_CONCURRENT_FILE = REPO_ROOT / "BENCH_concurrent.json"
 #: sharded-serving trail: process-parallel scatter/gather vs one process
 BENCH_SHARD_FILE = REPO_ROOT / "BENCH_shard.json"
+#: TT-extent trail: batched interval queries vs the metered per-query path
+BENCH_EXTENT_FILE = REPO_ROOT / "BENCH_extent.json"
 
 
 def _commit() -> str:

@@ -33,8 +33,10 @@ from repro.core import (
     get_operator,
 )
 from repro.concurrent import (
+    ExtentSnapshotView,
     ParallelExecutor,
     SnapshotCube,
+    SnapshotExtentCube,
     SnapshotView,
 )
 from repro.core.directory import TimeDirectory
@@ -42,11 +44,14 @@ from repro.core.extent import IntervalAggregator
 from repro.core.framework import AppendOnlyAggregator, BatchExecutor
 from repro.core.measures import MeasureCube
 from repro.core.out_of_order import OutOfOrderBuffer
-from repro.durability import DurableCube, WriteAheadLog
+from repro.durability import DurableCube, DurableExtentCube, WriteAheadLog
 from repro.ecube import (
     BufferedEvolvingDataCube,
     DiskEvolvingDataCube,
     EvolvingDataCube,
+    ExtentCube,
+    FamilyDirectory,
+    SharedTimeAxis,
     SparseEvolvingDataCube,
 )
 from repro.metrics import CostCounter
@@ -100,7 +105,11 @@ __all__ = [
     "DiskEvolvingDataCube",
     "DomainError",
     "DurableCube",
+    "DurableExtentCube",
     "EvolvingDataCube",
+    "ExtentCube",
+    "FamilyDirectory",
+    "SharedTimeAxis",
     "FatNodeArray",
     "IdentityTechnique",
     "LocalPrefixSumTechnique",
@@ -119,7 +128,9 @@ __all__ = [
     "recommend_techniques",
     "RTree",
     "RecoveryError",
+    "ExtentSnapshotView",
     "SnapshotCube",
+    "SnapshotExtentCube",
     "SnapshotView",
     "SparseEvolvingDataCube",
     "ReproError",

@@ -27,7 +27,9 @@ def _info() -> int:
     print("  repro.BufferedEvolvingDataCube  with out-of-order G_d (2.5)")
     print("  repro.AppendOnlyAggregator      the general framework (2.3)")
     print("  repro.IntervalAggregator        objects with extent (2.4)")
+    print("  repro.ExtentCube                TT-extent objects on the eCube")
     print("  repro.DurableCube               WAL + checkpoints + recovery")
+    print("  repro.DurableExtentCube         durable TT-extent cube")
     print("  repro.CubeView / Dimension      OLAP roll-up / data cube")
     print()
     print("Experiments: python -m repro.experiments [--list]")
@@ -73,8 +75,12 @@ def _demo() -> int:
 
 
 def _recover_cube(directory):
-    from repro.durability import DurableCube
+    from repro.durability import DurableCube, DurableExtentCube
+    from repro.durability.checkpoint import read_manifest
 
+    manifest = read_manifest(directory)
+    if manifest is not None and manifest.config.get("extent"):
+        return DurableExtentCube.recover(directory)
     return DurableCube.recover(directory)
 
 
@@ -82,11 +88,21 @@ def _cmd_recover(directory: str) -> int:
     cube = _recover_cube(directory)
     try:
         info = dict(cube.recovery_info or {})
-        kernel = cube.cube
-        info["occurring_times"] = kernel.num_slices
-        info["updates_applied"] = kernel.updates_applied
-        info["retired_instances"] = kernel.retired_instances
-        info["total"] = cube.total()
+        if hasattr(cube, "cube"):
+            kernel = cube.cube
+            info["occurring_times"] = kernel.num_slices
+            info["updates_applied"] = kernel.updates_applied
+            info["retired_instances"] = kernel.retired_instances
+            info["total"] = cube.total()
+        else:
+            # TT-extent cube: report the extent layer's bookkeeping
+            front = cube.front
+            info["extent"] = True
+            info["occurring_times"] = len(front.axis)
+            info["objects_inserted"] = front.objects_inserted
+            info["pending_ends"] = front.pending_ends
+            info["buffered_updates"] = front.buffered_updates
+            info["clock"] = front.clock
         print(json.dumps(info, indent=2))
     finally:
         cube.close()
@@ -235,6 +251,8 @@ def _cmd_log_info(directory: str) -> int:
         info["checkpoint_file"] = manifest.checkpoint_file
         info["backend"] = manifest.config.get("backend")
         info["buffered"] = manifest.config.get("buffered")
+        if manifest.config.get("extent"):
+            info["extent"] = True
     print(json.dumps(info, indent=2))
     return 0
 

@@ -8,6 +8,7 @@ the design notes.
 """
 
 from repro.concurrent.executor import ParallelExecutor
+from repro.concurrent.extent import ExtentSnapshotView, SnapshotExtentCube
 from repro.concurrent.snapshot import Epoch, SnapshotCube, SnapshotView
 from repro.concurrent.stress import StressResult, run_stress
 from repro.concurrent.vectorized import (
@@ -18,7 +19,9 @@ from repro.concurrent.vectorized import (
 
 __all__ = [
     "Epoch",
+    "ExtentSnapshotView",
     "ParallelExecutor",
+    "SnapshotExtentCube",
     "PreparedEpoch",
     "SnapshotCube",
     "SnapshotView",

@@ -1,0 +1,315 @@
+"""Snapshot-isolated serving of TT-extent objects.
+
+:class:`SnapshotExtentCube` fronts an
+:class:`~repro.ecube.extent.ExtentCube` (or a
+:class:`~repro.durability.extent.DurableExtentCube`) with one
+:class:`~repro.concurrent.snapshot.SnapshotCube` per family: each family
+kernel publishes epochs after every answer-changing operation exactly
+like a point cube, and a *pinned extent view* combines
+
+* a pinned epoch of the ``B`` (ended) family,
+* a pinned epoch of the ``C`` (containing) family,
+* the pending-end and containment columns frozen at pin time.
+
+Because the extent cube's queries are pure (the pending correction is
+applied analytically, never by advancing the clock), a view answers
+intersection, containment and alive-at aggregates *at any query time*
+from immutable state -- readers never lock and never observe a
+half-applied move-over pair, since pins are taken under the same writer
+lock that brackets every extent mutation.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.concurrent.snapshot import SnapshotCube, SnapshotView
+from repro.core.errors import DomainError
+from repro.core.types import Box, TimeInterval
+from repro.ecube.extent import ExtentCube, _as_interval
+
+
+class ExtentSnapshotView:
+    """An immutable, releasable view of one published extent state."""
+
+    def __init__(
+        self,
+        ended: SnapshotView,
+        containing: SnapshotView,
+        pending: tuple[np.ndarray, ...],
+        moved: tuple[np.ndarray, ...],
+        min_time: int | None,
+        slice_shape: tuple[int, ...],
+    ) -> None:
+        self._ended = ended
+        self._containing = containing
+        self._pending = pending
+        self._moved = moved
+        self._min_time = min_time
+        self._slice_shape = slice_shape
+        self._released = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def release(self) -> None:
+        if self._released:
+            return
+        self._released = True
+        self._ended.release()
+        self._containing.release()
+
+    def __enter__(self) -> "ExtentSnapshotView":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    @property
+    def sequence(self) -> tuple[int, int]:
+        """The pinned (ended, containing) epoch sequence pair."""
+        return self._ended.sequence, self._containing.sequence
+
+    def _check_released(self) -> None:
+        if self._released:
+            raise DomainError("view was released")
+
+    def _cell_box(self, cell_box: Box | None) -> Box:
+        if cell_box is None:
+            return Box(
+                (0,) * len(self._slice_shape),
+                tuple(n - 1 for n in self._slice_shape),
+            )
+        if cell_box.ndim != len(self._slice_shape):
+            raise DomainError(
+                f"cell box arity {cell_box.ndim} != {len(self._slice_shape)}"
+            )
+        return cell_box
+
+    # -- reads (lock-free, any thread) ---------------------------------------
+
+    def intersecting(self, query, cell_box: Box | None = None) -> int:
+        return self.intersecting_many([query], [cell_box])[0]
+
+    def intersecting_many(
+        self,
+        queries: Sequence,
+        cell_boxes: Sequence[Box | None] | None = None,
+    ) -> list[int]:
+        """``b(t_up) + c(t_up) - b(t_low)`` plus the frozen pending correction."""
+        self._check_released()
+        queries = [_as_interval(q) for q in queries]
+        if cell_boxes is None:
+            cell_boxes = [None] * len(queries)
+        boxes = [self._cell_box(b) for b in cell_boxes]
+        if len(boxes) != len(queries):
+            raise DomainError("need exactly one cell box per query")
+        if not queries:
+            return []
+        results = np.zeros(len(queries), dtype=np.int64)
+        if self._min_time is None:
+            return [0] * len(queries)
+        low = self._min_time
+
+        def prefix_box(time: int, box: Box) -> Box | None:
+            if time < low:
+                return None
+            return Box((low,) + box.lower, (time,) + box.upper)
+
+        b_boxes: list[Box] = []
+        b_slots: list[tuple[int, int]] = []
+        c_boxes: list[Box] = []
+        c_slots: list[int] = []
+        for i, (query, box) in enumerate(zip(queries, boxes)):
+            upper = prefix_box(query.end, box)
+            if upper is not None:
+                b_boxes.append(upper)
+                b_slots.append((i, 1))
+                c_boxes.append(upper)
+                c_slots.append(i)
+            lower = prefix_box(query.start, box)
+            if lower is not None:
+                b_boxes.append(lower)
+                b_slots.append((i, -1))
+        if b_boxes:
+            for (i, sign), value in zip(
+                b_slots, self._ended.query_many(b_boxes)
+            ):
+                results[i] += sign * value
+        if c_boxes:
+            for i, value in zip(c_slots, self._containing.query_many(c_boxes)):
+                results[i] += value
+        p_starts, p_effs, p_cells, p_values = self._pending
+        if p_values.size:
+            for i, (query, box) in enumerate(zip(queries, boxes)):
+                mask = (p_starts <= query.end) & (p_effs <= query.start)
+                if bool(mask.any()):
+                    mask &= ExtentCube._in_box(p_cells, box)
+                    results[i] -= int(p_values[mask].sum())
+        return [int(v) for v in results]
+
+    def alive_at(self, time: int, cell_box: Box | None = None) -> int:
+        return self.intersecting(TimeInterval(int(time), int(time)), cell_box)
+
+    def containment(self, query, cell_box: Box | None = None) -> int:
+        return self.containment_many([query], [cell_box])[0]
+
+    def containment_many(
+        self,
+        queries: Sequence,
+        cell_boxes: Sequence[Box | None] | None = None,
+    ) -> list[int]:
+        self._check_released()
+        queries = [_as_interval(q) for q in queries]
+        if cell_boxes is None:
+            cell_boxes = [None] * len(queries)
+        boxes = [self._cell_box(b) for b in cell_boxes]
+        if len(boxes) != len(queries):
+            raise DomainError("need exactly one cell box per query")
+        f_starts, f_ends, f_cells, f_values = self._moved
+        p_starts, p_effs, p_cells, p_values = self._pending
+        results = []
+        for query, box in zip(queries, boxes):
+            total = 0
+            if f_values.size:
+                mask = (f_starts >= query.start) & (f_ends <= query.end)
+                if bool(mask.any()):
+                    mask &= ExtentCube._in_box(f_cells, box)
+                    total += int(f_values[mask].sum())
+            if p_values.size:
+                mask = (p_starts >= query.start) & (p_effs <= query.end + 1)
+                if bool(mask.any()):
+                    mask &= ExtentCube._in_box(p_cells, box)
+                    total += int(p_values[mask].sum())
+            results.append(total)
+        return results
+
+
+class SnapshotExtentCube:
+    """Single-writer / many-reader front over an extent cube.
+
+    Route every mutation through this object (one writer thread); pin
+    views from any thread for lock-free reads.  Accepts a bare
+    :class:`~repro.ecube.extent.ExtentCube` or a
+    :class:`~repro.durability.extent.DurableExtentCube` (whose mutations
+    stay logged: forwarded writes go through the durable wrapper).
+    """
+
+    def __init__(self, target) -> None:
+        self.target = target
+        extent = getattr(target, "front", target)
+        if not isinstance(extent, ExtentCube):
+            raise DomainError(
+                f"cannot serve extent snapshots over {type(target).__name__}; "
+                "expected an ExtentCube or a DurableExtentCube"
+            )
+        self.extent = extent
+        self._b = SnapshotCube(extent.ended)
+        self._c = SnapshotCube(extent.containing)
+        self._write_lock = threading.RLock()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Detach both family sinks (pinned views stay readable)."""
+        self._b.close()
+        self._c.close()
+
+    def __enter__(self) -> "SnapshotExtentCube":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- forwarded writes (single writer thread) -----------------------------
+
+    def insert(self, interval, cell: Sequence[int], value: int = 1) -> None:
+        with self._write_lock:
+            self.target.insert(interval, cell, value)
+
+    def insert_many(self, intervals, cells, values=None, mode="fast") -> None:
+        with self._write_lock:
+            self.target.insert_many(intervals, cells, values, mode=mode)
+
+    def advance(self, time: int) -> int:
+        with self._write_lock:
+            return self.target.advance(time)
+
+    def drain(self, limit: int | None = None) -> tuple[int, int]:
+        with self._write_lock:
+            return self.target.drain(limit)
+
+    def retire_before(self, time: int) -> int:
+        with self._write_lock:
+            return self.target.retire_before(time)
+
+    def checkpoint(self):
+        """Checkpoint a durable target (both epochs pinned by the wrapper)."""
+        with self._write_lock:
+            return self.target.checkpoint()
+
+    # -- pinning -------------------------------------------------------------
+
+    def pin(self) -> ExtentSnapshotView:
+        """Pin the latest published state of both families as one view.
+
+        Taken under the writer lock, so the two family epochs always
+        correspond to the same completed extent operation (a move-over
+        pair is never split across the ``B``/``C`` pins).
+        """
+        with self._write_lock:
+            b_view = self._b.pin()
+            try:
+                c_view = self._c.pin()
+            except BaseException:
+                b_view.release()
+                raise
+            extent = self.extent
+            return ExtentSnapshotView(
+                b_view,
+                c_view,
+                extent._pending_columns(),
+                extent._cont_columns(),
+                extent._min_time,
+                extent.slice_shape,
+            )
+
+    def snapshot(self) -> ExtentSnapshotView:
+        """Alias for :meth:`pin`."""
+        return self.pin()
+
+    def current_sequence(self) -> tuple[int, int]:
+        return self._b.current_sequence(), self._c.current_sequence()
+
+    def pinned_epochs(self) -> int:
+        return self._b.pinned_epochs() + self._c.pinned_epochs()
+
+    # -- ephemeral reads -----------------------------------------------------
+
+    def intersecting(self, query, cell_box: Box | None = None) -> int:
+        with self.pin() as view:
+            return view.intersecting(query, cell_box)
+
+    def intersecting_many(self, queries, cell_boxes=None) -> list[int]:
+        with self.pin() as view:
+            return view.intersecting_many(queries, cell_boxes)
+
+    def alive_at(self, time: int, cell_box: Box | None = None) -> int:
+        with self.pin() as view:
+            return view.alive_at(time, cell_box)
+
+    def containment(self, query, cell_box: Box | None = None) -> int:
+        with self.pin() as view:
+            return view.containment(query, cell_box)
+
+    def containment_many(self, queries, cell_boxes=None) -> list[int]:
+        with self.pin() as view:
+            return view.containment_many(queries, cell_boxes)
+
+    def __repr__(self) -> str:
+        return (
+            f"SnapshotExtentCube(sequences={self.current_sequence()}, "
+            f"pinned={self.pinned_epochs()})"
+        )

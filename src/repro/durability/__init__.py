@@ -17,7 +17,11 @@ checkpoint:
   compaction once a checkpoint covers them;
 * :mod:`repro.durability.recovery` -- :class:`DurableCube`, the logging
   front-end that wraps any kernel-backed cube (buffered or not), plus
-  ``DurableCube.recover``: latest checkpoint + tail replay.
+  ``DurableCube.recover``: latest checkpoint + tail replay;
+* :mod:`repro.durability.extent` -- :class:`DurableExtentCube`, the same
+  log-before-apply discipline over the multi-family
+  :class:`~repro.ecube.extent.ExtentCube` (interval insert, interval
+  batch and clock-advance records).
 """
 
 from repro.durability.checkpoint import (
@@ -25,10 +29,14 @@ from repro.durability.checkpoint import (
     read_manifest,
     write_checkpoint,
 )
+from repro.durability.extent import DurableExtentCube
 from repro.durability.recovery import DurableCube
 from repro.durability.wal import (
+    AdvanceRecord,
     CheckpointMarkerRecord,
     DrainRecord,
+    IntervalBatchRecord,
+    IntervalInsertRecord,
     OutOfOrderBatchRecord,
     OutOfOrderRecord,
     RetireRecord,
@@ -38,10 +46,14 @@ from repro.durability.wal import (
 )
 
 __all__ = [
+    "AdvanceRecord",
     "CheckpointManifest",
     "CheckpointMarkerRecord",
     "DrainRecord",
     "DurableCube",
+    "DurableExtentCube",
+    "IntervalBatchRecord",
+    "IntervalInsertRecord",
     "OutOfOrderBatchRecord",
     "OutOfOrderRecord",
     "RetireRecord",

@@ -119,6 +119,15 @@ def _fsync_directory(directory: Path) -> None:
 
 def snapshot_arrays(front) -> dict[str, np.ndarray]:
     """Complete state of a (possibly buffered) cube as named arrays."""
+    from repro.ecube.extent import ExtentCube
+
+    if isinstance(front, ExtentCube):
+        # the multi-family extent cube snapshots itself: both family
+        # kernels and buffers (namespaced), pending ends, containment
+        # index and clock bookkeeping
+        arrays = front.state_arrays()
+        arrays["format_version"] = np.array([FORMAT_VERSION])
+        return arrays
     cube = getattr(front, "cube", front)  # unwrap BufferedEvolvingDataCube
     arrays = kernel_state_arrays(cube)
     if hasattr(front, "buffer_state_arrays"):

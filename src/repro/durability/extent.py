@@ -1,0 +1,367 @@
+"""``DurableExtentCube``: write-ahead logging for TT-extent objects.
+
+The extent cube's queries are *pure* -- the logical clock only moves
+through :meth:`~repro.ecube.extent.ExtentCube.insert`,
+:meth:`~repro.ecube.extent.ExtentCube.insert_many` and
+:meth:`~repro.ecube.extent.ExtentCube.advance` -- so its durable state
+is a deterministic function of the mutation sequence alone.  This
+wrapper appends one record *before* applying each mutation
+(log-before-apply, like :class:`~repro.durability.recovery.DurableCube`)
+using three interval-specific record types
+(:class:`~repro.durability.wal.IntervalInsertRecord`,
+:class:`~repro.durability.wal.IntervalBatchRecord`,
+:class:`~repro.durability.wal.AdvanceRecord`) plus the shared drain and
+retire records; recovery is the latest checkpoint (one archive covering
+both families, their ``G_d`` buffers, the pending-end heap and the
+containment index) plus a tail replay through the same entry points,
+reaching a bit-equivalent cube.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.errors import RecoveryError, ReproError, StorageError
+from repro.core.types import Box
+from repro.durability.checkpoint import (
+    CheckpointManifest,
+    publish_manifest,
+    read_manifest,
+    write_checkpoint,
+)
+from repro.durability.recovery import WAL_SUBDIR
+from repro.durability.wal import (
+    AdvanceRecord,
+    CheckpointMarkerRecord,
+    DrainRecord,
+    IntervalBatchRecord,
+    IntervalInsertRecord,
+    RetireRecord,
+    WriteAheadLog,
+)
+from repro.ecube.extent import ExtentCube, _as_interval
+from repro.metrics import CostCounter
+from repro.storage.mmap_npz import open_checkpoint
+
+
+def build_extent_front(config: dict, counter: CostCounter | None) -> ExtentCube:
+    """Construct the configured extent cube (empty) from a manifest config."""
+    return ExtentCube(
+        tuple(int(n) for n in config["slice_shape"]),
+        num_times=config.get("num_times"),
+        counter=counter,
+        backend=config.get("backend", "dense"),
+        copy_budget=config.get("copy_budget"),
+        drain_threshold=config.get("drain_threshold"),
+        page_size=config.get("page_size"),
+        cell_size=config.get("cell_size"),
+    )
+
+
+class DurableExtentCube:
+    """An :class:`~repro.ecube.extent.ExtentCube` with WAL and checkpoints.
+
+    Parameters mirror :class:`~repro.durability.recovery.DurableCube`;
+    the manifest config carries ``"extent": true`` so recovery (and the
+    CLI) dispatches to this class.
+    """
+
+    def __init__(
+        self,
+        slice_shape: Sequence[int],
+        directory,
+        *,
+        backend: str = "dense",
+        num_times: int | None = None,
+        counter: CostCounter | None = None,
+        copy_budget: int | None = None,
+        drain_threshold: float | None = None,
+        page_size: int | None = None,
+        cell_size: int | None = None,
+        fsync: str = "batch",
+        segment_bytes: int = 4 << 20,
+        group_commit: int = 256,
+    ) -> None:
+        self.directory = Path(directory)
+        if read_manifest(self.directory) is not None:
+            raise StorageError(
+                f"{self.directory} already holds a durable cube; open it "
+                "with DurableExtentCube.recover"
+            )
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._config = {
+            "slice_shape": [int(n) for n in slice_shape],
+            "extent": True,
+            "backend": backend,
+            "num_times": num_times,
+            "copy_budget": copy_budget,
+            "drain_threshold": drain_threshold,
+            "page_size": page_size,
+            "cell_size": cell_size,
+            "fsync": fsync,
+            "segment_bytes": int(segment_bytes),
+            "group_commit": int(group_commit),
+        }
+        self.front = build_extent_front(self._config, counter)
+        self.wal = WriteAheadLog(
+            self.directory / WAL_SUBDIR,
+            fsync=fsync,
+            segment_bytes=segment_bytes,
+            group_commit=group_commit,
+        )
+        self._manifest = CheckpointManifest(
+            checkpoint_id=0,
+            covered_lsn=0,
+            checkpoint_file=None,
+            live_segments=self.wal.segments(),
+            config=self._config,
+        )
+        publish_manifest(self.directory, self._manifest)
+        self.recovery_info: dict | None = None
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def counter(self) -> CostCounter:
+        return self.front.counter
+
+    @property
+    def ndim(self) -> int:
+        return self.front.ndim
+
+    @property
+    def last_lsn(self) -> int:
+        """LSN of the most recently appended record (0 = empty log)."""
+        return self.wal.next_lsn - 1
+
+    def log_info(self) -> dict:
+        info = self.wal.log_info()
+        info["checkpoint_id"] = self._manifest.checkpoint_id
+        info["covered_lsn"] = self._manifest.covered_lsn
+        info["checkpoint_file"] = self._manifest.checkpoint_file
+        return info
+
+    # -- logged mutations ---------------------------------------------------------
+
+    def insert(self, interval, cell: Sequence[int], value: int = 1) -> None:
+        """Log, then insert one interval object."""
+        interval = _as_interval(interval)
+        cell = tuple(int(c) for c in cell)
+        self.wal.append(
+            IntervalInsertRecord(interval.start, interval.end, cell, int(value))
+        )
+        self.front.insert(interval, cell, int(value))
+
+    def insert_many(
+        self,
+        intervals: Sequence[Sequence[int]] | np.ndarray,
+        cells: Sequence[Sequence[int]] | np.ndarray,
+        values: Sequence[int] | np.ndarray | None = None,
+        mode: str = "fast",
+    ) -> None:
+        """Log the whole batch as one record, then apply it."""
+        intervals = np.asarray(intervals, dtype=np.int64)
+        cells = np.asarray(cells, dtype=np.int64)
+        if intervals.shape[0] == 0:
+            return
+        if values is None:
+            values = np.ones(intervals.shape[0], dtype=np.int64)
+        else:
+            values = np.asarray(values, dtype=np.int64)
+        self.wal.append(IntervalBatchRecord(intervals, cells, values, mode))
+        self.front.insert_many(intervals, cells, values, mode=mode)
+
+    def advance(self, time: int) -> int:
+        """Log, then move the logical clock (flushing due interval ends)."""
+        time = int(time)
+        self.wal.append(AdvanceRecord(time))
+        return self.front.advance(time)
+
+    def retire_before(self, time: int) -> int:
+        """Log, then retire detail older than ``time`` in both families."""
+        self.wal.append(RetireRecord(int(time)))
+        return self.front.retire_before(int(time))
+
+    def drain(self, limit: int | None = None) -> tuple[int, int]:
+        """Log, then drain both families' ``G_d`` buffers."""
+        self.wal.append(DrainRecord(limit))
+        return self.front.drain(limit)
+
+    # -- pass-through queries -----------------------------------------------------
+
+    def intersecting(
+        self, query, cell_box: Box | None = None, mode: str = "fast"
+    ) -> int:
+        return self.front.intersecting(query, cell_box, mode=mode)
+
+    def intersecting_many(
+        self, queries, cell_boxes=None, mode: str = "fast"
+    ) -> list[int]:
+        return self.front.intersecting_many(queries, cell_boxes, mode=mode)
+
+    def alive_at(
+        self, time: int, cell_box: Box | None = None, mode: str = "fast"
+    ) -> int:
+        return self.front.alive_at(time, cell_box, mode=mode)
+
+    def containment(self, query, cell_box: Box | None = None) -> int:
+        return self.front.containment(query, cell_box)
+
+    def containment_many(self, queries, cell_boxes=None) -> list[int]:
+        return self.front.containment_many(queries, cell_boxes)
+
+    # -- checkpoints --------------------------------------------------------------
+
+    def checkpoint(self) -> CheckpointManifest:
+        """Snapshot both families and the extent layer; compact the log."""
+        checkpoint_id = self._manifest.checkpoint_id + 1
+        covered_lsn = self.wal.append(CheckpointMarkerRecord(checkpoint_id))
+        self.wal.commit()
+        self.wal.roll_segment()
+        pins = []
+        for kernel in (self.front.ended.cube, self.front.containing.cube):
+            sink = getattr(kernel, "_epoch_sink", None)
+            if sink is not None:
+                pins.append(sink.pin())
+        try:
+            self._manifest = write_checkpoint(
+                self.directory,
+                self.front,
+                covered_lsn=covered_lsn,
+                checkpoint_id=checkpoint_id,
+                config=self._config,
+                wal=self.wal,
+            )
+        finally:
+            for pinned in pins:
+                pinned.release()
+        return self._manifest
+
+    def serve(self):
+        """Attach a snapshot-isolation front for concurrent readers."""
+        from repro.concurrent.extent import SnapshotExtentCube
+
+        return SnapshotExtentCube(self)
+
+    def flush(self) -> None:
+        """Force the log durable now (mostly useful with ``fsync="batch"``)."""
+        self.wal.commit()
+
+    def close(self) -> None:
+        self.wal.close()
+
+    def __enter__(self) -> "DurableExtentCube":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"DurableExtentCube({str(self.directory)!r}, "
+            f"backend={self._config['backend']!r}, "
+            f"next_lsn={self.wal.next_lsn})"
+        )
+
+    # -- recovery -----------------------------------------------------------------
+
+    @classmethod
+    def recover(
+        cls,
+        directory,
+        counter: CostCounter | None = None,
+        fsync: str | None = None,
+    ) -> "DurableExtentCube":
+        """Rebuild the durable extent cube living in ``directory``."""
+        directory = Path(directory)
+        manifest = read_manifest(directory)
+        if manifest is None:
+            raise RecoveryError(
+                f"{directory} holds no durable cube (missing manifest)"
+            )
+        config = manifest.config
+        if not config.get("extent"):
+            raise RecoveryError(
+                f"{directory} holds a point-object durable cube; open it "
+                "with DurableCube.recover"
+            )
+        self = cls.__new__(cls)
+        self.directory = directory
+        self._config = config
+        self.front = build_extent_front(config, counter)
+        if manifest.checkpoint_file is not None:
+            archive_path = directory / manifest.checkpoint_file
+            if not archive_path.exists():
+                raise RecoveryError(
+                    f"manifest names missing checkpoint {manifest.checkpoint_file}"
+                )
+            with open_checkpoint(archive_path) as archive:
+                self.front.restore_state(archive)
+        self.wal = WriteAheadLog(
+            directory / WAL_SUBDIR,
+            fsync=fsync if fsync is not None else config.get("fsync", "batch"),
+            segment_bytes=int(config.get("segment_bytes", 4 << 20)),
+            group_commit=int(config.get("group_commit", 256)),
+        )
+        self._manifest = manifest
+        replayed = skipped = 0
+        last_lsn = manifest.covered_lsn
+        for lsn, record in self.wal.replay(after_lsn=manifest.covered_lsn):
+            replayed += 1
+            last_lsn = lsn
+            if not self._replay_record(record):
+                skipped += 1
+        self.recovery_info = {
+            "checkpoint_id": manifest.checkpoint_id,
+            "covered_lsn": manifest.covered_lsn,
+            "replayed_records": replayed,
+            "skipped_records": skipped,
+            "last_lsn": last_lsn,
+        }
+        return self
+
+    def _replay_record(self, record) -> bool:
+        """Apply one tail record; ``False`` = skipped (failed originally)."""
+        front = self.front
+        if isinstance(record, IntervalInsertRecord):
+            try:
+                front.insert(
+                    (record.start, record.end), record.cell, record.value
+                )
+            except ReproError:
+                return False
+            return True
+        if isinstance(record, IntervalBatchRecord):
+            try:
+                front.insert_many(
+                    record.intervals,
+                    record.cells,
+                    record.values,
+                    mode=record.mode,
+                )
+            except ReproError:
+                return False
+            return True
+        if isinstance(record, AdvanceRecord):
+            try:
+                front.advance(record.time)
+            except ReproError:
+                return False
+            return True
+        if isinstance(record, RetireRecord):
+            try:
+                front.retire_before(record.time)
+            except ReproError:
+                return False
+            return True
+        if isinstance(record, DrainRecord):
+            front.drain(record.limit)
+            return True
+        if isinstance(record, CheckpointMarkerRecord):
+            return True
+        raise RecoveryError(
+            f"cannot replay {type(record).__name__} into an extent cube"
+        )

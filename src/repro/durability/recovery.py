@@ -398,6 +398,11 @@ class DurableCube:
                 f"{directory} holds no durable cube (missing manifest)"
             )
         config = manifest.config
+        if config.get("extent"):
+            raise RecoveryError(
+                f"{directory} holds a TT-extent durable cube; open it with "
+                "DurableExtentCube.recover"
+            )
         self = cls.__new__(cls)
         self.directory = directory
         self._config = config

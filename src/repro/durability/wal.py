@@ -71,6 +71,9 @@ TYPE_OOB_BATCH = 4
 TYPE_RETIRE = 5
 TYPE_DRAIN = 6
 TYPE_CHECKPOINT = 7
+TYPE_INTERVAL = 8
+TYPE_INTERVAL_BATCH = 9
+TYPE_ADVANCE = 10
 
 
 @dataclass(frozen=True)
@@ -161,6 +164,48 @@ class CheckpointMarkerRecord:
     type = TYPE_CHECKPOINT
 
 
+@dataclass(frozen=True)
+class IntervalInsertRecord:
+    """One TT-extent object insert (Section 2.4): ``[start, end]`` at a cell."""
+
+    start: int
+    end: int
+    cell: tuple[int, ...]
+    value: int
+
+    type = TYPE_INTERVAL
+
+
+@dataclass(frozen=True)
+class IntervalBatchRecord:
+    """One whole ``ExtentCube.insert_many`` batch, logged as a single record."""
+
+    intervals: np.ndarray  # (n, 2) int64 start/end pairs
+    cells: np.ndarray  # (n, d-1) int64
+    values: np.ndarray  # (n,) int64
+    mode: str = "fast"
+
+    type = TYPE_INTERVAL_BATCH
+
+    def __eq__(self, other) -> bool:  # ndarray fields need value equality
+        return (
+            isinstance(other, IntervalBatchRecord)
+            and self.mode == other.mode
+            and np.array_equal(self.intervals, other.intervals)
+            and np.array_equal(self.cells, other.cells)
+            and np.array_equal(self.values, other.values)
+        )
+
+
+@dataclass(frozen=True)
+class AdvanceRecord:
+    """An explicit ``ExtentCube.advance(time)`` clock movement."""
+
+    time: int
+
+    type = TYPE_ADVANCE
+
+
 WalRecord = (
     UpdateRecord
     | UpdateBatchRecord
@@ -169,6 +214,9 @@ WalRecord = (
     | RetireRecord
     | DrainRecord
     | CheckpointMarkerRecord
+    | IntervalInsertRecord
+    | IntervalBatchRecord
+    | AdvanceRecord
 )
 
 #: "buffer" is the sharded tier's escape hatch: the router classified
@@ -224,6 +272,40 @@ def encode_record(record: WalRecord, lsn: int) -> bytes:
         body = struct.pack("<q", limit)
     elif isinstance(record, CheckpointMarkerRecord):
         body = struct.pack("<Q", int(record.checkpoint_id))
+    elif isinstance(record, IntervalInsertRecord):
+        cell = tuple(int(c) for c in record.cell)
+        body = struct.pack(
+            f"<Hqq{len(cell)}qq",
+            len(cell),
+            int(record.start),
+            int(record.end),
+            *cell,
+            int(record.value),
+        )
+    elif isinstance(record, IntervalBatchRecord):
+        intervals = np.ascontiguousarray(record.intervals, dtype="<i8")
+        cells = np.ascontiguousarray(record.cells, dtype="<i8")
+        values = np.ascontiguousarray(record.values, dtype="<i8")
+        if (
+            intervals.ndim != 2
+            or intervals.shape[1] != 2
+            or cells.ndim != 2
+            or cells.shape[0] != intervals.shape[0]
+            or values.shape != (intervals.shape[0],)
+        ):
+            raise DomainError(
+                "interval batch record needs (n, 2) intervals, (n, k) cells "
+                "and (n,) values"
+            )
+        body = (
+            struct.pack("<B", _MODE_CODES[record.mode])
+            + struct.pack("<IH", intervals.shape[0], cells.shape[1])
+            + intervals.tobytes()
+            + cells.tobytes()
+            + values.tobytes()
+        )
+    elif isinstance(record, AdvanceRecord):
+        body = struct.pack("<q", int(record.time))
     else:
         raise DomainError(f"cannot encode {type(record).__name__}")
     payload = _PREFIX.pack(record.type, int(lsn)) + body
@@ -257,6 +339,38 @@ def decode_payload(payload: bytes) -> tuple[int, WalRecord]:
     if rtype == TYPE_CHECKPOINT:
         (checkpoint_id,) = struct.unpack_from("<Q", body, 0)
         return lsn, CheckpointMarkerRecord(checkpoint_id)
+    if rtype == TYPE_INTERVAL:
+        (ndim,) = struct.unpack_from("<H", body, 0)
+        values = struct.unpack_from(f"<qq{ndim}qq", body, 2)
+        return lsn, IntervalInsertRecord(
+            start=values[0],
+            end=values[1],
+            cell=tuple(values[2:-1]),
+            value=values[-1],
+        )
+    if rtype == TYPE_INTERVAL_BATCH:
+        (mode_code,) = struct.unpack_from("<B", body, 0)
+        if mode_code not in _MODE_NAMES:
+            raise StorageError(f"unknown batch mode code {mode_code}")
+        n, ndim = struct.unpack_from("<IH", body, 1)
+        offset = 7
+        intervals = np.frombuffer(
+            body, dtype="<i8", count=n * 2, offset=offset
+        ).reshape(n, 2).astype(np.int64)
+        offset += n * 16
+        cells = np.frombuffer(
+            body, dtype="<i8", count=n * ndim, offset=offset
+        ).reshape(n, ndim).astype(np.int64)
+        offset += n * ndim * 8
+        values = np.frombuffer(
+            body, dtype="<i8", count=n, offset=offset
+        ).astype(np.int64)
+        return lsn, IntervalBatchRecord(
+            intervals, cells, values, _MODE_NAMES[mode_code]
+        )
+    if rtype == TYPE_ADVANCE:
+        (time,) = struct.unpack_from("<q", body, 0)
+        return lsn, AdvanceRecord(time)
     raise StorageError(f"unknown WAL record type {rtype}")
 
 
@@ -629,6 +743,9 @@ def inspect_log(directory) -> dict:
         TYPE_RETIRE: "retire",
         TYPE_DRAIN: "drain",
         TYPE_CHECKPOINT: "checkpoint_marker",
+        TYPE_INTERVAL: "interval_insert",
+        TYPE_INTERVAL_BATCH: "interval_batch",
+        TYPE_ADVANCE: "advance",
     }
     return {
         "format_version": WAL_FORMAT_VERSION,

@@ -15,12 +15,20 @@ The MOLAP instantiation of the append-only framework:
 * :class:`DiskEvolvingDataCube` -- the kernel over paged external-memory
   slices with page-wise copying (Section 3.5);
 * :class:`SparseEvolvingDataCube` -- the kernel over dict-of-touched-cells
-  slices (Section 7 follow-up).
+  slices (Section 7 follow-up);
+* :class:`repro.ecube.families.SharedTimeAxis` /
+  :class:`repro.ecube.families.FamilyDirectory` -- one time axis shared by
+  several kernel instance families (Section 2.4);
+* :class:`ExtentCube` -- objects with TT-extent as two point-object
+  families (B/C) over a shared axis, with intersection and containment
+  aggregates.
 """
 
 from repro.ecube.buffered import BufferedEvolvingDataCube
 from repro.ecube.ecube import EvolvingDataCube
 from repro.ecube.disk import DiskEvolvingDataCube
+from repro.ecube.extent import ExtentCube
+from repro.ecube.families import FamilyDirectory, SharedTimeAxis
 from repro.ecube.kernel import CubeKernel
 from repro.ecube.slices import ECubeSliceEngine
 from repro.ecube.sparse import SparseEvolvingDataCube
@@ -38,7 +46,10 @@ __all__ = [
     "DiskEvolvingDataCube",
     "ECubeSliceEngine",
     "EvolvingDataCube",
+    "ExtentCube",
+    "FamilyDirectory",
     "PagedStore",
+    "SharedTimeAxis",
     "SliceStore",
     "SparseEvolvingDataCube",
     "SparseStore",

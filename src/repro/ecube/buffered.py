@@ -58,6 +58,11 @@ class BufferedEvolvingDataCube:
         ``"sparse"`` (dict-of-touched-cells).  The ``G_d`` buffering,
         draining and batch semantics are identical across backends
         because they all run the same :class:`~repro.ecube.kernel.CubeKernel`.
+    cube:
+        An already-constructed kernel-backed cube to wrap instead of
+        building one (the multi-family :class:`~repro.ecube.extent.ExtentCube`
+        injects kernels bound to a shared time axis this way); ``backend``
+        and the construction parameters are ignored when given.
     """
 
     def __init__(
@@ -71,8 +76,11 @@ class BufferedEvolvingDataCube:
         backend: str = "dense",
         page_size: int | None = None,
         cell_size: int | None = None,
+        cube=None,
     ) -> None:
-        if backend == "dense":
+        if cube is not None:
+            self.cube = cube
+        elif backend == "dense":
             self.cube = EvolvingDataCube(
                 slice_shape,
                 num_times=num_times,

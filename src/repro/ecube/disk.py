@@ -49,12 +49,14 @@ class DiskEvolvingDataCube(CubeKernel):
         counter: CostCounter | None = None,
         page_size: int = DEFAULT_PAGE_SIZE,
         cell_size: int = DEFAULT_CELL_SIZE,
+        directory=None,
     ) -> None:
         super().__init__(
             slice_shape,
             PagedStore(page_size=page_size, cell_size=cell_size),
             num_times=num_times,
             counter=counter,
+            directory=directory,
         )
         self.page_size = page_size
         self.cell_size = cell_size

@@ -1,0 +1,313 @@
+"""Multi-family kernels over one shared time directory (Section 2.4).
+
+Objects with TT-extent are reduced to two instance families -- ``B(t)``
+(intervals ending strictly before ``t``) and ``C(t)`` (intervals
+containing ``t``) -- answered together as ``b(t_up) + c(t_up) -
+b(t_low)``.  Each family is a full :class:`~repro.ecube.kernel.CubeKernel`
+with its own :class:`~repro.ecube.stores.SliceStore`, but the *occurring
+time values* are a property of the object stream, not of either family:
+an interval start that opens a new instance in ``C`` opens the same
+(empty) instance in ``B``, and a late segment spliced into one family's
+history must shift the sibling's directory indices identically, or the
+three-query combination would subtract instances taken at different
+time resolutions.
+
+:class:`SharedTimeAxis` is that single source of truth: the canonical
+sorted list of occurring times plus the registry of member families.
+:class:`FamilyDirectory` gives each kernel the full
+:class:`~repro.core.directory.TimeDirectory` interface while storing only
+its own payloads; times live on the axis.  Alignment is *synchronous*:
+
+* an ``append`` of a brand-new time pushes the time onto the axis and
+  immediately makes every sibling kernel append an empty instance
+  (``_family_catch_up_append``) -- correct because a slice with no
+  updates of its own reads through the cache stamps untouched;
+* an ``insert_historic`` (a ``G_d`` drain splicing a never-occurring
+  time) first asks every sibling whether it *can* splice at that index
+  (data-aging guards), then inserts the time once and has each sibling
+  clone its own floor payload (``_family_catch_up_splice``), exactly the
+  single-family splice semantics of
+  :meth:`~repro.ecube.kernel.CubeKernel._splice_instance`.
+
+Why one shared directory is correct: every family's instance at index
+``i`` is cumulative over the *same* prefix of occurring times, so any
+floor lookup resolves to the same index in all families and prefix
+differences combine exactly.  A single-member axis degenerates to the
+plain ``TimeDirectory`` behaviour (the point-object production path is
+untouched -- it keeps constructing ``TimeDirectory`` directly).
+
+``suspend_alignment()`` exists for checkpoint restore only: each family
+is rebuilt from its own snapshot arrays in turn, so propagation must
+pause (the times are re-appended once per family, converging on the same
+axis), after which :meth:`SharedTimeAxis.check_aligned` re-asserts the
+invariant.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections.abc import Iterator
+from contextlib import contextmanager
+from typing import Generic, TypeVar
+
+from repro.core.errors import (
+    AppendOrderError,
+    DomainError,
+    EmptyStructureError,
+)
+
+T = TypeVar("T")
+
+
+class SharedTimeAxis:
+    """The canonical occurring-time list shared by a kernel family set."""
+
+    def __init__(self) -> None:
+        self._times: list[int] = []
+        self._members: list[FamilyDirectory] = []
+        self._suspended = False
+
+    # -- registry ---------------------------------------------------------------
+
+    def register(self, member: "FamilyDirectory") -> None:
+        self._members.append(member)
+
+    @property
+    def families(self) -> int:
+        return len(self._members)
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def times(self) -> tuple[int, ...]:
+        return tuple(self._times)
+
+    # -- restore-time alignment suspension --------------------------------------
+
+    @contextmanager
+    def suspend_alignment(self):
+        """Pause sibling catch-up while families restore independently."""
+        self._suspended = True
+        try:
+            yield
+        finally:
+            self._suspended = False
+
+    def check_aligned(self) -> None:
+        """Assert every member holds one payload per axis time."""
+        for member in self._members:
+            if len(member) != len(self._times):
+                raise DomainError(
+                    f"family directory holds {len(member)} payloads for "
+                    f"{len(self._times)} shared occurring times"
+                )
+
+    # -- mutations (called by FamilyDirectory only) ------------------------------
+
+    def _append_time(self, time: int, initiator: "FamilyDirectory") -> None:
+        """Append a brand-new latest time and align every sibling."""
+        self._times.append(time)
+        if self._suspended:
+            return
+        for member in self._members:
+            if member is not initiator:
+                member._catch_up_append(time)
+
+    def _insert_time(self, time: int, initiator: "FamilyDirectory") -> int:
+        """Insert a historic time; siblings splice clones synchronously.
+
+        Sibling guards run *before* any mutation so a refused splice
+        (retired floor detail in one family) leaves the whole family set
+        unchanged -- the caller keeps the correction buffered in ``G_d``.
+        """
+        index = bisect.bisect_right(self._times, time)
+        if not self._suspended:
+            for member in self._members:
+                if member is not initiator:
+                    member._check_can_splice(index)
+        self._times.insert(index, time)
+        if not self._suspended:
+            for member in self._members:
+                if member is not initiator:
+                    member._catch_up_splice(index)
+        return index
+
+    def __repr__(self) -> str:
+        span = f"{self._times[0]}..{self._times[-1]}" if self._times else "empty"
+        return (
+            f"SharedTimeAxis({len(self._times)} occurring times, {span}, "
+            f"{len(self._members)} families)"
+        )
+
+
+class FamilyDirectory(Generic[T]):
+    """One family's view of the shared axis: own payloads, shared times.
+
+    Implements the :class:`~repro.core.directory.TimeDirectory` interface
+    the kernel drives, restricted to the prefix of axis times this family
+    holds payloads for -- during a sibling catch-up the axis is one time
+    ahead, and the prefix view keeps the family self-consistent until its
+    payload lands.  Binary-search comparisons are tallied per family, as
+    in the single-family directory.
+    """
+
+    def __init__(self, axis: SharedTimeAxis) -> None:
+        self.axis = axis
+        self._payloads: list[T] = []
+        self._kernel = None
+        self.comparisons = 0
+        self.lookups = 0
+        axis.register(self)
+
+    def bind_kernel(self, kernel) -> None:
+        """Attach the owning kernel (receives the catch-up callbacks)."""
+        if self._kernel is not None and self._kernel is not kernel:
+            raise DomainError("family directory is already bound to a kernel")
+        self._kernel = kernel
+
+    # -- sibling alignment callbacks (axis -> kernel) ----------------------------
+
+    def _catch_up_append(self, time: int) -> None:
+        if self._kernel is None:
+            raise DomainError("family directory has no kernel bound")
+        self._kernel._family_catch_up_append(time)
+
+    def _check_can_splice(self, index: int) -> None:
+        if self._kernel is None:
+            raise DomainError("family directory has no kernel bound")
+        self._kernel._family_can_splice(index)
+
+    def _catch_up_splice(self, index: int) -> None:
+        self._kernel._family_catch_up_splice(index)
+
+    def insert_payload(self, index: int, payload: T) -> None:
+        """Land this family's payload for an axis time it lacks one for.
+
+        Used by the catch-up paths: the axis already holds the time (at
+        ``index`` for a splice, at the end for an append); only the
+        payload list moves.
+        """
+        if len(self._payloads) >= len(self.axis._times):
+            raise DomainError("family already holds a payload for every time")
+        self._payloads.insert(index, payload)
+
+    # -- TimeDirectory interface -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._payloads)
+
+    def __bool__(self) -> bool:
+        return bool(self._payloads)
+
+    def times(self) -> tuple[int, ...]:
+        return tuple(self.axis._times[: len(self._payloads)])
+
+    def items(self) -> Iterator[tuple[int, T]]:
+        return iter(zip(self.axis._times, self._payloads))
+
+    def append(self, time: int, payload: T) -> None:
+        """Register an occurring time (shared) with this family's payload.
+
+        Two legal shapes: the time is brand-new for the whole family set
+        (strictly beyond the axis; the axis grows and siblings catch up),
+        or this family is catching up to a time the axis already holds at
+        exactly this family's frontier.
+        """
+        time = int(time)
+        own = len(self._payloads)
+        axis_times = self.axis._times
+        if own < len(axis_times):
+            if axis_times[own] != time:
+                raise AppendOrderError(
+                    f"family append at {time} does not match the shared "
+                    f"occurring time {axis_times[own]} at index {own}"
+                )
+            self._payloads.append(payload)
+            return
+        if axis_times and time <= axis_times[-1]:
+            raise AppendOrderError(
+                f"occurring time {time} is not greater than the latest "
+                f"{axis_times[-1]}"
+            )
+        self._payloads.append(payload)
+        self.axis._append_time(time, self)
+
+    def insert_historic(self, time: int, payload: T) -> int:
+        """Insert a historic occurring time; siblings splice in lockstep."""
+        time = int(time)
+        if not self._payloads:
+            raise EmptyStructureError("cannot insert into an empty directory")
+        axis_times = self.axis._times
+        if time >= axis_times[len(self._payloads) - 1]:
+            raise AppendOrderError(
+                f"insert_historic({time}) is not before the latest "
+                f"occurring time {axis_times[len(self._payloads) - 1]}; "
+                "use append"
+            )
+        index = self.floor_index(time) + 1
+        if index > 0 and axis_times[index - 1] == time:
+            raise AppendOrderError(f"time {time} is already occurring")
+        inserted = self.axis._insert_time(time, self)
+        self._payloads.insert(inserted, payload)
+        return inserted
+
+    @property
+    def latest_time(self) -> int:
+        if not self._payloads:
+            raise EmptyStructureError("directory is empty")
+        return self.axis._times[len(self._payloads) - 1]
+
+    @property
+    def latest(self) -> T:
+        if not self._payloads:
+            raise EmptyStructureError("directory is empty")
+        return self._payloads[-1]
+
+    def replace_latest(self, payload: T) -> None:
+        if not self._payloads:
+            raise EmptyStructureError("directory is empty")
+        self._payloads[-1] = payload
+
+    def floor_index(self, time: int) -> int:
+        """Greatest index with occurring time <= ``time``; -1 if none.
+
+        Counted binary search over this family's prefix of the axis.
+        """
+        self.lookups += 1
+        times = self.axis._times
+        lo, hi = 0, len(self._payloads)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            self.comparisons += 1
+            if times[mid] <= time:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo - 1
+
+    def floor(self, time: int) -> tuple[int, T] | None:
+        index = self.floor_index(int(time))
+        if index < 0:
+            return None
+        return self.axis._times[index], self._payloads[index]
+
+    def strictly_before(self, time: int) -> tuple[int, T] | None:
+        return self.floor(int(time) - 1)
+
+    def at_index(self, index: int) -> tuple[int, T]:
+        if not -len(self._payloads) <= index < len(self._payloads):
+            raise IndexError(index)
+        if index < 0:
+            index += len(self._payloads)
+        return self.axis._times[index], self._payloads[index]
+
+    def payload_at_time(self, time: int) -> T:
+        found = self.floor(time)
+        if found is None or found[0] != time:
+            raise KeyError(f"{time} is not an occurring time value")
+        return found[1]
+
+    def __repr__(self) -> str:
+        times = self.axis._times[: len(self._payloads)]
+        span = f"{times[0]}..{times[-1]}" if times else "empty"
+        return f"FamilyDirectory({len(self._payloads)} occurring times, {span})"

@@ -49,12 +49,14 @@ class SparseEvolvingDataCube(CubeKernel):
         num_times: int | None = None,
         counter: CostCounter | None = None,
         copy_budget: int | None = None,
+        directory=None,
     ) -> None:
         super().__init__(
             slice_shape,
             SparseStore(),
             num_times=num_times,
             counter=counter,
+            directory=directory,
         )
         if copy_budget is None:
             copy_budget = 2 * self.engine.worst_case_update_cells() + 64

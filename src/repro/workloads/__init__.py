@@ -15,7 +15,12 @@ from repro.workloads.datasets import (
     uniform,
 )
 from repro.workloads.queries import QueryWorkload, skew_queries, uni_queries
-from repro.workloads.streams import interleave_out_of_order
+from repro.workloads.streams import (
+    SessionSegment,
+    interleave_out_of_order,
+    segment_arrays,
+    session_replay,
+)
 
 __all__ = [
     "Dataset",
@@ -28,4 +33,7 @@ __all__ = [
     "skew_queries",
     "uni_queries",
     "interleave_out_of_order",
+    "SessionSegment",
+    "segment_arrays",
+    "session_replay",
 ]

@@ -8,11 +8,13 @@ late-registered sales or corrected historic values in the paper's terms.
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Iterator
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.errors import DomainError
+from repro.core.types import TimeInterval
 
 Update = tuple[tuple[int, ...], int]
 
@@ -48,6 +50,118 @@ def interleave_out_of_order(
             yield update
     for _, late in sorted(pending):
         yield late
+
+
+@dataclass(frozen=True)
+class SessionSegment:
+    """One activity segment of a user session, as an interval object.
+
+    ``interval`` is the segment's valid-time extent (seconds); ``arrival``
+    is when the collector received it -- replay in ``arrival`` order to
+    reproduce the out-of-order shape of a session log.
+    """
+
+    session: int
+    interval: TimeInterval
+    cell: tuple[int, ...]
+    value: int
+    arrival: int
+
+
+def session_replay(
+    num_sessions: int,
+    slice_shape: Sequence[int],
+    seed: int = 0,
+    *,
+    horizon: int = 4 * 3600,
+    segment_period: int = 5,
+    idle_range: tuple[int, int] = (15 * 60, 30 * 60),
+    session_cap: int = 3600,
+    reorder_window: int = 45,
+) -> list[SessionSegment]:
+    """Generate a session log replay: interval segments in arrival order.
+
+    Models the TT-extent workload of Section 2.4 as collected session
+    telemetry.  Each session opens somewhere in ``[0, horizon)``, pins one
+    cell (its user/page bucket), and emits activity *segments* -- interval
+    objects a few seconds long, starting every ~``segment_period`` seconds
+    while the session is active.  Between activity bursts a session idles
+    for 15--30 minutes (``idle_range``); its total extent is capped at
+    ``session_cap`` (one hour), after which it is cut off mid-segment.
+
+    Collection is not order-preserving: every segment's ``arrival`` is its
+    start plus up to ``reorder_window`` seconds of transport delay, and the
+    returned list is sorted by arrival -- so segments of one session
+    interleave with other sessions and arrive out of (start-time) order,
+    exercising the late-insert path through ``G_d``.
+    """
+    if num_sessions <= 0:
+        raise DomainError("num_sessions must be positive")
+    if not slice_shape:
+        raise DomainError("slice_shape must be non-empty")
+    if segment_period <= 0 or session_cap <= 0 or reorder_window < 0:
+        raise DomainError("segment_period/session_cap/reorder_window invalid")
+    lo, hi = idle_range
+    if not 0 < lo <= hi:
+        raise DomainError(f"idle_range must be ordered and positive, got {idle_range}")
+    rng = np.random.default_rng(seed)
+    segments: list[SessionSegment] = []
+    for session in range(num_sessions):
+        start = int(rng.integers(0, max(1, horizon)))
+        cut = start + session_cap
+        cell = tuple(int(rng.integers(0, n)) for n in slice_shape)
+        t = start
+        while t < cut:
+            # one activity burst: segments every ~segment_period seconds
+            for _ in range(int(rng.integers(3, 13))):
+                length = int(rng.integers(1, 2 * segment_period))
+                end = min(t + length, cut) - 1
+                if end < t:
+                    break
+                arrival = end + int(rng.integers(0, reorder_window + 1))
+                segments.append(
+                    SessionSegment(
+                        session=session,
+                        interval=TimeInterval(t, end),
+                        cell=cell,
+                        value=int(rng.integers(1, 5)),
+                        arrival=arrival,
+                    )
+                )
+                t += max(length, segment_period) + int(
+                    rng.integers(0, segment_period)
+                )
+                if t >= cut:
+                    break
+            if t >= cut or rng.random() < 0.35:
+                break  # session ends instead of idling again
+            t += int(rng.integers(lo, hi + 1))
+    segments.sort(key=lambda s: (s.arrival, s.interval.start, s.session))
+    return segments
+
+
+def segment_arrays(
+    segments: Sequence[SessionSegment],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Columnize a segment replay for ``ExtentCube.insert_many``.
+
+    Returns ``(intervals, cells, values)`` in the segments' given order:
+    ``intervals`` is ``(n, 2)`` int64, ``cells`` is ``(n, k)`` int64 and
+    ``values`` is ``(n,)`` int64.
+    """
+    if not segments:
+        k = 0
+        return (
+            np.empty((0, 2), dtype=np.int64),
+            np.empty((0, k), dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+        )
+    intervals = np.array(
+        [(s.interval.start, s.interval.end) for s in segments], dtype=np.int64
+    )
+    cells = np.array([s.cell for s in segments], dtype=np.int64)
+    values = np.array([s.value for s in segments], dtype=np.int64)
+    return intervals, cells, values
 
 
 def split_stream(

@@ -23,8 +23,11 @@ from repro.durability.wal import (
     _FRAME,
     _HEADER,
     SEGMENT_MAGIC,
+    AdvanceRecord,
     CheckpointMarkerRecord,
     DrainRecord,
+    IntervalBatchRecord,
+    IntervalInsertRecord,
     OutOfOrderBatchRecord,
     OutOfOrderRecord,
     RetireRecord,
@@ -69,13 +72,39 @@ def point_records(draw):
     return cls(point, draw(DELTA))
 
 
+@st.composite
+def interval_records(draw):
+    ndim = draw(st.integers(1, 5))
+    cell = tuple(draw(COORD) for _ in range(ndim))
+    return IntervalInsertRecord(draw(COORD), draw(COORD), cell, draw(DELTA))
+
+
+@st.composite
+def interval_batch_records(draw):
+    n = draw(st.integers(1, 6))
+    ndim = draw(st.integers(1, 4))
+    intervals = np.array(
+        [[draw(COORD), draw(COORD)] for _ in range(n)], dtype=np.int64
+    )
+    cells = np.array(
+        [[draw(COORD) for _ in range(ndim)] for _ in range(n)], dtype=np.int64
+    )
+    values = np.array([draw(DELTA) for _ in range(n)], dtype=np.int64)
+    return IntervalBatchRecord(
+        intervals, cells, values, mode=draw(st.sampled_from(["fast", "metered"]))
+    )
+
+
 RECORDS = st.one_of(
     point_records(),
     update_batch_records(),
     oob_batch_records(),
+    interval_records(),
+    interval_batch_records(),
     st.builds(RetireRecord, time=COORD),
     st.builds(DrainRecord, limit=st.one_of(st.none(), st.integers(0, 2**32))),
     st.builds(CheckpointMarkerRecord, checkpoint_id=st.integers(0, 2**62)),
+    st.builds(AdvanceRecord, time=COORD),
 )
 
 
@@ -119,7 +148,7 @@ def _sample_records(count):
     rng = np.random.default_rng(count)
     out = []
     for i in range(count):
-        kind = i % 4
+        kind = i % 6
         if kind == 0:
             out.append(UpdateRecord((i, int(rng.integers(0, 8))), int(rng.integers(-5, 9))))
         elif kind == 1:
@@ -132,8 +161,24 @@ def _sample_records(count):
             )
         elif kind == 2:
             out.append(RetireRecord(i))
-        else:
+        elif kind == 3:
             out.append(DrainRecord(None if i % 8 == 3 else i))
+        elif kind == 4:
+            out.append(
+                IntervalInsertRecord(
+                    i, i + int(rng.integers(0, 9)), (int(rng.integers(0, 8)),), int(rng.integers(1, 5))
+                )
+            )
+        else:
+            n = int(rng.integers(1, 4))
+            starts = rng.integers(0, 64, size=(n, 1))
+            out.append(
+                IntervalBatchRecord(
+                    np.hstack((starts, starts + rng.integers(0, 16, size=(n, 1)))).astype(np.int64),
+                    rng.integers(0, 8, size=(n, 2)).astype(np.int64),
+                    rng.integers(1, 6, size=n).astype(np.int64),
+                )
+            )
     return out
 
 

@@ -17,7 +17,12 @@ from repro.workloads.datasets import (
     weather6,
 )
 from repro.workloads.queries import skew_queries, uni_queries
-from repro.workloads.streams import interleave_out_of_order, split_stream
+from repro.workloads.streams import (
+    interleave_out_of_order,
+    segment_arrays,
+    session_replay,
+    split_stream,
+)
 
 
 class TestDatasets:
@@ -180,3 +185,60 @@ class TestStreams:
         before, after = split_stream(updates, 3)
         assert before == [((0, 1), 1), ((3, 1), 1)]
         assert after == [((7, 1), 1)]
+
+
+class TestSessionReplay:
+    def test_arrival_sorted_but_out_of_order_in_start(self):
+        segments = session_replay(30, (8, 8), seed=1)
+        arrivals = [s.arrival for s in segments]
+        assert arrivals == sorted(arrivals)
+        starts = [s.interval.start for s in segments]
+        assert any(a > b for a, b in zip(starts, starts[1:]))
+        # arrival never precedes the segment's end (collected after the fact)
+        assert all(s.arrival >= s.interval.end for s in segments)
+
+    def test_session_shape_invariants(self):
+        segments = session_replay(25, (4,), seed=2, segment_period=5)
+        by_session: dict[int, list] = {}
+        for s in segments:
+            assert 0 <= s.cell[0] < 4
+            assert s.value >= 1
+            by_session.setdefault(s.session, []).append(s)
+        for members in by_session.values():
+            # one cell per session; extent capped at one hour
+            assert len({m.cell for m in members}) == 1
+            low = min(m.interval.start for m in members)
+            high = max(m.interval.end for m in members)
+            assert high - low < 3600
+            # within a session, segments never overlap and stay ordered
+            spans = sorted((m.interval.start, m.interval.end) for m in members)
+            for (_, e1), (s2, _) in zip(spans, spans[1:]):
+                assert s2 > e1
+        # at least one session idles between bursts (a 15..30 min gap)
+        gaps = []
+        for members in by_session.values():
+            spans = sorted((m.interval.start, m.interval.end) for m in members)
+            gaps.extend(s2 - e1 for (_, e1), (s2, _) in zip(spans, spans[1:]))
+        assert any(15 * 60 <= gap <= 30 * 60 + 60 for gap in gaps)
+
+    def test_determinism_and_arrays(self):
+        a = session_replay(10, (3, 3), seed=5)
+        b = session_replay(10, (3, 3), seed=5)
+        assert a == b
+        intervals, cells, values = segment_arrays(a)
+        assert intervals.shape == (len(a), 2)
+        assert cells.shape == (len(a), 2)
+        assert values.shape == (len(a),)
+        assert (intervals[:, 1] >= intervals[:, 0]).all()
+        empty = segment_arrays([])
+        assert empty[0].shape == (0, 2) and empty[2].shape == (0,)
+
+    def test_validation(self):
+        with pytest.raises(DomainError):
+            session_replay(0, (4,))
+        with pytest.raises(DomainError):
+            session_replay(3, ())
+        with pytest.raises(DomainError):
+            session_replay(3, (4,), idle_range=(0, 10))
+        with pytest.raises(DomainError):
+            session_replay(3, (4,), session_cap=0)
