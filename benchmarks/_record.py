@@ -51,6 +51,9 @@ BENCH_CONCURRENT_FILE = REPO_ROOT / "BENCH_concurrent.json"
 BENCH_SHARD_FILE = REPO_ROOT / "BENCH_shard.json"
 #: TT-extent trail: batched interval queries vs the metered per-query path
 BENCH_EXTENT_FILE = REPO_ROOT / "BENCH_extent.json"
+#: tiered-retention trail: demoted vs undemoted resident footprint and
+#: cross-tier query latency on an aged weather4 stream
+BENCH_RETENTION_FILE = REPO_ROOT / "BENCH_retention.json"
 
 
 def _commit() -> str:

@@ -1,0 +1,119 @@
+"""Tiered retention footprint and cross-tier query latency.
+
+An aged weather4 stream (nearly all history behind the demotion
+watermark) is held two ways: undemoted in a plain buffered cube, and
+demoted through a raw -> hour -> day :class:`TieredCube` ladder.  The
+benchmark records both resident slice footprints and the wall-clock of
+one mixed query batch (boxes entirely demoted, entirely live, and
+straddling the watermark) per mode in ``BENCH_retention.json``.
+
+The differential is part of the benchmark: every demoted answer vector
+is asserted bit-identical to the undemoted oracle before any row is
+recorded, and the >=4x resident-footprint floor from ISSUE 9 is
+enforced here (CI's guard step re-checks the recorded row).
+"""
+
+from __future__ import annotations
+
+import time
+
+from _record import BENCH_RETENTION_FILE, record
+from repro.core.types import Box
+from repro.ecube.buffered import BufferedEvolvingDataCube
+from repro.retention import TieredCube
+from repro.workloads.datasets import weather4
+from repro.workloads.queries import uni_queries
+
+#: proven >=4x geometry (same as tests/test_retention_tiered.py): the
+#: hour tier keeps 4-wide buckets for 8 instants, the day tier keeps
+#: 24-wide buckets forever
+TIERS = [
+    {"name": "hour", "granularity": 4, "horizon": 8},
+    {"name": "day", "granularity": 24, "horizon": None},
+]
+NUM_QUERIES = 400
+FOOTPRINT_FLOOR = 4.0
+
+
+def _tier_aligned(boxes, horizon, t_max):
+    """Clamp a query mix to tier-aligned TT bounds around the watermark."""
+    aligned = []
+    for i, box in enumerate(boxes):
+        lower, upper = list(box.lower), list(box.upper)
+        if i % 3 == 0:  # entirely demoted, day-bucket aligned
+            lower[0], upper[0] = 0, min(horizon - 1, 24 * ((i % 2) + 1) - 1)
+        elif i % 3 == 1:  # entirely live
+            lower[0], upper[0] = horizon, t_max
+        else:  # straddles the watermark
+            lower[0], upper[0] = 0, t_max
+        aligned.append(Box(tuple(lower), tuple(upper)))
+    return aligned
+
+
+def _timed_query_many(cube, boxes):
+    cube.query_many(boxes[:20])  # warm the engines
+    start = time.perf_counter()
+    answers = cube.query_many(boxes)
+    return list(answers), time.perf_counter() - start
+
+
+def test_tiered_retention_footprint_and_latency(tmp_path):
+    data = weather4(scale=0.2)
+    t_max = int(data.coords[:, 0].max())
+    horizon = t_max - 2  # aged: all but the newest instants demoted
+    boxes = _tier_aligned(
+        list(uni_queries(data.shape, NUM_QUERIES, seed=37)), horizon, t_max
+    )
+
+    plain = BufferedEvolvingDataCube(data.slice_shape)
+    plain.update_many(data.coords, data.values)
+    resident_plain = plain.resident_slice_bytes()
+    baseline, baseline_wall = _timed_query_many(plain, boxes)
+
+    tiered = TieredCube(
+        BufferedEvolvingDataCube(data.slice_shape), TIERS, tmp_path / "tiles"
+    )
+    tiered.update_many(data.coords, data.values)
+    demoted = tiered.demote_before(horizon)
+    assert demoted >= 24  # aged past both tier horizons
+    resident_tiered = tiered.resident_slice_bytes()
+    answers, tiered_wall = _timed_query_many(tiered, boxes)
+
+    # exactness gates the numbers: a fast-but-wrong row is worthless
+    assert answers == baseline
+    ratio = resident_plain / resident_tiered
+    assert ratio >= FOOTPRINT_FLOOR, (
+        f"resident footprint reduction {ratio:.2f}x "
+        f"(< {FOOTPRINT_FLOOR}x floor): {resident_plain} undemoted vs "
+        f"{resident_tiered} demoted"
+    )
+
+    extra = {
+        "dataset": "weather4(scale=0.2)",
+        "num_queries": NUM_QUERIES,
+        "demoted_slices": demoted,
+        "demoted_through": tiered.demoted_through,
+    }
+    record(
+        "weather4_tiered_retention",
+        "undemoted",
+        baseline_wall,
+        0,
+        path=BENCH_RETENTION_FILE,
+        resident_slice_bytes=resident_plain,
+        **extra,
+    )
+    record(
+        "weather4_tiered_retention",
+        "demoted",
+        tiered_wall,
+        0,
+        path=BENCH_RETENTION_FILE,
+        resident_slice_bytes=resident_tiered,
+        footprint_ratio=round(ratio, 3),
+        tile_disk_bytes=tiered.tiles.disk_bytes(),
+        latency_vs_undemoted=round(tiered_wall / baseline_wall, 3)
+        if baseline_wall
+        else None,
+        **extra,
+    )

@@ -55,6 +55,7 @@ from repro.ecube import (
     SparseEvolvingDataCube,
 )
 from repro.metrics import CostCounter
+from repro.retention import TieredCube, TierPolicy, TierSpec, TileStore
 from repro.olap import (
     CubeView,
     Dimension,
@@ -133,6 +134,10 @@ __all__ = [
     "SnapshotExtentCube",
     "SnapshotView",
     "SparseEvolvingDataCube",
+    "TieredCube",
+    "TierPolicy",
+    "TierSpec",
+    "TileStore",
     "ReproError",
     "StorageError",
     "WriteAheadLog",

@@ -30,10 +30,11 @@ def _info() -> int:
     print("  repro.ExtentCube                TT-extent objects on the eCube")
     print("  repro.DurableCube               WAL + checkpoints + recovery")
     print("  repro.DurableExtentCube         durable TT-extent cube")
+    print("  repro.TieredCube / TierPolicy   tiered retention (rollups+tiles)")
     print("  repro.CubeView / Dimension      OLAP roll-up / data cube")
     print()
     print("Experiments: python -m repro.experiments [--list]")
-    print("Durability:  python -m repro {checkpoint,recover,log-info} DIR")
+    print("Durability:  python -m repro {checkpoint,recover,log-info,demote} DIR")
     print("Examples:    python examples/quickstart.py")
     return 0
 
@@ -240,7 +241,7 @@ def _cmd_log_info(directory: str) -> int:
     from pathlib import Path
 
     from repro.durability.checkpoint import read_manifest
-    from repro.durability.recovery import WAL_SUBDIR
+    from repro.durability.recovery import TILES_SUBDIR, WAL_SUBDIR
     from repro.durability.wal import inspect_log
 
     manifest = read_manifest(directory)
@@ -253,7 +254,48 @@ def _cmd_log_info(directory: str) -> int:
         info["buffered"] = manifest.config.get("buffered")
         if manifest.config.get("extent"):
             info["extent"] = True
+        if manifest.config.get("tiers") is not None:
+            from repro.retention import TileStore
+
+            tiles = TileStore(Path(directory) / TILES_SUBDIR)
+            info["tiers"] = manifest.config["tiers"]
+            info["tiles"] = {
+                "count": len(tiles),
+                "disk_bytes": tiles.disk_bytes(),
+                "spans": [
+                    [int(a), int(b)] for a, b in tiles.spans()
+                ],
+            }
     print(json.dumps(info, indent=2))
+    return 0
+
+
+def _cmd_demote(directory: str, before: int) -> int:
+    """Recover a tiered durable cube and demote history below ``before``."""
+    from repro.durability import DurableCube
+
+    cube = DurableCube.recover(directory)
+    try:
+        demoted = cube.demote_before(before)
+        cube.flush()
+        front = cube.front
+        print(
+            json.dumps(
+                {
+                    "demoted_slices": demoted,
+                    "demoted_through": front.demoted_through,
+                    "tiles": len(front.tiles),
+                    "tile_disk_bytes": front.tiles.disk_bytes(),
+                    "tier_slices": {
+                        tier.spec.name: len(tier) for tier in front.tiers
+                    },
+                    "resident_slice_bytes": front.resident_slice_bytes(),
+                },
+                indent=2,
+            )
+        )
+    finally:
+        cube.close()
     return 0
 
 
@@ -269,6 +311,17 @@ def main(argv: list[str] | None = None) -> int:
     ):
         command = sub.add_parser(name, help=help_text)
         command.add_argument("directory", help="durable cube directory")
+    demote = sub.add_parser(
+        "demote",
+        help="demote a tiered durable cube's history below --before",
+    )
+    demote.add_argument("directory", help="durable cube directory")
+    demote.add_argument(
+        "--before",
+        type=int,
+        required=True,
+        help="demote detail strictly older than this TT coordinate",
+    )
     serve = sub.add_parser(
         "serve",
         help="serve a sharded cube over TCP (or --stress the snapshot tier)",
@@ -336,6 +389,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_recover(args.directory)
     if args.command == "log-info":
         return _cmd_log_info(args.directory)
+    if args.command == "demote":
+        return _cmd_demote(args.directory, args.before)
     if args.command == "serve":
         return _cmd_serve(args)
     return _info()

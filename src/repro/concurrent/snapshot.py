@@ -428,10 +428,13 @@ def _resolve_target(target):
     """(kernel, buffer) behind any supported cube front.
 
     Accepts a bare :class:`CubeKernel` (dense/paged/sparse variant), a
-    :class:`~repro.ecube.buffered.BufferedEvolvingDataCube`, or a
-    :class:`~repro.durability.recovery.DurableCube` wrapping either.
+    :class:`~repro.ecube.buffered.BufferedEvolvingDataCube`, a
+    :class:`~repro.retention.planner.TieredCube`, or a
+    :class:`~repro.durability.recovery.DurableCube` wrapping any of them.
     """
     front = getattr(target, "front", target)
+    # a TieredCube may sit between a DurableCube and the kernel front
+    front = getattr(front, "front", front)
     buffer = getattr(front, "buffer", None)
     kernel = front.cube if buffer is not None else front
     if not isinstance(kernel, CubeKernel):

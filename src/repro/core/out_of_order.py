@@ -237,6 +237,49 @@ class OutOfOrderBuffer:
         self._size = kept_count
         return drained
 
+    def prune_below(self, time: int) -> int:
+        """Drop buffered updates with a TT-coordinate below ``time``.
+
+        Used by data aging: once the owner has retired all detail below
+        ``time``, a buffered correction aimed there can never be observed
+        again -- no answerable query box reaches it and a drain would only
+        hand it back (:class:`~repro.core.errors.AgedOutError`).  Without
+        pruning those entries pin the columnar store and the R-tree
+        forever.  Removal mirrors :meth:`drain`: exact-match deletion for
+        a small pruned set, re-pack for a small remainder, and the
+        columnar arrays are reallocated so capacity actually shrinks.
+        Returns the number of entries removed.
+        """
+        if self._size == 0:
+            return 0
+        points = self._points[: self._size]
+        deltas = self._deltas[: self._size]
+        keep = points[:, 0] >= int(time)
+        removed_idx = np.nonzero(~keep)[0]
+        if removed_idx.size == 0:
+            return 0
+        kept_count = int(keep.sum())
+        if kept_count == 0:
+            self._carried_node_accesses += self._tree.node_accesses
+            self._tree = RTree(self.ndim, self._leaf_capacity, self._fanout)
+        elif removed_idx.size <= kept_count:
+            for i in removed_idx:
+                self._tree.delete(
+                    tuple(int(c) for c in points[i]), int(deltas[i])
+                )
+        else:
+            self._carried_node_accesses += self._tree.node_accesses
+            self._tree = RTree.bulk_load(
+                [tuple(int(c) for c in p) for p in points[keep]],
+                [int(v) for v in deltas[keep]],
+                self._leaf_capacity,
+                self._fanout,
+            )
+        self._points = points[keep]
+        self._deltas = deltas[keep]
+        self._size = kept_count
+        return int(removed_idx.size)
+
     @property
     def node_accesses(self) -> int:
         """Cumulative metered cost, surviving drains and tree rebuilds."""

@@ -128,10 +128,14 @@ def snapshot_arrays(front) -> dict[str, np.ndarray]:
         arrays = front.state_arrays()
         arrays["format_version"] = np.array([FORMAT_VERSION])
         return arrays
-    cube = getattr(front, "cube", front)  # unwrap BufferedEvolvingDataCube
+    cube = getattr(front, "cube", front)  # unwrap TieredCube/Buffered fronts
     arrays = kernel_state_arrays(cube)
     if hasattr(front, "buffer_state_arrays"):
         arrays.update(front.buffer_state_arrays())
+    if hasattr(front, "retention_state_arrays"):
+        # tiered retention: rollup slices + demotion watermarks (tile
+        # *contents* stay on disk; only their spans are recorded)
+        arrays.update(front.retention_state_arrays())
     return arrays
 
 

@@ -42,6 +42,7 @@ from repro.durability.checkpoint import (
 )
 from repro.durability.wal import (
     CheckpointMarkerRecord,
+    DemoteRecord,
     DrainRecord,
     OutOfOrderBatchRecord,
     OutOfOrderRecord,
@@ -55,6 +56,7 @@ from repro.metrics import CostCounter
 from repro.storage.mmap_npz import open_checkpoint
 
 WAL_SUBDIR = "wal"
+TILES_SUBDIR = "tiles"
 
 
 def _build_front(config: dict, counter: CostCounter | None):
@@ -118,6 +120,15 @@ def _build_front(config: dict, counter: CostCounter | None):
 build_front = _build_front
 
 
+def _tiers_config(tiers) -> list[dict] | None:
+    """Normalize a tier policy (or its JSON form) for the manifest."""
+    if tiers is None:
+        return None
+    from repro.retention import TierPolicy
+
+    return TierPolicy.from_config(tiers).to_config()
+
+
 class DurableCube:
     """A kernel-backed cube with write-ahead logging and checkpoints.
 
@@ -161,6 +172,7 @@ class DurableCube:
         segment_bytes: int = 4 << 20,
         group_commit: int = 256,
         global_order_buffer: bool = False,
+        tiers=None,
     ) -> None:
         self.directory = Path(directory)
         if read_manifest(self.directory) is not None:
@@ -182,8 +194,17 @@ class DurableCube:
             "segment_bytes": int(segment_bytes),
             "group_commit": int(group_commit),
             "global_order_buffer": bool(global_order_buffer),
+            "tiers": _tiers_config(tiers),
         }
         self.front = _build_front(self._config, counter)
+        if self._config["tiers"] is not None:
+            from repro.retention import TieredCube
+
+            self.front = TieredCube(
+                self.front,
+                self._config["tiers"],
+                self.directory / TILES_SUBDIR,
+            )
         self.buffered = bool(buffered)
         self.wal = WriteAheadLog(
             self.directory / WAL_SUBDIR,
@@ -205,8 +226,8 @@ class DurableCube:
 
     @property
     def cube(self):
-        """The wrapped kernel (unwraps the ``G_d`` front-end if present)."""
-        return self.front.cube if self.buffered else self.front
+        """The wrapped kernel (unwraps tiered/``G_d`` fronts if present)."""
+        return getattr(self.front, "cube", self.front)
 
     @property
     def counter(self) -> CostCounter:
@@ -284,6 +305,22 @@ class DurableCube:
         """Log, then retire detail slices older than ``time``."""
         self.wal.append(RetireRecord(int(time)))
         return self.front.retire_before(int(time))
+
+    def demote_before(self, time: int) -> int:
+        """Log, then demote detail older than ``time`` into the tiers.
+
+        Only one record is logged: demotion is deterministic against the
+        cube state it runs on (the implied pre-demote drain included),
+        so replaying it after a crash rewrites byte-identical tiles and
+        rebuilds the same rollup slices.
+        """
+        if self._config.get("tiers") is None:
+            raise DomainError(
+                "demote_before requires a tiered durable cube "
+                "(pass tiers=... when creating it)"
+            )
+        self.wal.append(DemoteRecord(int(time)))
+        return self.front.demote_before(int(time))
 
     def drain(self, limit: int | None = None) -> tuple[int, int]:
         """Log, then drain the ``G_d`` buffer (buffered cubes only)."""
@@ -408,6 +445,12 @@ class DurableCube:
         self._config = config
         self.buffered = bool(config.get("buffered", True))
         self.front = _build_front(config, counter)
+        if config.get("tiers") is not None:
+            from repro.retention import TieredCube
+
+            self.front = TieredCube(
+                self.front, config["tiers"], directory / TILES_SUBDIR
+            )
         if manifest.checkpoint_file is not None:
             archive_path = directory / manifest.checkpoint_file
             if not archive_path.exists():
@@ -419,11 +462,13 @@ class DurableCube:
             # serves queries straight off the checkpoint file (stores
             # promote a slice to heap copies on first write)
             with open_checkpoint(archive_path) as archive:
-                cube = self.front.cube if self.buffered else self.front
+                cube = getattr(self.front, "cube", self.front)
                 cube.copy_budget = int(archive["copy_budget"][0])
                 cube.restore_state(archive)
                 if self.buffered:
                     self.front.restore_buffer_state(archive)
+                if "ret_meta" in archive:
+                    self.front.restore_retention_state(archive)
         # opening for append repairs a torn tail before replay reads it
         self.wal = WriteAheadLog(
             directory / WAL_SUBDIR,
@@ -486,6 +531,14 @@ class DurableCube:
         if isinstance(record, RetireRecord):
             try:
                 front.retire_before(record.time)
+            except ReproError:
+                return False
+            return True
+        if isinstance(record, DemoteRecord):
+            if self._config.get("tiers") is None:
+                return False
+            try:
+                front.demote_before(record.time)
             except ReproError:
                 return False
             return True

@@ -74,6 +74,7 @@ TYPE_CHECKPOINT = 7
 TYPE_INTERVAL = 8
 TYPE_INTERVAL_BATCH = 9
 TYPE_ADVANCE = 10
+TYPE_DEMOTE = 11
 
 
 @dataclass(frozen=True)
@@ -206,6 +207,38 @@ class AdvanceRecord:
     type = TYPE_ADVANCE
 
 
+@dataclass(frozen=True)
+class DemoteRecord:
+    """A ``demote_before(time)`` tiered-retention call.
+
+    Demotion is deterministic given the cube state it runs against
+    (tiles are rewritten byte-identically on replay), so -- exactly like
+    :class:`RetireRecord` -- the horizon is all that needs logging.
+    """
+
+    time: int
+
+    type = TYPE_DEMOTE
+
+
+@dataclass(frozen=True)
+class UnknownRecord:
+    """A CRC-valid frame whose record type this build cannot decode.
+
+    Only produced by tolerant scans (``inspect_log``): diagnostics can
+    still report the frame's type and position instead of collapsing
+    the whole tail into an opaque "torn" verdict.  Replay never builds
+    these -- an unknown type there is a hard error, because skipping a
+    committed mutation would corrupt the recovered state.
+    """
+
+    rtype: int
+
+    @property
+    def type(self) -> int:
+        return self.rtype
+
+
 WalRecord = (
     UpdateRecord
     | UpdateBatchRecord
@@ -217,6 +250,7 @@ WalRecord = (
     | IntervalInsertRecord
     | IntervalBatchRecord
     | AdvanceRecord
+    | DemoteRecord
 )
 
 #: "buffer" is the sharded tier's escape hatch: the router classified
@@ -304,7 +338,7 @@ def encode_record(record: WalRecord, lsn: int) -> bytes:
             + cells.tobytes()
             + values.tobytes()
         )
-    elif isinstance(record, AdvanceRecord):
+    elif isinstance(record, (AdvanceRecord, DemoteRecord)):
         body = struct.pack("<q", int(record.time))
     else:
         raise DomainError(f"cannot encode {type(record).__name__}")
@@ -371,6 +405,9 @@ def decode_payload(payload: bytes) -> tuple[int, WalRecord]:
     if rtype == TYPE_ADVANCE:
         (time,) = struct.unpack_from("<q", body, 0)
         return lsn, AdvanceRecord(time)
+    if rtype == TYPE_DEMOTE:
+        (time,) = struct.unpack_from("<q", body, 0)
+        return lsn, DemoteRecord(time)
     raise StorageError(f"unknown WAL record type {rtype}")
 
 
@@ -386,12 +423,20 @@ class _ScanResult:
 
 
 def _scan_segment(
-    path: Path, decode: bool = True, allow_partial_header: bool = False
+    path: Path,
+    decode: bool = True,
+    allow_partial_header: bool = False,
+    unknown_ok: bool = False,
 ) -> _ScanResult | None:
     """Walk a segment, stopping at the first damaged record.
 
     ``decode=False`` validates frames and extracts LSNs without building
     record objects (used for log-info and compaction decisions).
+
+    ``unknown_ok=True`` keeps walking past CRC-valid frames whose record
+    type this build cannot decode, yielding :class:`UnknownRecord`
+    placeholders (diagnostics only -- replay must never skip a committed
+    mutation, so it scans strictly).
 
     ``allow_partial_header=True`` returns ``None`` instead of raising
     when the file is shorter than a segment header: a crash between
@@ -436,8 +481,13 @@ def _scan_segment(
         try:
             lsn, record = decode_payload(payload)
         except (StorageError, struct.error):
-            torn = True
-            break
+            if not unknown_ok or len(payload) < _PREFIX.size:
+                torn = True
+                break
+            # the frame checksummed clean, so its bytes are exactly what
+            # was written: report the undecodable type instead of torn
+            rtype, lsn = _PREFIX.unpack_from(payload, 0)
+            record = UnknownRecord(rtype)
         if lsn != expected_lsn:
             # an overwritten or misordered tail is indistinguishable from
             # a torn write; the intact prefix is the durable history
@@ -709,6 +759,7 @@ def inspect_log(directory) -> dict:
         scan = _scan_segment(
             path,
             allow_partial_header=position == len(found) - 1 and position > 0,
+            unknown_ok=True,
         )
         if scan is None:
             segments.append(
@@ -746,12 +797,14 @@ def inspect_log(directory) -> dict:
         TYPE_INTERVAL: "interval_insert",
         TYPE_INTERVAL_BATCH: "interval_batch",
         TYPE_ADVANCE: "advance",
+        TYPE_DEMOTE: "demote",
     }
     return {
         "format_version": WAL_FORMAT_VERSION,
         "records": total_records,
         "record_counts": {
-            type_names[t]: n for t, n in sorted(record_counts.items())
+            type_names.get(t, f"unknown_{t}"): n
+            for t, n in sorted(record_counts.items())
         },
         "segments": segments,
         "torn_tail": torn,

@@ -140,11 +140,38 @@ class BufferedEvolvingDataCube:
     def retire_before(self, time: int) -> int:
         """Retire detail slices older than ``time`` on the wrapped cube.
 
-        Buffered corrections aimed into the newly retired region simply
-        stay in ``G_d`` (the next :meth:`drain` keeps them), where query
-        post-processing keeps answers exact.
+        Buffered corrections aimed into the newly retired region are
+        pruned from ``G_d`` along with the detail: after the retire no
+        answerable query box reaches them (floors inside the retired
+        region raise :class:`~repro.core.errors.AgedOutError`) and a
+        drain would only hand them straight back, so keeping them would
+        pin buffer memory forever without ever changing an answer.
+
+        Tiered fronts (:class:`~repro.retention.TieredCube`) deliberately
+        bypass this wrapper when they retire -- for them, corrections
+        below the demotion watermark are live tier-correction state.
         """
-        return self.cube.retire_before(time)
+        retired = self.cube.retire_before(time)
+        self.prune_retired()
+        return retired
+
+    def prune_retired(self) -> int:
+        """Drop buffered corrections that can never be observed again.
+
+        An entry at or below the retirement boundary instance is
+        unreachable: queries there raise
+        :class:`~repro.core.errors.AgedOutError` and drains keep handing
+        it back.  Returns the number of entries removed.
+        """
+        retired = self.cube.retired_instances
+        if retired == 0 or not len(self.buffer):
+            return 0
+        boundary_time = self.cube.occurring_times()[retired]
+        return self.buffer.prune_below(int(boundary_time) + 1)
+
+    def resident_slice_bytes(self) -> int:
+        """Resident payload bytes of the wrapped cube's live slices."""
+        return self.cube.resident_slice_bytes()
 
     @property
     def counter(self) -> CostCounter:

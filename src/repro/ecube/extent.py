@@ -63,7 +63,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from repro.core.errors import AppendOrderError, DomainError
+from repro.core.errors import AgedOutError, AppendOrderError, DomainError
 from repro.core.types import Box, TimeInterval
 from repro.ecube.buffered import BufferedEvolvingDataCube
 from repro.ecube.ecube import EvolvingDataCube
@@ -150,6 +150,8 @@ class ExtentCube:
         self._cont_cells: list[tuple[int, ...]] = []
         self._cont_values: list[int] = []
         self._cont_cache: tuple[np.ndarray, ...] | None = None
+        #: containment aged-out cutoff installed by :meth:`prune_retired`
+        self._cont_retired_below: int | None = None
         self._seq = 0
         self.objects_inserted = 0
 
@@ -459,6 +461,42 @@ class ExtentCube:
             time
         )
 
+    def prune_retired(self) -> int:
+        """Shed extent state that the retirement boundary made dead.
+
+        Both families' ``G_d`` buffers drop corrections at or below the
+        boundary instance (their queries age out there), and the columnar
+        containment index drops moved-over intervals whose ``end``
+        precedes the boundary time: such an interval is only observable
+        by a containment query with ``t_low`` inside the retired region,
+        so those queries now raise
+        :class:`~repro.core.errors.AgedOutError` instead of silently
+        under-counting.  Without this the index keeps every interval that
+        ever moved over, forever.  Returns the number of entries removed
+        across all three stores.
+        """
+        removed = self.ended.prune_retired() + self.containing.prune_retired()
+        retired = self.ended.cube.retired_instances
+        if retired == 0:
+            return removed
+        horizon = int(self.ended.cube.occurring_times()[retired])
+        if self._cont_retired_below is not None:
+            horizon = max(horizon, self._cont_retired_below)
+        self._cont_retired_below = horizon
+        if self._cont_ends and min(self._cont_ends) < horizon:
+            kept = [
+                i
+                for i in range(len(self._cont_ends))
+                if self._cont_ends[i] >= horizon
+            ]
+            removed += len(self._cont_ends) - len(kept)
+            self._cont_starts = [self._cont_starts[i] for i in kept]
+            self._cont_ends = [self._cont_ends[i] for i in kept]
+            self._cont_cells = [self._cont_cells[i] for i in kept]
+            self._cont_values = [self._cont_values[i] for i in kept]
+            self._cont_cache = None
+        return removed
+
     # -- queries ---------------------------------------------------------------
 
     def _cell_box(self, cell_box: Box | None) -> Box:
@@ -608,6 +646,14 @@ class ExtentCube:
         boxes = [self._cell_box(b) for b in cell_boxes]
         if len(boxes) != len(queries):
             raise DomainError("need exactly one cell box per query")
+        if self._cont_retired_below is not None:
+            for query in queries:
+                if query.start < self._cont_retired_below:
+                    raise AgedOutError(
+                        f"containment query starting at {query.start} reaches "
+                        f"into the pruned region below "
+                        f"{self._cont_retired_below}"
+                    )
         f_starts, f_ends, f_cells, f_values = self._cont_columns()
         p_starts, p_effs, p_cells, p_values = self._pending_columns()
         results = []
@@ -670,6 +716,9 @@ class ExtentCube:
                         _NONE if self._min_time is None else self._min_time,
                         self.objects_inserted,
                         self._seq,
+                        _NONE
+                        if self._cont_retired_below is None
+                        else self._cont_retired_below,
                     ],
                     dtype=np.int64,
                 ),
@@ -742,6 +791,11 @@ class ExtentCube:
         self._min_time = None if int(meta[1]) == _NONE else int(meta[1])
         self.objects_inserted = int(meta[2])
         self._seq = int(meta[3])
+        self._cont_retired_below = (
+            None
+            if meta.shape[0] < 5 or int(meta[4]) == _NONE
+            else int(meta[4])
+        )
 
     def __repr__(self) -> str:
         return (

@@ -1049,6 +1049,20 @@ class CubeKernel:
         with self._op():
             return self.store.sync_copies()
 
+    def resident_slice_bytes(self) -> int:
+        """Resident bytes of all live (non-retired) slice payloads.
+
+        The quantity data aging reclaims: retired payloads count zero,
+        the shared update cache is excluded (identical either way).  The
+        tiered-retention benchmark compares this between a demoted and
+        an undemoted cube.
+        """
+        total = 0
+        for index in range(len(self.directory)):
+            _, payload = self.directory.at_index(index)
+            total += self.store.payload_nbytes(payload)
+        return total
+
     # -- durability hooks (checkpoint snapshots and log replay) -------------------
 
     def state_arrays(self) -> dict[str, np.ndarray]:

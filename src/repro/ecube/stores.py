@@ -595,6 +595,12 @@ class DenseStore(ArrayCacheStore):
                 cache.rover_advance()
                 scanned += 1
 
+    def payload_nbytes(self, payload) -> int:
+        """Resident bytes of one slice payload (0 once retired)."""
+        if payload.retired:
+            return 0
+        return payload.values.nbytes + payload.ps_flags.nbytes
+
     # -- fast-engine views -----------------------------------------------------
 
     def slice_views(self, payload) -> tuple[np.ndarray, np.ndarray]:
@@ -857,6 +863,12 @@ class PagedStore(ArrayCacheStore):
                 )
                 cache.restamp(cell, target + 1)
             return
+
+    def payload_nbytes(self, payload) -> int:
+        """Resident bytes of one slice payload (0 once retired)."""
+        if payload.retired:
+            return 0
+        return payload.store.cells.nbytes + payload.ps_flags.nbytes
 
     # -- fast-engine views -----------------------------------------------------
 
@@ -1160,6 +1172,20 @@ class SparseStore(BaseSliceStore):
             for _, payload in self.kernel.directory.items()
         )
         return total + len(self._cache)
+
+    def payload_nbytes(self, payload) -> int:
+        """Resident bytes of one slice payload (0 once retired).
+
+        Dict storage is estimated per materialized entry: a cell key
+        tuple of ``d-1`` coordinates plus the value, 8 bytes each, with
+        PS membership charged per flagged cell -- proportional to update
+        chains like the store itself, and consistent across demoted and
+        undemoted cubes (which is what the footprint comparison needs).
+        """
+        if payload.retired:
+            return 0
+        width = 8 * (len(self.kernel.slice_shape) + 1)
+        return len(payload.values) * width + 8 * len(payload.ps_cells)
 
     # -- fast-engine views (densified snapshots) -------------------------------
 

@@ -1,0 +1,24 @@
+"""Tiered retention: rollup tiers + compressed historic tiles.
+
+Demotes aged history instead of deleting it -- see
+:class:`~repro.retention.planner.TieredCube` (the cross-tier front),
+:class:`~repro.retention.tiers.TierPolicy` (the granularity/horizon
+ladder) and :class:`~repro.retention.tiles.TileStore` (full-fidelity
+immutable tiles on disk).
+"""
+
+from repro.retention.planner import TieredCube, ps_box_sum
+from repro.retention.tiers import RollupTier, TierPolicy, TierSpec
+from repro.retention.tiles import TileStore, decode_tile, encode_tile, tile_name
+
+__all__ = [
+    "TieredCube",
+    "TierPolicy",
+    "TierSpec",
+    "RollupTier",
+    "TileStore",
+    "encode_tile",
+    "decode_tile",
+    "tile_name",
+    "ps_box_sum",
+]

@@ -1,0 +1,419 @@
+"""The cross-tier query planner: :class:`TieredCube`.
+
+``TieredCube`` fronts any kernel-backed cube (bare or ``G_d``-buffered)
+and replaces *deleting* aged history (``retire_before``) with *demoting*
+it (:meth:`TieredCube.demote_before`): converged PS slices below the
+horizon are finalized, written to a full-fidelity compressed tile
+(:mod:`repro.retention.tiles`), folded into the rollup tiers
+(:mod:`repro.retention.tiers`), and only then released from the live
+store.
+
+Cross-tier answering is the paper's prefix-difference trick applied
+across resolutions.  Every range aggregate decomposes into two signed
+cumulative prefixes, ``F(t_up) - F(t_lo - 1)``; each prefix floors onto
+an occurring instance and is answered by whichever tier still holds that
+instance's cumulative PS slice:
+
+* floor at or above the demotion watermark -- the **live kernel** (via
+  the front, so the ``G_d`` buffered contribution folds in as usual);
+* floor on a retained rollup boundary -- the **rollup tier's** slice,
+  in memory, no decode (the tier-aligned fast path);
+* any other demoted floor -- the **tile** slice (exact for *every*
+  demoted instance, because tiles keep full fidelity);
+* plus, for demoted prefixes of a buffered front, the ``G_d`` range
+  contribution over the same prefix box (buffered corrections aimed
+  below the horizon stay exact through post-processing, exactly as they
+  do across the plain retirement boundary).
+
+Because converged PS slices are immutable and tiles are lossless, the
+composed answer is *bit-identical* to an undemoted oracle everywhere --
+tier-aligned or not -- which the differential suite pins across all
+three backends.
+
+A demotion drains the ``G_d`` buffer first (corrections aimed into the
+region being demoted can still cascade while it is live), preserves
+pinned snapshot epochs (the kernel's ``preserve_epochs`` discipline runs
+before the first payload is touched), and is deterministic: replaying
+the same ``demote_before`` against the same kernel state rewrites
+byte-identical tiles, which is what lets the durable layer replay a
+``TYPE_DEMOTE`` WAL record after a crash.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.errors import AgedOutError, DomainError, StorageError
+from repro.core.types import Box
+from repro.retention.tiers import TierPolicy, RollupTier
+from repro.retention.tiles import TileStore
+
+_NONE = np.iinfo(np.int64).min
+
+
+def ps_box_sum(ps: np.ndarray, lower: Sequence[int], upper: Sequence[int]) -> int:
+    """Inclusion-exclusion range sum over one cumulative PS slice.
+
+    The per-axis term set of the PS technique is ``{upper: +1,
+    lower-1: -1 if lower > 0}``; the product over axes is the standard
+    ``2^d`` corner gather.  Bounds are clamped to the slice domain.
+    """
+    d = ps.ndim
+    hi = [min(int(u), ps.shape[axis] - 1) for axis, u in enumerate(upper)]
+    lo = [max(int(bound), 0) - 1 for bound in lower]
+    if any(h < x + 1 for h, x in zip(hi, lo)):
+        return 0
+    total = 0
+    for mask in range(1 << d):
+        index = []
+        sign = 1
+        skip = False
+        for axis in range(d):
+            if (mask >> axis) & 1:
+                if lo[axis] < 0:
+                    skip = True
+                    break
+                index.append(lo[axis])
+                sign = -sign
+            else:
+                index.append(hi[axis])
+        if skip:
+            continue
+        total += sign * int(ps[tuple(index)])
+    return total
+
+
+class TieredCube:
+    """Tiered-retention front over a kernel-backed cube.
+
+    Implements the :class:`~repro.core.framework.BatchExecutor` protocol
+    (queries route across tiers; updates and everything else delegate to
+    the wrapped front).
+
+    Parameters
+    ----------
+    front:
+        A :class:`~repro.ecube.buffered.BufferedEvolvingDataCube` or a
+        bare kernel cube (``EvolvingDataCube`` and friends).
+    policy:
+        A :class:`~repro.retention.tiers.TierPolicy` (or its JSON form).
+    tile_dir:
+        Directory for the immutable historic tiles.
+    """
+
+    def __init__(self, front, policy, tile_dir, codec: str = "zlib") -> None:
+        self.front = front
+        self.policy = TierPolicy.from_config(policy)
+        self.tiles = TileStore(tile_dir, codec=codec)
+        self.tiers = [RollupTier(spec) for spec in self.policy]
+        #: first occurring time still live (the demotion watermark)
+        self._demoted_through: int | None = None
+        #: largest horizon ever requested (the tier-eviction clock)
+        self._demote_horizon: int | None = None
+        #: newest demoted instance (carried into the next fold)
+        self._last_time: int | None = None
+        self._last_ps: np.ndarray | None = None
+
+    # -- delegation -----------------------------------------------------------
+
+    @property
+    def cube(self):
+        """The wrapped :class:`~repro.ecube.kernel.CubeKernel` cube."""
+        return getattr(self.front, "cube", self.front)
+
+    @property
+    def buffer(self):
+        """The front's ``G_d`` buffer, or ``None`` for a bare kernel."""
+        return getattr(self.front, "buffer", None)
+
+    def __getattr__(self, name: str):
+        # everything not retention-aware (updates, drains, snapshots,
+        # durability hooks) behaves exactly as the wrapped front
+        if name == "front":
+            raise AttributeError(name)
+        return getattr(self.front, name)
+
+    @property
+    def demoted_through(self) -> int | None:
+        return self._demoted_through
+
+    @property
+    def demote_horizon(self) -> int | None:
+        return self._demote_horizon
+
+    # -- demotion -------------------------------------------------------------
+
+    def demote_before(self, time: int) -> int:
+        """Demote detail older than ``time`` into tiles + rollups.
+
+        Same boundary discipline as
+        :meth:`~repro.ecube.kernel.CubeKernel.retire_before` -- the
+        newest instance below ``time`` stays live as the cumulative
+        boundary -- but every released slice is preserved at full
+        fidelity on disk first.  Returns the number of slices demoted.
+        """
+        time = int(time)
+        kernel = self.cube
+        if not kernel.directory:
+            return 0
+        # corrections aimed below the new horizon can still cascade now;
+        # after the demote they would sit in G_d forever
+        if self.buffer is not None:
+            self.front.drain(None)
+        boundary = kernel.directory.floor_index(time - 1)
+        if boundary <= kernel._retired_below:
+            return 0
+        # pinned snapshot epochs still route reads through live payloads;
+        # freeze them before finalization rewrites any representation
+        kernel._prepare_historic_mutation()
+        times: list[int] = []
+        slices: list[np.ndarray] = []
+        for index in range(kernel._retired_below, boundary):
+            occurring, payload = kernel.directory.at_index(index)
+            if payload.retired:
+                continue  # plain retire already dropped it; nothing to save
+            self._finalize_slice(kernel, index, int(occurring))
+            values, _ = kernel.store.slice_views(payload)
+            times.append(int(occurring))
+            slices.append(np.array(values, dtype=np.int64))
+        demoted_through = int(kernel.directory.at_index(boundary)[0])
+        if times:
+            stack = np.stack(slices)
+            times_arr = np.asarray(times, dtype=np.int64)
+            self.tiles.write_tile(stack, times_arr)
+            for tier in self.tiers:
+                tier.absorb(
+                    times_arr, stack, self._last_time, self._last_ps,
+                    demoted_through,
+                )
+            self._last_time = times[-1]
+            self._last_ps = slices[-1]
+        self._demoted_through = demoted_through
+        self._demote_horizon = (
+            time
+            if self._demote_horizon is None
+            else max(self._demote_horizon, time)
+        )
+        for tier in self.tiers:
+            tier.evict(self._demote_horizon)
+        # retire at the kernel, not through the buffered front: its
+        # retire path prunes G_d entries below the boundary, but here
+        # those entries are live tier-correction state (query_many adds
+        # them back over demoted prefixes)
+        return kernel.retire_before(time)
+
+    def retire_before(self, time: int) -> int:
+        """Hard-retire live detail below ``time`` without demoting it.
+
+        Unlike the buffered front's retire this never prunes ``G_d``:
+        buffered corrections below the demotion watermark still
+        contribute to demoted-prefix answers.
+        """
+        return self.cube.retire_before(int(time))
+
+    def prune_retired(self) -> int:
+        """No-op on a tiered front (returns 0).
+
+        Every demoted instant stays answerable from rollups or tiles,
+        so buffered corrections below the watermark are observable
+        forever -- there is no dead region to prune.
+        """
+        return 0
+
+    def _finalize_slice(self, kernel, index: int, occurring: int) -> None:
+        """Install the full PS representation on one historic slice.
+
+        The vectorized recovery (``bulk_finalize_slice``) bails on mixed
+        slices where a cell was PS-converted after its lazy-copy stamp
+        had already advanced past the slice -- the cell's DDC value is
+        gone from both the payload and the cache.  The metered per-cell
+        path does not need it: DDC conversion is intra-slice, so walking
+        every cell's cumulative prefix persists the remaining
+        conversions, after which the slice is fully PS and finalization
+        is a trivial early return.
+        """
+        if kernel.bulk_finalize_slice(index):
+            return
+        shape = tuple(kernel.slice_shape)
+        origin = (0,) * len(shape)
+        for cell in np.ndindex(shape):
+            kernel._slice_query(index, Box(origin, cell))
+        if not kernel.bulk_finalize_slice(index):
+            raise StorageError(
+                f"cannot finalize instance at t={occurring} for demotion"
+            )
+
+    # -- queries --------------------------------------------------------------
+
+    def query(self, box: Box) -> int:
+        return self.query_many([box], mode="metered")[0]
+
+    def query_many(self, boxes: Sequence[Box], mode: str = "fast") -> list[int]:
+        """Batch range aggregates, bit-identical to an undemoted oracle.
+
+        Boxes both of whose prefixes resolve at or above the demotion
+        watermark pass straight through to the front in one batch;
+        the rest decompose into signed cumulative prefixes answered
+        per-tier as described in the module docstring.
+        """
+        boxes = list(boxes)
+        kernel = self.cube
+        retired_below = kernel._retired_below
+        if retired_below == 0 or not kernel.directory:
+            return self.front.query_many(boxes, mode=mode)
+        directory = kernel.directory
+        occurring = directory.times()
+        low = int(occurring[0])
+        buffer = self.buffer
+        if buffer is not None and len(buffer):
+            low = min(low, int(buffer._points[: buffer._size, 0].min()))
+        results = [0] * len(boxes)
+        live_boxes: list[Box] = []
+        live_slots: list[tuple[int, int]] = []  # (box index, sign)
+        for i, box in enumerate(boxes):
+            prefixes = ((int(box.upper[0]), 1), (int(box.lower[0]) - 1, -1))
+            floors = [directory.floor_index(p) for p, _ in prefixes]
+            if all(f < 0 or f >= retired_below for f in floors):
+                live_boxes.append(box)
+                live_slots.append((i, 0))  # sign 0: whole-box passthrough
+                continue
+            for (prefix, sign), floor in zip(prefixes, floors):
+                if floor < 0:
+                    continue
+                prefix_box = Box(
+                    (low,) + tuple(box.lower[1:]),
+                    (prefix,) + tuple(box.upper[1:]),
+                )
+                if floor >= retired_below:
+                    live_boxes.append(prefix_box)
+                    live_slots.append((i, sign))
+                    continue
+                ps = self._demoted_slice(int(occurring[floor]))
+                results[i] += sign * ps_box_sum(
+                    ps, box.lower[1:], box.upper[1:]
+                )
+                if buffer is not None and len(buffer):
+                    results[i] += sign * int(
+                        buffer.range_sum(
+                            prefix_box,
+                            mode="fast" if mode == "fast" else "metered",
+                        )
+                    )
+        if live_boxes:
+            values = self.front.query_many(live_boxes, mode=mode)
+            for (i, sign), value in zip(live_slots, values):
+                results[i] += (sign if sign else 1) * int(value)
+        return results
+
+    def _demoted_slice(self, floor_time: int) -> np.ndarray:
+        """The cumulative PS slice at a demoted occurring time.
+
+        Rollup tiers first (finest wins; in-memory, no decode), then the
+        full-fidelity tiles; an instance covered by neither was retired
+        without demotion and is genuinely gone.
+        """
+        for tier in self.tiers:
+            ps = tier.slice_at(floor_time)
+            if ps is not None:
+                return ps
+        ps = self.tiles.slice_at(floor_time)
+        if ps is not None:
+            return ps
+        raise AgedOutError(
+            f"instance at t={floor_time} was retired without demotion; "
+            "its detail is no longer accessible"
+        )
+
+    def total(self) -> int:
+        return self.front.total()
+
+    # -- footprint ------------------------------------------------------------
+
+    def resident_slice_bytes(self) -> int:
+        """Resident history bytes: live kernel slices + rollup slices.
+
+        Tile bytes live on disk (served via mmap) and are *not*
+        resident; this is the quantity the retention benchmark compares
+        against an undemoted cube.
+        """
+        total = self.cube.resident_slice_bytes()
+        for tier in self.tiers:
+            total += tier.resident_nbytes()
+        if self._last_ps is not None:
+            total += self._last_ps.nbytes
+        return total
+
+    # -- durable snapshots ----------------------------------------------------
+
+    def retention_state_arrays(self) -> dict[str, np.ndarray]:
+        """Tier + demotion bookkeeping as named (``ret_``) arrays.
+
+        Complements the kernel's ``state_arrays`` and the front's
+        ``buffer_state_arrays`` in checkpoint archives.  Tile *contents*
+        are not duplicated -- tiles are immutable files verified by
+        checksum -- but their spans are recorded so recovery can detect
+        a missing tile immediately.
+        """
+        shape = tuple(self.cube.slice_shape)
+        arrays: dict[str, np.ndarray] = {
+            "ret_meta": np.array(
+                [
+                    _NONE if self._demoted_through is None else self._demoted_through,
+                    _NONE if self._demote_horizon is None else self._demote_horizon,
+                    _NONE if self._last_time is None else self._last_time,
+                    len(self.tiers),
+                ],
+                dtype=np.int64,
+            ),
+            "ret_last_ps": (
+                np.empty((0, *shape), dtype=np.int64)
+                if self._last_ps is None
+                else self._last_ps.reshape((1, *shape))
+            ),
+            "ret_tile_spans": self.tiles.spans(),
+        }
+        for i, tier in enumerate(self.tiers):
+            state = tier.state_arrays(shape)
+            arrays[f"ret_tier{i}_times"] = state["times"]
+            arrays[f"ret_tier{i}_stack"] = state["stack"]
+            arrays[f"ret_tier{i}_meta"] = state["meta"]
+        return arrays
+
+    def restore_retention_state(self, arrays) -> None:
+        """Rebuild tier + demotion state from :meth:`retention_state_arrays`."""
+        meta = np.asarray(arrays["ret_meta"], dtype=np.int64)
+        if int(meta[3]) != len(self.tiers):
+            raise DomainError(
+                f"checkpoint has {int(meta[3])} tiers, policy has "
+                f"{len(self.tiers)}"
+            )
+        self._demoted_through = None if int(meta[0]) == _NONE else int(meta[0])
+        self._demote_horizon = None if int(meta[1]) == _NONE else int(meta[1])
+        self._last_time = None if int(meta[2]) == _NONE else int(meta[2])
+        last = np.asarray(arrays["ret_last_ps"], dtype=np.int64)
+        self._last_ps = (
+            None if last.shape[0] == 0 else np.array(last[0], dtype=np.int64)
+        )
+        for i, tier in enumerate(self.tiers):
+            tier.restore_state(
+                arrays[f"ret_tier{i}_times"],
+                arrays[f"ret_tier{i}_stack"],
+                arrays[f"ret_tier{i}_meta"],
+            )
+        self.tiles.rescan()
+        on_disk = {tuple(int(v) for v in span) for span in self.tiles.spans()}
+        for span in np.asarray(arrays["ret_tile_spans"], dtype=np.int64):
+            if (int(span[0]), int(span[1])) not in on_disk:
+                raise StorageError(
+                    f"checkpointed tile tile-{int(span[0])}-{int(span[1])}"
+                    ".tile is missing from the tile directory"
+                )
+
+    def __repr__(self) -> str:
+        return (
+            f"TieredCube(front={self.front!r}, tiers={len(self.tiers)}, "
+            f"tiles={len(self.tiles)}, demoted_through={self._demoted_through})"
+        )

@@ -1,0 +1,272 @@
+"""Rollup tiers: coarse-granularity PS slices folded at tier boundaries.
+
+A :class:`TierPolicy` names a ladder of time granularities with per-tier
+retention horizons -- the ``raw -> hour -> day`` pattern of pre-computed
+coarse aggregates (SNIPPETS.md's ``park_hourly_stats`` /
+``ride_hourly_stats`` tables).  The live kernel is the implicit *raw*
+tier; each :class:`RollupTier` above it retains, per completed bucket of
+its granularity, the cumulative PS slice at the bucket's *boundary
+instance* (the newest occurring time inside the bucket).
+
+Folding converged fine slices into a rollup is a pure prefix-difference
+and therefore free: PS slices are cumulative over all history, so the
+aggregate of any bucket ``[b, b+g)`` is ``PS(boundary(b+g)) -
+PS(boundary(b))`` -- the tier only has to *keep* the boundary slices, no
+re-aggregation ever runs.  The cross-tier query planner
+(:mod:`repro.retention.planner`) exploits the same identity in the other
+direction: a query prefix that floors onto a retained boundary instance
+is answered from the rollup bit-identically to the undemoted kernel.
+
+Per-tier horizons bound memory: a tier drops boundary slices older than
+``horizon`` time units behind the demotion clock (full-fidelity detail
+is still on disk in the tiles), so the resident footprint of history is
+``O(sum_t horizon_t / granularity_t)`` slices regardless of stream
+length.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import DomainError
+
+_NONE = np.iinfo(np.int64).min  # sentinel for "unset" in state arrays
+
+
+@dataclass(frozen=True)
+class TierSpec:
+    """One rollup tier: ``granularity`` bucket width, retention ``horizon``.
+
+    ``horizon=None`` keeps the tier's boundary slices forever (the
+    terminal tier of a ladder typically does); otherwise slices whose
+    boundary time falls more than ``horizon`` time units behind the
+    demotion clock are evicted.
+    """
+
+    name: str
+    granularity: int
+    horizon: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.granularity <= 0:
+            raise DomainError(
+                f"tier {self.name!r}: granularity must be positive"
+            )
+        if self.horizon is not None and self.horizon <= 0:
+            raise DomainError(f"tier {self.name!r}: horizon must be positive")
+
+
+class TierPolicy:
+    """An ordered ladder of rollup tiers, finest first.
+
+    Accepts :class:`TierSpec` objects or plain dicts (the JSON form
+    stored in durable manifests)::
+
+        TierPolicy([
+            {"name": "hour", "granularity": 24, "horizon": 96},
+            {"name": "day", "granularity": 96, "horizon": None},
+        ])
+    """
+
+    def __init__(self, tiers: Sequence) -> None:
+        specs = []
+        for tier in tiers:
+            if isinstance(tier, TierSpec):
+                specs.append(tier)
+            elif isinstance(tier, Mapping):
+                specs.append(
+                    TierSpec(
+                        str(tier["name"]),
+                        int(tier["granularity"]),
+                        None
+                        if tier.get("horizon") is None
+                        else int(tier["horizon"]),
+                    )
+                )
+            else:
+                raise DomainError(f"not a tier spec: {tier!r}")
+        if not specs:
+            raise DomainError("a tier policy needs at least one tier")
+        names = [spec.name for spec in specs]
+        if len(set(names)) != len(names):
+            raise DomainError(f"duplicate tier names in {names}")
+        for finer, coarser in zip(specs, specs[1:]):
+            if coarser.granularity <= finer.granularity:
+                raise DomainError(
+                    "tier granularities must strictly increase: "
+                    f"{finer.name}={finer.granularity} then "
+                    f"{coarser.name}={coarser.granularity}"
+                )
+            if coarser.granularity % finer.granularity:
+                # bucket edges must nest, or the finer tier's horizon
+                # eviction leaves holes misaligned with the coarser edges
+                raise DomainError(
+                    "tier granularities must nest: "
+                    f"{coarser.name}={coarser.granularity} is not a "
+                    f"multiple of {finer.name}={finer.granularity}"
+                )
+        self.tiers: tuple[TierSpec, ...] = tuple(specs)
+
+    def __len__(self) -> int:
+        return len(self.tiers)
+
+    def __iter__(self):
+        return iter(self.tiers)
+
+    def to_config(self) -> list[dict]:
+        """JSON-able form (stored in durable manifests)."""
+        return [
+            {
+                "name": spec.name,
+                "granularity": spec.granularity,
+                "horizon": spec.horizon,
+            }
+            for spec in self.tiers
+        ]
+
+    @classmethod
+    def from_config(cls, config) -> "TierPolicy":
+        if isinstance(config, TierPolicy):
+            return config
+        return cls(config)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{s.name}:g{s.granularity}"
+            + ("" if s.horizon is None else f"/h{s.horizon}")
+            for s in self.tiers
+        )
+        return f"TierPolicy({parts})"
+
+
+class RollupTier:
+    """Boundary PS slices of one granularity, keyed by occurring time.
+
+    ``absorb`` folds a newly demoted run of fine slices: every bucket
+    that completed (its end no later than the demotion boundary) retains
+    the PS slice at its newest occurring time.  Empty buckets retain
+    nothing -- a floor lookup resolves to the previous boundary instance,
+    which an earlier bucket already retains.
+    """
+
+    def __init__(self, spec: TierSpec) -> None:
+        self.spec = spec
+        self._times: list[int] = []
+        self._slices: list[np.ndarray] = []
+        #: end of the first bucket not yet folded (None before first absorb)
+        self._next_bucket_end: int | None = None
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    @property
+    def times(self) -> tuple[int, ...]:
+        return tuple(self._times)
+
+    def absorb(
+        self,
+        times: np.ndarray,
+        stack: np.ndarray,
+        prev_time: int | None,
+        prev_ps: np.ndarray | None,
+        demoted_through: int,
+    ) -> int:
+        """Fold one demoted run; returns boundary slices retained.
+
+        ``times``/``stack`` are the run's occurring times and PS slices
+        (ascending); ``prev_time``/``prev_ps`` carry the newest slice of
+        the *previous* demotion, which is the boundary instance of a
+        bucket whose tail was demoted earlier.  ``demoted_through`` is
+        the first occurring time still live: every bucket ending at or
+        before it is complete.
+        """
+        g = self.spec.granularity
+        if self._next_bucket_end is None:
+            first = int(times[0]) if len(times) else prev_time
+            if first is None:
+                return 0
+            self._next_bucket_end = (first // g) * g + g
+        retained = 0
+        end = self._next_bucket_end
+        while end <= demoted_through:
+            # newest demoted occurring time strictly below the bucket end
+            pos = int(np.searchsorted(times, end, side="left")) - 1
+            if pos >= 0:
+                t, ps = int(times[pos]), stack[pos]
+            elif prev_time is not None:
+                t, ps = int(prev_time), prev_ps
+            else:
+                t, ps = None, None
+            if t is not None and (not self._times or t > self._times[-1]):
+                self._times.append(t)
+                self._slices.append(np.array(ps, dtype=np.int64))
+                retained += 1
+            end += g
+        self._next_bucket_end = end
+        return retained
+
+    def evict(self, clock: int) -> int:
+        """Drop boundary slices older than the tier's horizon; returns count."""
+        if self.spec.horizon is None or not self._times:
+            return 0
+        cutoff = int(clock) - self.spec.horizon
+        keep_from = bisect.bisect_left(self._times, cutoff)
+        if keep_from == 0:
+            return 0
+        del self._times[:keep_from]
+        del self._slices[:keep_from]
+        return keep_from
+
+    def slice_at(self, time: int) -> np.ndarray | None:
+        """The retained boundary PS slice at exactly ``time``, if any."""
+        pos = bisect.bisect_left(self._times, int(time))
+        if pos < len(self._times) and self._times[pos] == int(time):
+            return self._slices[pos]
+        return None
+
+    def resident_nbytes(self) -> int:
+        return sum(s.nbytes for s in self._slices)
+
+    # -- durable snapshots ----------------------------------------------------
+
+    def state_arrays(self, slice_shape: Sequence[int]) -> dict[str, np.ndarray]:
+        shape = tuple(int(n) for n in slice_shape)
+        stack = (
+            np.stack(self._slices)
+            if self._slices
+            else np.empty((0, *shape), dtype=np.int64)
+        )
+        return {
+            "times": np.asarray(self._times, dtype=np.int64),
+            "stack": stack,
+            "meta": np.array(
+                [
+                    _NONE
+                    if self._next_bucket_end is None
+                    else self._next_bucket_end
+                ],
+                dtype=np.int64,
+            ),
+        }
+
+    def restore_state(self, times, stack, meta) -> None:
+        if self._times:
+            raise DomainError("restore_state requires an empty tier")
+        times = np.asarray(times, dtype=np.int64)
+        stack = np.asarray(stack, dtype=np.int64)
+        self._times = [int(t) for t in times]
+        self._slices = [
+            np.array(stack[i], dtype=np.int64) for i in range(stack.shape[0])
+        ]
+        value = int(np.asarray(meta, dtype=np.int64)[0])
+        self._next_bucket_end = None if value == _NONE else value
+
+    def __repr__(self) -> str:
+        return (
+            f"RollupTier({self.spec.name}, g={self.spec.granularity}, "
+            f"slices={len(self._times)})"
+        )

@@ -76,6 +76,8 @@ class ShardedCube:
         fsync: str = "batch",
         timeout: float = 60.0,
         start_method: str | None = None,
+        tiers=None,
+        tile_root=None,
         _recover: bool = False,
     ) -> None:
         self.slice_shape = tuple(int(n) for n in slice_shape)
@@ -98,6 +100,18 @@ class ShardedCube:
         self._timeout = float(timeout)
         self._closed = False
         self._sweep_prefixes: list[str] = []
+        if tiers is not None:
+            from repro.retention import TierPolicy
+
+            tiers = TierPolicy.from_config(tiers).to_config()
+        self.tiers = tiers
+        tile_root = Path(tile_root) if tile_root is not None else None
+        if tiers is not None and self.durable_dir is None and tile_root is None:
+            raise DomainError(
+                "tiered sharding needs somewhere for the tiles: pass "
+                "durable_dir (tiles live beside each shard's WAL) or "
+                "tile_root (non-durable shards)"
+            )
         if self.durable_dir is not None and not _recover:
             self._write_manifest(num_times, fsync)
         configs = []
@@ -114,10 +128,15 @@ class ShardedCube:
                 "fsync": fsync,
                 "use_shm": self.processes,
                 "recover": _recover,
+                "tiers": tiers,
             }
             if self.durable_dir is not None:
                 config["durable_dir"] = str(
                     self.durable_dir / f"shard-{extent.shard_id:02d}"
+                )
+            elif tiers is not None:
+                config["tile_dir"] = str(
+                    tile_root / f"shard-{extent.shard_id:02d}" / "tiles"
                 )
             configs.append(config)
         if not self.processes:
@@ -202,6 +221,7 @@ class ShardedCube:
             "buffered": self.buffered,
             "num_times": num_times,
             "fsync": fsync,
+            "tiers": self.tiers,
         }
         path.write_text(json.dumps(manifest, indent=2))
 
@@ -231,6 +251,7 @@ class ShardedCube:
             num_times=manifest.get("num_times"),
             durable_dir=durable_dir,
             fsync=manifest.get("fsync", "batch"),
+            tiers=manifest.get("tiers"),
             timeout=timeout,
             start_method=start_method,
             _recover=True,
@@ -256,6 +277,14 @@ class ShardedCube:
 
     def retire_before(self, time: int) -> int:
         return self.router.retire_before(time)
+
+    def demote_before(self, time: int) -> int:
+        """Demote history below ``time`` on every (tiered) shard."""
+        if self.tiers is None:
+            raise DomainError(
+                "demote_before requires a tiered sharded cube (tiers=...)"
+            )
+        return self.router.demote_before(time)
 
     def query(self, box: Box) -> int:
         return self.router.query(box)

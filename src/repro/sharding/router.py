@@ -236,6 +236,9 @@ class ShardRouter:
         self.min_time: int | None = None
         #: global data-aging boundary (newest global time < threshold)
         self.boundary_time: int | None = None
+        #: global demotion watermark: prefixes below it are *answerable*
+        #: (from shard-local tiles/rollups), unlike plainly retired ones
+        self.demote_boundary: int | None = None
 
     # -- state bootstrap (recovery) --------------------------------------------
 
@@ -250,6 +253,12 @@ class ShardRouter:
         self.latest_time = max(lasts) if lasts else None
         self.min_time = min(firsts) if firsts else None
         self.boundary_time = max(bounds) if bounds else None
+        demoted = [
+            s.get("demoted_through")
+            for s in states
+            if s.get("demoted_through") is not None
+        ]
+        self.demote_boundary = max(demoted) if demoted else None
 
     # -- helpers ---------------------------------------------------------------
 
@@ -463,6 +472,39 @@ class ShardRouter:
             )
         return sum(self._scatter_all("retire", time))
 
+    def demote_before(self, time: int) -> int:
+        """Demote detail below ``time`` on every shard (tiered shards only).
+
+        Every shard receives the *same* global horizon, so the tier
+        ladders stay globally consistent: a shard's local boundary (its
+        newest occurring time under the threshold) can only be older
+        than the global one, and its tiles/rollups cover exactly its
+        share of the demoted prefix range.  Demoted prefixes stay
+        answerable -- :meth:`query_many` reroutes them to the workers --
+        which is why this advances :attr:`demote_boundary`, not the
+        hard aged-out :attr:`boundary_time`.
+        """
+        time = int(time)
+        demoted = sum(self._scatter_all("demote", time))
+        # the watermark must come from the shards *after* the demote: the
+        # implied pre-demote drain can splice late instances below the
+        # horizon, moving the kept boundary past any pre-demote probe
+        # (recovery probes the same post-demote state, so both agree)
+        states = self._scatter_all("probe_state", None)
+        watermarks = [
+            s.get("demoted_through")
+            for s in states
+            if s.get("demoted_through") is not None
+        ]
+        if watermarks:
+            boundary = max(watermarks)
+            self.demote_boundary = (
+                boundary
+                if self.demote_boundary is None
+                else max(self.demote_boundary, boundary)
+            )
+        return demoted
+
     # -- reads -----------------------------------------------------------------
 
     def _check_boxes(self, boxes: list[Box]) -> None:
@@ -479,8 +521,22 @@ class ShardRouter:
             if self.boundary_time is None or self.min_time is None:
                 continue
             for prefix in (box.upper[0], box.lower[0] - 1):
-                if self.min_time <= prefix < self.boundary_time:
+                if self.min_time <= prefix < self.boundary_time and (
+                    self.demote_boundary is None
+                    or prefix >= self.demote_boundary
+                ):
+                    # demoted prefixes stay answerable (worker reroute);
+                    # plainly retired ones are genuinely gone
                     raise AgedOutError(_AGED_OUT_TEMPLATE.format(time=prefix))
+
+    def _needs_tiered(self, box: Box) -> bool:
+        """Does a prefix of ``box`` floor into the demoted region?"""
+        if self.demote_boundary is None or self.min_time is None:
+            return False
+        return any(
+            self.min_time <= prefix < self.demote_boundary
+            for prefix in (box.upper[0], box.lower[0] - 1)
+        )
 
     def _descriptors(self) -> dict[int, object]:
         descriptors: dict[int, object] = {}
@@ -496,13 +552,58 @@ class ShardRouter:
         """Batch range aggregates, bit-identical to the unsharded cube.
 
         ``mode`` is accepted for API compatibility; sharded serving
-        always runs the vectorized epoch path.
+        runs the vectorized epoch path, except that boxes needing
+        demoted prefixes go to the workers (tiles and rollup tiers live
+        there, not in the shared-memory epochs).
         """
-        del mode
         boxes = list(boxes)
         if not boxes:
             return []
         self._check_boxes(boxes)
+        tiered = [self._needs_tiered(box) for box in boxes]
+        if any(tiered):
+            results = [0] * len(boxes)
+            live_ids = [i for i, t in enumerate(tiered) if not t]
+            if live_ids:
+                for i, value in zip(
+                    live_ids, self._query_epochs([boxes[i] for i in live_ids])
+                ):
+                    results[i] = value
+            tiered_ids = [i for i, t in enumerate(tiered) if t]
+            for i, value in zip(
+                tiered_ids,
+                self._query_workers([boxes[i] for i in tiered_ids], mode),
+            ):
+                results[i] = value
+            return results
+        return self._query_epochs(boxes)
+
+    def _query_workers(self, boxes: list[Box], mode: str) -> list[int]:
+        """Answer boxes through the shard workers' tiered fronts (summed)."""
+        results = [0] * len(boxes)
+        targets = []
+        payloads = []
+        slots: list[list[int]] = []
+        for shard_id, handle in enumerate(self.handles):
+            extent = self.partitioner.extents[shard_id]
+            ids: list[int] = []
+            local: list[Box] = []
+            for i, box in enumerate(boxes):
+                sub = self.partitioner.local_box(box, extent)
+                if sub is not None:
+                    ids.append(i)
+                    local.append(sub)
+            if not local:
+                continue
+            targets.append(handle)
+            payloads.append((local, mode))
+            slots.append(ids)
+        for ids, reply in zip(slots, self._scatter(targets, "query", payloads)):
+            for i, value in zip(ids, reply):
+                results[i] += int(value)
+        return results
+
+    def _query_epochs(self, boxes: list[Box]) -> list[int]:
         descriptors = self._descriptors()
         live_readers = [r for r in self.readers if r.is_alive()]
         if not live_readers:

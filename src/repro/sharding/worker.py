@@ -69,9 +69,10 @@ def _build_shard_front(config: dict, counter: CostCounter):
             cell_size=config.get("cell_size"),
             fsync=config.get("fsync", "batch"),
             global_order_buffer=config.get("buffered", False),
+            tiers=config.get("tiers"),
         )
     if config.get("buffered"):
-        return ShardBufferedCube(
+        front = ShardBufferedCube(
             config["slice_shape"],
             num_times=config.get("num_times"),
             counter=counter,
@@ -80,15 +81,21 @@ def _build_shard_front(config: dict, counter: CostCounter):
             page_size=config.get("page_size"),
             cell_size=config.get("cell_size"),
         )
-    return build_front(
-        {
-            "slice_shape": config["slice_shape"],
-            "backend": config.get("backend", "dense"),
-            "num_times": config.get("num_times"),
-            "buffered": False,
-        },
-        counter,
-    )
+    else:
+        front = build_front(
+            {
+                "slice_shape": config["slice_shape"],
+                "backend": config.get("backend", "dense"),
+                "num_times": config.get("num_times"),
+                "buffered": False,
+            },
+            counter,
+        )
+    if config.get("tiers") is not None:
+        from repro.retention import TieredCube
+
+        front = TieredCube(front, config["tiers"], config["tile_dir"])
+    return front
 
 
 class ShardWorkerState:
@@ -117,7 +124,15 @@ class ShardWorkerState:
         front = self.front
         if isinstance(front, DurableCube):
             front = front.front
+        front = getattr(front, "front", front)  # unwrap a TieredCube
         return front if isinstance(front, BufferedEvolvingDataCube) else None
+
+    @property
+    def _tiered_front(self):
+        front = self.front
+        if isinstance(front, DurableCube):
+            front = front.front
+        return front if hasattr(front, "demote_before") else None
 
     def publish(self):
         """The current epoch, as a picklable shm descriptor or in-process."""
@@ -186,6 +201,16 @@ class ShardWorkerState:
         if op == "retire":
             retired = self.front.retire_before(payload)
             return retired, True
+        if op == "demote":
+            if self._tiered_front is None:
+                raise DomainError("demote requires a tiered shard (tiers=...)")
+            demoted = self.front.demote_before(payload)
+            return demoted, True
+        if op == "query":
+            # cross-tier answering happens in the worker (tiles and
+            # rollups live here, not in the shared-memory epochs)
+            boxes, mode = payload
+            return self.front.query_many(boxes, mode=mode), False
         if op == "probe_retire":
             times = self.kernel.directory.times()
             below = [t for t in times if t < payload]
@@ -196,11 +221,15 @@ class ShardWorkerState:
             boundary = None
             if retired_below > 0:
                 boundary = int(self.kernel.directory.times()[retired_below])
+            tiered = self._tiered_front
             return {
                 "min_time": first,
                 "max_time": last,
                 "boundary_time": boundary,
                 "num_slices": self.kernel.num_slices,
+                "demoted_through": (
+                    tiered.demoted_through if tiered is not None else None
+                ),
             }, False
         if op == "total":
             view = SnapshotView(self.snap, self.snap._current, owns_pin=False)
@@ -223,7 +252,7 @@ class ShardWorkerState:
             self.front.close()
 
 
-MUTATING_OPS = frozenset({"ingest", "update", "oob", "drain", "retire"})
+MUTATING_OPS = frozenset({"ingest", "update", "oob", "drain", "retire", "demote"})
 
 
 def worker_main(conn, config: dict) -> None:
