@@ -1,0 +1,27 @@
+# Developer entry points.  Everything runs against the in-repo sources
+# (PYTHONPATH=src); no install step is needed.
+
+PY ?= python
+
+.PHONY: test coverage bench lint
+
+test:
+	PYTHONPATH=src $(PY) -m pytest -x -q
+
+# Line-coverage run without tox: needs pytest-cov (pip install pytest-cov).
+# CI enforces a 90% floor on src/repro/ranking/ and
+# src/repro/retention/estimate.py from the JSON report this produces.
+coverage:
+	@$(PY) -c "import pytest_cov" 2>/dev/null || { \
+		echo "pytest-cov is not installed; run: pip install pytest-cov"; \
+		exit 1; }
+	PYTHONPATH=src $(PY) -m pytest -q \
+		--cov=repro \
+		--cov-report=term-missing \
+		--cov-report=json:coverage.json
+
+bench:
+	PYTHONPATH=src $(PY) -m pytest benchmarks -q
+
+lint:
+	ruff check src tests benchmarks

@@ -54,6 +54,9 @@ BENCH_EXTENT_FILE = REPO_ROOT / "BENCH_extent.json"
 #: tiered-retention trail: demoted vs undemoted resident footprint and
 #: cross-tier query latency on an aged weather4 stream
 BENCH_RETENTION_FILE = REPO_ROOT / "BENCH_retention.json"
+#: ranking trail: top-k threshold pruning vs the dense full scan, and
+#: tier-backed estimation vs exact cold-tier answering
+BENCH_RANKING_FILE = REPO_ROOT / "BENCH_ranking.json"
 
 
 def _commit() -> str:

@@ -55,7 +55,14 @@ from repro.ecube import (
     SparseEvolvingDataCube,
 )
 from repro.metrics import CostCounter
-from repro.retention import TieredCube, TierPolicy, TierSpec, TileStore
+from repro.ranking import TopKEngine, TopKStats, brute_topk
+from repro.retention import (
+    Estimate,
+    TieredCube,
+    TierPolicy,
+    TierSpec,
+    TileStore,
+)
 from repro.olap import (
     CubeView,
     Dimension,
@@ -69,6 +76,7 @@ from repro.preagg import (
     LocalPrefixSumTechnique,
     PreAggregatedArray,
     PrefixSumTechnique,
+    QueryRouter,
     RelativePrefixSumTechnique,
     recommend_techniques,
 )
@@ -134,10 +142,15 @@ __all__ = [
     "SnapshotExtentCube",
     "SnapshotView",
     "SparseEvolvingDataCube",
+    "Estimate",
+    "QueryRouter",
     "TieredCube",
     "TierPolicy",
     "TierSpec",
     "TileStore",
+    "TopKEngine",
+    "TopKStats",
+    "brute_topk",
     "ReproError",
     "StorageError",
     "WriteAheadLog",

@@ -201,6 +201,7 @@ def _cmd_serve_sharded(args) -> int:
             flush=True,
         )
     shape = tuple(int(n) for n in args.shape.split(","))
+    tiers = json.loads(args.tiers) if args.tiers else None
     cube = ShardedCube(
         shape,
         shards=args.shards,
@@ -209,6 +210,8 @@ def _cmd_serve_sharded(args) -> int:
         backend=args.backend,
         num_times=args.num_times,
         durable_dir=args.durable_dir,
+        tiers=tiers,
+        tile_root=args.tile_root,
     )
     server = ShardServer(cube, host=args.host, port=args.port)
 
@@ -235,6 +238,24 @@ def _cmd_serve_sharded(args) -> int:
     finally:
         cube.close()
     return 0
+
+
+def _checkpoint_demoted_through(directory, manifest) -> int | None:
+    """The checkpointed demotion watermark of a tiered directory, if any."""
+    import numpy as np
+
+    from repro.storage.mmap_npz import open_checkpoint
+
+    if manifest.checkpoint_file is None:
+        return None
+    archive_path = directory / manifest.checkpoint_file
+    if not archive_path.exists():
+        return None
+    with open_checkpoint(archive_path) as archive:
+        if "ret_meta" not in archive:
+            return None
+        value = int(np.asarray(archive["ret_meta"], dtype=np.int64)[0])
+    return None if value == np.iinfo(np.int64).min else value
 
 
 def _cmd_log_info(directory: str) -> int:
@@ -266,6 +287,12 @@ def _cmd_log_info(directory: str) -> int:
                     [int(a), int(b)] for a, b in tiles.spans()
                 ],
             }
+            # the demotion watermark as of the last checkpoint; a tiered
+            # directory that never demoted (or never checkpointed a
+            # demote) reports None rather than erroring out
+            info["demoted_through"] = _checkpoint_demoted_through(
+                Path(directory), manifest
+            )
     print(json.dumps(info, indent=2))
     return 0
 
@@ -379,6 +406,20 @@ def main(argv: list[str] | None = None) -> int:
         "--durable-dir",
         default=None,
         help="give every shard a WAL + checkpoint directory under this path",
+    )
+    serve.add_argument(
+        "--tiers",
+        default=None,
+        help=(
+            "JSON tier ladder for tiered retention, e.g. "
+            '\'[{"name": "hour", "granularity": 4, "horizon": 16}]\'; '
+            "enables the demote and query_approx ops"
+        ),
+    )
+    serve.add_argument(
+        "--tile-root",
+        default=None,
+        help="tile directory root for tiered non-durable shards",
     )
     args = parser.parse_args(argv)
     if args.command == "demo":

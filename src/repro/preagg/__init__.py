@@ -11,7 +11,9 @@ coefficients.
 
 from repro.preagg.advisor import (
     DimensionProfile,
+    QueryRouter,
     Recommendation,
+    RouteDecision,
     profile_technique,
     recommend_techniques,
 )
@@ -48,4 +50,6 @@ __all__ = [
     "Recommendation",
     "profile_technique",
     "recommend_techniques",
+    "QueryRouter",
+    "RouteDecision",
 ]

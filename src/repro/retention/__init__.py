@@ -7,6 +7,7 @@ ladder) and :class:`~repro.retention.tiles.TileStore` (full-fidelity
 immutable tiles on disk).
 """
 
+from repro.retention.estimate import Estimate, bracket_prefix, estimate_prefix
 from repro.retention.planner import TieredCube, ps_box_sum
 from repro.retention.tiers import RollupTier, TierPolicy, TierSpec
 from repro.retention.tiles import TileStore, decode_tile, encode_tile, tile_name
@@ -21,4 +22,7 @@ __all__ = [
     "decode_tile",
     "tile_name",
     "ps_box_sum",
+    "Estimate",
+    "bracket_prefix",
+    "estimate_prefix",
 ]

@@ -308,6 +308,127 @@ class TieredCube:
                 results[i] += (sign if sign else 1) * int(value)
         return results
 
+    def query_approx(self, box: Box):
+        """Approximate range aggregate with guaranteed-sound bounds."""
+        return self.query_many_approx([box])[0]
+
+    def query_many_approx(self, boxes: Sequence[Box], mode: str = "fast"):
+        """Batch :class:`~repro.retention.estimate.Estimate` aggregates.
+
+        Same prefix decomposition as :meth:`query_many`, but a demoted
+        prefix whose PS slice is *not* resident in a rollup tier is
+        bracketed between the tiers' retained boundary slices
+        (:mod:`repro.retention.estimate`) instead of decoded from its
+        tile -- no disk access, at the price of a bounded interval
+        rather than a point answer.  Prefixes that are live, or that
+        floor onto a retained rollup boundary, stay exact (``lo ==
+        hi``), bit-identical to :meth:`query_many`; the signed prefix
+        combination ``F(t_up) - F(t_lo - 1)`` combines the per-prefix
+        intervals by interval arithmetic, so every reported ``[lo, hi]``
+        contains the exact answer (for non-negative measures -- see the
+        estimate module docstring).
+        """
+        from repro.retention.estimate import (
+            Estimate,
+            bracket_prefix,
+            estimate_prefix,
+        )
+
+        boxes = list(boxes)
+        kernel = self.cube
+        retired_below = kernel._retired_below
+        if retired_below == 0 or not kernel.directory:
+            return [
+                Estimate.of(v) for v in self.front.query_many(boxes, mode=mode)
+            ]
+        directory = kernel.directory
+        occurring = directory.times()
+        low = int(occurring[0])
+        buffer = self.buffer
+        if buffer is not None and len(buffer):
+            low = min(low, int(buffer._points[: buffer._size, 0].min()))
+        est = [0.0] * len(boxes)
+        lo = [0] * len(boxes)
+        hi = [0] * len(boxes)
+        live_boxes: list[Box] = []
+        live_slots: list[tuple[int, int]] = []
+
+        def _add(i: int, sign: int, term: Estimate) -> None:
+            est[i] += sign * term.estimate
+            if sign >= 0:
+                lo[i] += term.lo
+                hi[i] += term.hi
+            else:
+                lo[i] -= term.hi
+                hi[i] -= term.lo
+
+        for i, box in enumerate(boxes):
+            prefixes = ((int(box.upper[0]), 1), (int(box.lower[0]) - 1, -1))
+            floors = [directory.floor_index(p) for p, _ in prefixes]
+            if all(f < 0 or f >= retired_below for f in floors):
+                live_boxes.append(box)
+                live_slots.append((i, 0))
+                continue
+            for (prefix, sign), floor in zip(prefixes, floors):
+                if floor < 0:
+                    continue
+                prefix_box = Box(
+                    (low,) + tuple(box.lower[1:]),
+                    (prefix,) + tuple(box.upper[1:]),
+                )
+                if floor >= retired_below:
+                    live_boxes.append(prefix_box)
+                    live_slots.append((i, sign))
+                    continue
+                floor_time = int(occurring[floor])
+                ps = None
+                for tier in self.tiers:
+                    ps = tier.slice_at(floor_time)
+                    if ps is not None:
+                        break
+                if ps is not None:  # tier-resident: exact, no estimation
+                    term = Estimate.of(
+                        ps_box_sum(ps, box.lower[1:], box.upper[1:])
+                    )
+                else:
+                    bracket_lo, bracket_hi = bracket_prefix(
+                        self.tiers, floor_time, self._last_time, self._last_ps
+                    )
+                    exact_floor = (
+                        bracket_lo is not None and bracket_lo[0] == floor_time
+                    )
+                    if bracket_hi is None and not exact_floor:
+                        raise AgedOutError(
+                            f"no retained rollup boundary brackets "
+                            f"t={floor_time}; the prefix cannot be bounded"
+                        )
+                    term = estimate_prefix(
+                        bracket_lo,
+                        bracket_hi,
+                        floor_time,
+                        box.lower[1:],
+                        box.upper[1:],
+                    )
+                _add(i, sign, term)
+                if buffer is not None and len(buffer):
+                    # buffered corrections below the watermark are known
+                    # exactly; they shift the whole interval
+                    _add(
+                        i,
+                        sign,
+                        Estimate.of(
+                            buffer.range_sum(
+                                prefix_box,
+                                mode="fast" if mode == "fast" else "metered",
+                            )
+                        ),
+                    )
+        if live_boxes:
+            values = self.front.query_many(live_boxes, mode=mode)
+            for (i, sign), value in zip(live_slots, values):
+                _add(i, sign if sign else 1, Estimate.of(value))
+        return [Estimate(e, x, y) for e, x, y in zip(est, lo, hi)]
+
     def _demoted_slice(self, floor_time: int) -> np.ndarray:
         """The cumulative PS slice at a demoted occurring time.
 

@@ -228,6 +228,25 @@ class RollupTier:
             return self._slices[pos]
         return None
 
+    def bracket(self, time: int):
+        """The retained boundary slices bracketing ``time``.
+
+        Returns ``(floor, ceiling)`` where ``floor`` is the newest
+        retained ``(time, ps)`` at or below ``time`` and ``ceiling`` the
+        oldest one strictly above it; either side is ``None`` when the
+        tier retains nothing there.  The estimator
+        (:mod:`repro.retention.estimate`) brackets demoted prefixes this
+        way instead of decoding their tile.
+        """
+        pos = bisect.bisect_right(self._times, int(time))
+        floor = (self._times[pos - 1], self._slices[pos - 1]) if pos else None
+        ceiling = (
+            (self._times[pos], self._slices[pos])
+            if pos < len(self._times)
+            else None
+        )
+        return floor, ceiling
+
     def resident_nbytes(self) -> int:
         return sum(s.nbytes for s in self._slices)
 

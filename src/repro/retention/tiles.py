@@ -291,6 +291,10 @@ class TileStore:
         index.sort()
         self._index = index
 
+    def drop_cache(self) -> None:
+        """Evict decoded tile stacks; subsequent reads decode cold."""
+        self._cache.clear()
+
     def tile_names(self) -> list[str]:
         return [name for _, _, name in self._index]
 

@@ -292,6 +292,22 @@ class ShardedCube:
     def query_many(self, boxes: Sequence[Box], mode: str = "fast") -> list[int]:
         return self.router.query_many(boxes, mode=mode)
 
+    def topk(self, t1: int, t2: int, k: int, mode: str = "fast",
+             nonnegative: bool = False):
+        return self.router.topk(t1, t2, k, mode=mode, nonnegative=nonnegative)
+
+    def topk_many(self, queries: Sequence, mode: str = "fast",
+                  nonnegative: bool = False):
+        """Global top-k cells over TT intervals (see the router)."""
+        return self.router.topk_many(queries, mode=mode, nonnegative=nonnegative)
+
+    def query_approx(self, box: Box):
+        return self.router.query_approx(box)
+
+    def query_many_approx(self, boxes: Sequence[Box], mode: str = "fast"):
+        """Approximate aggregates with sound bounds (tiered shards)."""
+        return self.router.query_many_approx(boxes, mode=mode)
+
     def total(self) -> int:
         return self.router.total()
 

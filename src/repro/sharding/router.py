@@ -239,6 +239,8 @@ class ShardRouter:
         #: global demotion watermark: prefixes below it are *answerable*
         #: (from shard-local tiles/rollups), unlike plainly retired ones
         self.demote_boundary: int | None = None
+        #: per-query accounting of the most recent :meth:`topk_many`
+        self.last_topk_stats: list[dict] = []
 
     # -- state bootstrap (recovery) --------------------------------------------
 
@@ -602,6 +604,108 @@ class ShardRouter:
             for i, value in zip(ids, reply):
                 results[i] += int(value)
         return results
+
+    def topk_many(
+        self,
+        queries: Sequence,
+        mode: str = "fast",
+        nonnegative: bool = False,
+    ):
+        """Global temporal top-k, merged from per-shard candidate lists.
+
+        Every worker ranks its own (disjoint) share of the cell domain
+        with a shard-local :class:`~repro.ranking.topk.TopKEngine`; the
+        router shifts the winning cells by each shard extent's origin
+        and merge-sorts.  Because the partition is disjoint and origin
+        shifts preserve lexicographic cell order, a cell in the global
+        top-k is necessarily in its own shard's top-k -- the union of
+        the per-shard lists is a complete candidate set and no second
+        probing round is needed.
+        """
+        queries = [(int(t1), int(t2), int(k)) for t1, t2, k in queries]
+        if not queries:
+            self.last_topk_stats = []
+            return []
+        replies = self._scatter_all("topk", (queries, mode, nonnegative))
+        merged = []
+        stats: list[dict] = [
+            {"strategy": "prune", "cells": 0, "marginal_boxes": 0,
+             "materialized": 0}
+            for _ in queries
+        ]
+        for qi, (_, _, k) in enumerate(queries):
+            combined: list[tuple[tuple[int, ...], int]] = []
+            for shard_id, (results, shard_stats) in enumerate(replies):
+                origin = self.partitioner.extents[shard_id].origin
+                combined.extend(
+                    (
+                        tuple(int(c) + int(o) for c, o in zip(cell, origin)),
+                        int(value),
+                    )
+                    for cell, value in results[qi]
+                )
+                strategy, cells, marginal_boxes, materialized = shard_stats[qi]
+                if strategy == "dense":
+                    stats[qi]["strategy"] = "dense"
+                stats[qi]["cells"] += cells
+                stats[qi]["marginal_boxes"] += marginal_boxes
+                stats[qi]["materialized"] += materialized
+            combined.sort(key=lambda cv: (-cv[1], cv[0]))
+            merged.append(combined[: max(0, k)])
+        #: per-query accounting summed across shards (strategy is
+        #: ``"dense"`` if any shard fell back)
+        self.last_topk_stats = stats
+        return merged
+
+    def topk(self, t1: int, t2: int, k: int, mode: str = "fast",
+             nonnegative: bool = False):
+        return self.topk_many([(t1, t2, k)], mode=mode,
+                              nonnegative=nonnegative)[0]
+
+    def query_many_approx(self, boxes: Sequence[Box], mode: str = "fast"):
+        """Batch approximate aggregates with guaranteed-sound bounds.
+
+        Mirrors :meth:`query_many`'s worker path, but each tiered shard
+        answers with an :class:`~repro.retention.estimate.Estimate`
+        triple; disjoint-partition additivity sums the components, and
+        summing sound per-shard intervals keeps the global interval
+        sound.
+        """
+        from repro.retention.estimate import Estimate
+
+        boxes = list(boxes)
+        if not boxes:
+            return []
+        self._check_boxes(boxes)
+        est = [0.0] * len(boxes)
+        lo = [0] * len(boxes)
+        hi = [0] * len(boxes)
+        targets = []
+        payloads = []
+        slots: list[list[int]] = []
+        for shard_id, handle in enumerate(self.handles):
+            extent = self.partitioner.extents[shard_id]
+            ids: list[int] = []
+            local: list[Box] = []
+            for i, box in enumerate(boxes):
+                sub = self.partitioner.local_box(box, extent)
+                if sub is not None:
+                    ids.append(i)
+                    local.append(sub)
+            if not local:
+                continue
+            targets.append(handle)
+            payloads.append((local, mode))
+            slots.append(ids)
+        for ids, reply in zip(slots, self._scatter(targets, "approx", payloads)):
+            for i, (e, x, y) in zip(ids, reply):
+                est[i] += float(e)
+                lo[i] += int(x)
+                hi[i] += int(y)
+        return [Estimate(e, x, y) for e, x, y in zip(est, lo, hi)]
+
+    def query_approx(self, box: Box):
+        return self.query_many_approx([box])[0]
 
     def _query_epochs(self, boxes: list[Box]) -> list[int]:
         descriptors = self._descriptors()

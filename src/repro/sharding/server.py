@@ -188,6 +188,42 @@ class ShardServer:
                     mode=request.get("mode", "fast"),
                 )
                 return {"ok": True, "result": None}
+            if op == "topk":
+                queries = [
+                    (int(t1), int(t2), int(k))
+                    for t1, t2, k in request["queries"]
+                ]
+                nonnegative = bool(request.get("nonnegative", False))
+                if hasattr(self.cube, "topk_many"):
+                    ranked = self.cube.topk_many(
+                        queries, nonnegative=nonnegative
+                    )
+                else:
+                    from repro.ranking import TopKEngine
+
+                    engine = TopKEngine(self.cube, nonnegative=nonnegative)
+                    ranked = engine.topk_many(queries)
+                return {
+                    "ok": True,
+                    "result": [
+                        [[list(cell), value] for cell, value in result]
+                        for result in ranked
+                    ],
+                }
+            if op == "query_approx":
+                boxes = [_box_from_wire(b) for b in request["boxes"]]
+                if hasattr(self.cube, "query_many_approx"):
+                    estimates = [
+                        [float(e[0]), int(e[1]), int(e[2])]
+                        for e in self.cube.query_many_approx(boxes)
+                    ]
+                else:
+                    # no tiers anywhere behind this cube: exact answers
+                    estimates = [
+                        [float(v), int(v), int(v)]
+                        for v in self.cube.query_many(boxes)
+                    ]
+                return {"ok": True, "result": estimates}
             if op == "drain":
                 applied, kept = self.cube.drain(request.get("limit"))
                 return {"ok": True, "result": [applied, kept]}
@@ -265,6 +301,37 @@ class ShardClient:
                 "boxes": [self._box_payload(box) for box in boxes],
             }
         )
+
+    def topk_many(self, queries, nonnegative: bool = False):
+        results = self._result(
+            {
+                "op": "topk",
+                "queries": [[int(t1), int(t2), int(k)] for t1, t2, k in queries],
+                "nonnegative": nonnegative,
+            }
+        )
+        return [
+            [(tuple(cell), value) for cell, value in result]
+            for result in results
+        ]
+
+    def topk(self, t1: int, t2: int, k: int, nonnegative: bool = False):
+        return self.topk_many([(t1, t2, k)], nonnegative=nonnegative)[0]
+
+    def query_many_approx(self, boxes) -> list[tuple[float, int, int]]:
+        return [
+            (float(e), int(lo), int(hi))
+            for e, lo, hi in self._result(
+                {
+                    "op": "query_approx",
+                    "boxes": [self._box_payload(box) for box in boxes],
+                }
+            )
+        ]
+
+    def query_approx(self, lower, upper=None) -> tuple[float, int, int]:
+        box = lower if upper is None else (lower, upper)
+        return self.query_many_approx([box])[0]
 
     def update(self, point, delta: int) -> None:
         self._result({"op": "update", "point": list(point), "delta": delta})

@@ -211,6 +211,35 @@ class ShardWorkerState:
             # rollups live here, not in the shared-memory epochs)
             boxes, mode = payload
             return self.front.query_many(boxes, mode=mode), False
+        if op == "topk":
+            # rank the shard's local cell domain; the router globalizes
+            # the cells by the shard extent's origin and merges (the
+            # cell partition is disjoint, so per-shard lists are exact)
+            queries, mode, nonnegative = payload
+            from repro.ranking import TopKEngine
+
+            engine = TopKEngine(
+                self.front,
+                slice_shape=self.config["slice_shape"],
+                nonnegative=nonnegative,
+            )
+            results = engine.topk_many(queries, mode=mode)
+            stats = [
+                (s.strategy, s.cells, s.marginal_boxes, s.materialized)
+                for s in engine.last_stats
+            ]
+            return (results, stats), False
+        if op == "approx":
+            boxes, mode = payload
+            tiered = self._tiered_front
+            if tiered is not None:
+                estimates = tiered.query_many_approx(boxes, mode=mode)
+                return [tuple(e) for e in estimates], False
+            # no tiers on this shard: every answer is exact
+            return [
+                (float(v), int(v), int(v))
+                for v in self.front.query_many(boxes, mode=mode)
+            ], False
         if op == "probe_retire":
             times = self.kernel.directory.times()
             below = [t for t in times if t < payload]

@@ -1,0 +1,333 @@
+"""Differential suite for temporal top-k ranking.
+
+``topk_many`` must be *bit-identical* to the brute-force NumPy oracle --
+same cells, same values, same order -- on every front (all three storage
+backends, bare and ``G_d``-buffered, and the sharded cube), including
+ties, ``k`` larger than the live cell count, degenerate intervals and
+out-of-order updates arriving mid-stream.  A separate deterministic
+suite pins the pruning economics: on skewed workloads the threshold
+path must never charge more metered cell accesses than the dense gather
+it replaces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import DomainError
+from repro.core.types import Box
+from repro.ecube.buffered import BufferedEvolvingDataCube
+from repro.ecube.disk import DiskEvolvingDataCube
+from repro.ecube.ecube import EvolvingDataCube
+from repro.ecube.sparse import SparseEvolvingDataCube
+from repro.metrics import CostCounter
+from repro.ranking import TopKEngine, TopKStats, brute_topk
+from repro.sharding import ShardedCube
+
+BACKENDS = ("dense", "paged", "sparse")
+
+
+def _bare_cube(backend, shape, counter=None):
+    if backend == "dense":
+        return EvolvingDataCube(shape, counter=counter)
+    if backend == "paged":
+        return DiskEvolvingDataCube(shape, counter=counter)
+    return SparseEvolvingDataCube(shape, counter=counter)
+
+
+def _dense_oracle(shape, num_times, updates):
+    dense = np.zeros((num_times, *shape), dtype=np.int64)
+    for point, delta in updates:
+        dense[tuple(point)] += delta
+    return dense
+
+
+@st.composite
+def topk_workloads(draw, signed=False):
+    """A small cube stream plus a batch of (t1, t2, k) queries.
+
+    Update times are drawn freely, so the stream contains out-of-order
+    points mid-stream; deltas are drawn from a narrow band to force
+    value ties.  Queries include inverted (t2 < t1) intervals,
+    single-instant intervals and k beyond the live cell count.
+    """
+    ndim = draw(st.integers(1, 2))
+    shape = tuple(draw(st.integers(2, 5)) for _ in range(ndim))
+    num_times = draw(st.integers(1, 10))
+    low_delta = -4 if signed else 1
+    n_updates = draw(st.integers(0, 30))
+    updates = []
+    for _ in range(n_updates):
+        point = (draw(st.integers(0, num_times - 1)),) + tuple(
+            draw(st.integers(0, n - 1)) for n in shape
+        )
+        delta = draw(
+            st.integers(low_delta, 4).filter(lambda d: d != 0)
+        )
+        updates.append((point, delta))
+    cells = int(np.prod(shape))
+    queries = draw(
+        st.lists(
+            st.tuples(
+                st.integers(-2, num_times + 2),
+                st.integers(-2, num_times + 2),
+                st.integers(0, cells + 3),
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    return shape, num_times, updates, queries
+
+
+class TestDifferentialOracle:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @settings(max_examples=30)
+    @given(workload=topk_workloads())
+    def test_buffered_fronts_match_oracle(self, backend, workload):
+        shape, num_times, updates, queries = workload
+        front = BufferedEvolvingDataCube(shape, backend=backend)
+        for point, delta in updates:  # out-of-order points go through G_d
+            front.update(point, delta)
+        dense = _dense_oracle(shape, num_times, updates)
+        engine = TopKEngine(front, nonnegative=True)
+        got = engine.topk_many(queries)
+        want = [brute_topk(dense, t1, t2, k) for t1, t2, k in queries]
+        assert got == want
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @settings(max_examples=20)
+    @given(workload=topk_workloads())
+    def test_bare_kernels_match_oracle(self, backend, workload):
+        shape, num_times, updates, queries = workload
+        front = _bare_cube(backend, shape)
+        for point, delta in sorted(updates, key=lambda u: u[0][0]):
+            front.update(point, delta)  # bare kernels are append-only
+        dense = _dense_oracle(shape, num_times, updates)
+        engine = TopKEngine(front, nonnegative=True)
+        assert engine.topk_many(queries) == [
+            brute_topk(dense, t1, t2, k) for t1, t2, k in queries
+        ]
+
+    @settings(max_examples=15)
+    @given(workload=topk_workloads())
+    def test_sharded_cube_matches_oracle(self, workload):
+        shape, num_times, updates, queries = workload
+        if len(shape) == 1 and shape[0] < 2:
+            return
+        cube = ShardedCube(shape, shards=2, processes=False, buffered=True)
+        try:
+            for point, delta in updates:
+                cube.update(point, delta)
+            dense = _dense_oracle(shape, num_times, updates)
+            got = cube.topk_many(queries, nonnegative=True)
+            assert got == [
+                brute_topk(dense, t1, t2, k) for t1, t2, k in queries
+            ]
+        finally:
+            cube.close()
+
+    @settings(max_examples=20)
+    @given(workload=topk_workloads(signed=True))
+    def test_signed_workloads_run_exact_dense(self, workload):
+        """Without the non-negativity declaration the engine must stay
+        exact on signed deltas (negative cells rank below zeros)."""
+        shape, num_times, updates, queries = workload
+        front = BufferedEvolvingDataCube(shape)
+        for point, delta in updates:
+            front.update(point, delta)
+        dense = _dense_oracle(shape, num_times, updates)
+        engine = TopKEngine(front)  # nonnegative not declared
+        assert engine.topk_many(queries) == [
+            brute_topk(dense, t1, t2, k) for t1, t2, k in queries
+        ]
+        assert all(s.strategy == "dense" for s in engine.last_stats)
+
+
+class TestEdgeSemantics:
+    def test_exact_ties_break_lexicographically(self):
+        front = BufferedEvolvingDataCube((3, 3))
+        # four cells tie at 5; two more tie at 3
+        for cell in [(0, 2), (1, 0), (2, 1), (2, 2)]:
+            front.update((0, *cell), 5)
+        for cell in [(0, 0), (1, 2)]:
+            front.update((1, *cell), 3)
+        engine = TopKEngine(front, nonnegative=True)
+        assert engine.topk(0, 1, 5) == [
+            ((0, 2), 5),
+            ((1, 0), 5),
+            ((2, 1), 5),
+            ((2, 2), 5),
+            ((0, 0), 3),
+        ]
+
+    def test_k_beyond_live_cells_zero_fills_in_lex_order(self):
+        front = BufferedEvolvingDataCube((2, 2))
+        front.update((0, 1, 0), 7)
+        engine = TopKEngine(front, nonnegative=True)
+        assert engine.topk(0, 0, 4) == [
+            ((1, 0), 7),
+            ((0, 0), 0),
+            ((0, 1), 0),
+            ((1, 1), 0),
+        ]
+        # k past the domain clamps to the cell count
+        assert len(engine.topk(0, 0, 99)) == 4
+
+    def test_degenerate_interval_is_all_zero(self):
+        front = BufferedEvolvingDataCube((2, 2))
+        front.update((3, 0, 0), 9)
+        engine = TopKEngine(front, nonnegative=True)
+        assert engine.topk(5, 2, 3) == [((0, 0), 0), ((0, 1), 0), ((1, 0), 0)]
+        assert engine.topk(1, 1, 1) == [((0, 0), 0)]
+
+    def test_k_zero_is_empty(self):
+        front = BufferedEvolvingDataCube((2, 2))
+        front.update((0, 0, 0), 1)
+        engine = TopKEngine(front, nonnegative=True)
+        assert engine.topk(0, 0, 0) == []
+
+    def test_negative_marginal_falls_back_to_dense(self):
+        """A caller wrongly declaring non-negativity still gets exact
+        answers when a marginal disproves the declaration."""
+        front = BufferedEvolvingDataCube((2, 2))
+        front.update((0, 0, 0), 5)
+        front.update((0, 0, 1), -9)  # makes marginal axis-0 row 0 negative
+        front.drain(None)
+        dense = _dense_oracle((2, 2), 1, [((0, 0, 0), 5), ((0, 0, 1), -9)])
+        engine = TopKEngine(front, nonnegative=True)
+        assert engine.topk(0, 0, 4) == brute_topk(dense, 0, 0, 4)
+        assert engine.last_stats[0].strategy == "dense"
+
+    def test_shape_inference_and_validation(self):
+        front = BufferedEvolvingDataCube((2, 2))
+        front.update((0, 1, 1), 3)
+
+        class Wrapped:  # exposes the kernel only through .cube
+            def __init__(self, inner):
+                self.cube = inner.cube
+                self.query_many = inner.query_many
+
+        engine = TopKEngine(Wrapped(front), nonnegative=True)
+        assert engine.slice_shape == (2, 2)
+        assert engine.topk(0, 0, 1) == [((1, 1), 3)]
+        with pytest.raises(DomainError):
+            TopKEngine(front, slice_shape=())
+
+    def test_pairwise_bound_is_exact_on_three_dim_domains(self):
+        """ndim >= 3 engages the pairwise marginal tightening; results
+        must stay bit-identical to the oracle."""
+        rng = np.random.default_rng(7)
+        shape = (6, 6, 3)
+        num_times = 8
+        updates = []
+        for t in range(num_times):
+            for _ in range(12):
+                cell = (
+                    int(rng.integers(0, 6)),
+                    int(rng.integers(0, 6)),
+                    int(rng.integers(0, 3)),
+                )
+                updates.append(((t, *cell), int(rng.integers(1, 9))))
+        front = BufferedEvolvingDataCube(shape)
+        for point, delta in updates:
+            front.update(point, delta)
+        dense = _dense_oracle(shape, num_times, updates)
+        engine = TopKEngine(front, nonnegative=True)
+        queries = [(0, num_times - 1, 3), (2, 5, 1)]
+        assert engine.topk_many(queries) == [
+            brute_topk(dense, *q) for q in queries
+        ]
+        for stats in engine.last_stats:
+            assert stats.strategy == "prune"
+            # more prefix boxes than the per-axis marginals alone: the
+            # pairwise bound was engaged
+            assert stats.marginal_boxes > sum(shape)
+
+    def test_negative_pair_marginal_falls_back_to_dense(self):
+        """A signed workload whose per-axis marginals are all
+        non-negative can still be disproven by the pairwise marginal."""
+        shape = (2, 2, 3)
+        updates = [
+            ((0, 0, 0, 0), -3),
+            ((0, 0, 0, 1), 1),
+            ((0, 0, 1, 0), 4),
+            ((0, 1, 0, 0), 5),
+            ((0, 1, 1, 2), 2),
+        ]
+        front = BufferedEvolvingDataCube(shape)
+        for point, delta in updates:
+            front.update(point, delta)
+        front.drain(None)
+        dense = _dense_oracle(shape, 1, updates)
+        engine = TopKEngine(front, nonnegative=True)
+        assert engine.topk(0, 0, 12) == brute_topk(dense, 0, 0, 12)
+        (stats,) = engine.last_stats
+        assert stats.strategy == "dense"
+        assert stats.marginal_boxes > sum(shape)
+
+    def test_stats_expose_pruning(self):
+        front = BufferedEvolvingDataCube((6, 6))
+        front.update((0, 2, 3), 100)
+        front.update((0, 4, 1), 1)
+        engine = TopKEngine(front, nonnegative=True)
+        engine.topk(0, 0, 1)
+        (stats,) = engine.last_stats
+        assert isinstance(stats, TopKStats)
+        assert stats.strategy == "prune"
+        assert stats.materialized < stats.cells
+        assert stats.pruned_cells == stats.cells - stats.materialized
+
+
+class TestPruningCharges:
+    """Threshold pruning must not cost more than the dense gather."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_prune_charges_at_most_dense(self, seed, backend):
+        rng = np.random.default_rng(seed)
+        shape = (8, 8)
+        num_times = 24
+        hot = [
+            tuple(int(c) for c in rng.integers(0, 8, size=2))
+            for _ in range(4)
+        ]
+        updates = []
+        for t in range(num_times):
+            for _ in range(6):
+                cell = hot[int(rng.integers(0, len(hot)))]
+                updates.append(((t, *cell), int(rng.integers(1, 9))))
+
+        def charges(nonnegative):
+            counter = CostCounter()
+            front = BufferedEvolvingDataCube(
+                shape, backend=backend, counter=counter
+            )
+            for point, delta in updates:
+                front.update(point, delta)
+            engine = TopKEngine(front, nonnegative=nonnegative)
+            before = counter.snapshot()
+            results = engine.topk_many(
+                [(0, num_times - 1, 3), (4, 12, 5)], mode="metered"
+            )
+            return results, (counter.snapshot() - before).cell_accesses
+
+        pruned_results, pruned_cost = charges(nonnegative=True)
+        dense_results, dense_cost = charges(nonnegative=False)
+        assert pruned_results == dense_results
+        assert pruned_cost <= dense_cost
+
+    def test_sharded_stats_report_pruning(self):
+        cube = ShardedCube((8, 8), shards=2, processes=False, buffered=True)
+        try:
+            cube.update((0, 1, 1), 50)
+            cube.update((0, 6, 6), 2)
+            cube.topk_many([(0, 0, 1)], nonnegative=True)
+            (stats,) = cube.router.last_topk_stats
+            assert stats["strategy"] == "prune"
+            assert stats["materialized"] < stats["cells"]
+        finally:
+            cube.close()
